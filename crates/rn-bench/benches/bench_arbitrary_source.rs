@@ -1,0 +1,31 @@
+//! E5 — arbitrary-source broadcast: benchmarks the three-phase algorithm
+//! B_arb and regenerates its sweep table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_broadcast::runner::run_arbitrary_source;
+use rn_experiments::experiments::arbitrary_source;
+use rn_experiments::{ExperimentConfig, GraphFamily};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_arbitrary_source");
+    group.sample_size(10);
+    for family in [GraphFamily::Cycle, GraphFamily::Grid, GraphFamily::GnpSparse] {
+        let g = family.generate(64, 1);
+        let source = g.node_count() / 2;
+        let id = BenchmarkId::new(family.name(), g.node_count());
+        group.bench_with_input(id, &g, |b, g| {
+            b.iter(|| std::hint::black_box(run_arbitrary_source(g, 0, source, 7).unwrap()))
+        });
+    }
+    group.finish();
+
+    let cfg = ExperimentConfig {
+        sizes: vec![16, 48],
+        seeds: vec![1],
+        threads: rn_radio::batch::default_threads(),
+    };
+    println!("\n{}", arbitrary_source::run(&cfg));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

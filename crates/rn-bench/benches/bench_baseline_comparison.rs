@@ -1,0 +1,35 @@
+//! E9 — baseline comparison: benchmarks λ against the unique-identifier and
+//! square-colouring baselines and regenerates the comparison table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_broadcast::runner::{run_broadcast, run_coloring_broadcast, run_unique_id_broadcast};
+use rn_experiments::experiments::baseline_comparison;
+use rn_experiments::{ExperimentConfig, GraphFamily};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_baseline_comparison");
+    group.sample_size(10);
+    let g = GraphFamily::Grid.generate(100, 1);
+    group.bench_with_input(BenchmarkId::new("lambda", g.node_count()), &g, |b, g| {
+        b.iter(|| std::hint::black_box(run_broadcast(g, 0, 7).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("unique_ids", g.node_count()), &g, |b, g| {
+        b.iter(|| std::hint::black_box(run_unique_id_broadcast(g, 0, 7).unwrap()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("square_coloring", g.node_count()),
+        &g,
+        |b, g| b.iter(|| std::hint::black_box(run_coloring_broadcast(g, 0, 7).unwrap())),
+    );
+    group.finish();
+
+    let cfg = ExperimentConfig {
+        sizes: vec![16, 64],
+        seeds: vec![1],
+        threads: rn_radio::batch::default_threads(),
+    };
+    println!("\n{}", baseline_comparison::run(&cfg));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

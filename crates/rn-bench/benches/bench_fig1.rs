@@ -1,0 +1,21 @@
+//! E1 — regenerates the Figure 1 style worked execution and benchmarks the
+//! full label-then-simulate pipeline on the 13-node example graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_experiments::experiments::fig1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig1");
+    group.sample_size(20);
+    group.bench_function("worked_execution_13_nodes", |b| {
+        b.iter(|| std::hint::black_box(fig1::run()))
+    });
+    group.finish();
+
+    // Print the regenerated table once so `cargo bench` output contains the
+    // figure itself, not just its timing.
+    println!("\n{}", fig1::run());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

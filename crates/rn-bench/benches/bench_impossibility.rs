@@ -1,0 +1,19 @@
+//! E7 — impossibility on the unlabeled four-cycle: benchmarks the uniform
+//! attempts and regenerates the demonstration table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_experiments::experiments::impossibility;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_impossibility");
+    group.sample_size(10);
+    group.bench_function("uniform_attempts_on_c4", |b| {
+        b.iter(|| std::hint::black_box(impossibility::run()))
+    });
+    group.finish();
+
+    println!("\n{}", impossibility::run());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

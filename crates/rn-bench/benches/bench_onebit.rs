@@ -1,0 +1,40 @@
+//! E6 — one-bit schemes on cycles and grids: benchmarks the delay-relay
+//! pipeline and regenerates the per-class tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_broadcast::runner::{run_onebit_cycle, run_onebit_grid};
+use rn_experiments::experiments::onebit;
+use rn_experiments::ExperimentConfig;
+use rn_graph::generators;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_onebit");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::new("cycle", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(run_onebit_cycle(g, 0, 7).unwrap()))
+        });
+    }
+    for (rows, cols) in [(8usize, 8usize), (16, 16)] {
+        let g = generators::grid(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::new("grid", rows * cols),
+            &g,
+            |b, g| b.iter(|| std::hint::black_box(run_onebit_grid(g, rows, cols, 0, 7).unwrap())),
+        );
+    }
+    group.finish();
+
+    let cfg = ExperimentConfig {
+        sizes: vec![16, 36, 64],
+        seeds: vec![1],
+        threads: rn_radio::batch::default_threads(),
+    };
+    for t in onebit::run(&cfg) {
+        println!("\n{t}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

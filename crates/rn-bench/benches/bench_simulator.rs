@@ -1,0 +1,54 @@
+//! Substrate micro-benchmarks: the raw cost of one simulated round and of the
+//! graph substrate operations the labeling schemes lean on. These do not map
+//! to a paper table; they exist to keep the simulator fast enough for the
+//! large sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_broadcast::algo_b::BNode;
+use rn_graph::algorithms::{minimal_dominating_subset, square_graph, ReductionOrder};
+use rn_graph::generators;
+use rn_labeling::lambda;
+use rn_radio::Simulator;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_rounds");
+    group.sample_size(20);
+    for n in [256usize, 1024] {
+        let g = generators::gnp_connected(n, 8.0 / n as f64, 1).unwrap();
+        let scheme = lambda::construct(&g, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("full_broadcast", n), &g, |b, g| {
+            b.iter(|| {
+                let nodes = BNode::network(scheme.labeling(), 0, 7);
+                let mut sim = Simulator::new(g.clone(), nodes).without_trace();
+                sim.run_rounds(2 * n as u64);
+                std::hint::black_box(sim.current_round())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_substrate");
+    group.sample_size(20);
+    for n in [256usize, 1024] {
+        let g = generators::gnp_connected(n, 8.0 / n as f64, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("square_graph", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(square_graph(g)))
+        });
+        let candidates: Vec<usize> = g.nodes().collect();
+        let targets: Vec<usize> = g.nodes().collect();
+        group.bench_with_input(BenchmarkId::new("minimal_dominating_subset", n), &g, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(
+                    minimal_dominating_subset(g, &candidates, &targets, ReductionOrder::Forward)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_graph_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark crate. All content lives in `benches/`; this library
+//! target exists only so the crate participates in the workspace.

@@ -1,0 +1,50 @@
+//! # rn-broadcast
+//!
+//! The universal deterministic broadcast algorithms of the paper, implemented
+//! as [`rn_radio::RadioNode`] protocols:
+//!
+//! * [`algo_b`] — **Algorithm B** (the paper's Algorithm 1): broadcast with
+//!   2-bit λ labels, completing within `2n − 3` rounds (Theorem 2.9);
+//! * [`algo_back`] — **Algorithm B_ack** (Algorithm 2): acknowledged
+//!   broadcast with 3-bit λ_ack labels; the source learns of completion
+//!   within `n − 2` further rounds (Theorem 3.9);
+//! * [`algo_barb`] — **Algorithm B_arb** (§4.2): the three-phase algorithm
+//!   for the case where the source is unknown at labeling time, with 3-bit
+//!   λ_arb labels;
+//! * [`common_round`] — the composition of B_ack and B described at the end
+//!   of §3 that gives every node a common round in which it knows the
+//!   broadcast has completed;
+//! * [`delay_relay`] — the 1-bit "delay relay" algorithm driving the special
+//!   graph-class schemes of `rn_labeling::onebit`;
+//! * [`baselines`] — the slotted round-robin algorithms driven by the
+//!   unique-identifier and square-colouring baselines of §1.1;
+//! * [`verify`] — omniscient verification oracles used by tests and
+//!   experiments (informed rounds, Lemma 2.8 conformance, theorem bounds);
+//! * [`runner`] — convenience runners that label a graph, build the node
+//!   protocols, simulate, and return a structured result.
+//!
+//! Every protocol here respects the paper's knowledge model: a node's
+//! behaviour depends only on its label and on the messages it has heard. No
+//! topology information, no global clock and no network-size bound ever
+//! reaches a node (round numbers appear only *inside messages*, exactly as in
+//! Algorithm 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ack_engine;
+pub mod algo_b;
+pub mod algo_back;
+pub mod algo_barb;
+pub mod baselines;
+pub mod common_round;
+pub mod delay_relay;
+pub mod messages;
+pub mod runner;
+pub mod verify;
+
+pub use messages::{BMessage, Phase, TaggedMessage, TaggedPayload};
+pub use runner::{
+    run_arbitrary_source, run_broadcast, run_acknowledged_broadcast, AckBroadcastResult,
+    ArbBroadcastResult, BroadcastResult,
+};

@@ -1,0 +1,375 @@
+//! High-level runners: label a graph, instantiate the protocol, simulate, and
+//! return a structured result.
+//!
+//! These are the entry points used by the examples, the integration tests and
+//! the experiment harness. Each runner reports the quantities the paper's
+//! theorems bound (completion round, acknowledgement round), plus the
+//! communication statistics the experiments tabulate.
+
+use crate::algo_b::BNode;
+use crate::algo_back::BackNode;
+use crate::algo_barb::ArbNode;
+use crate::baselines::SlottedNode;
+use crate::delay_relay::DelayRelayNode;
+use crate::messages::{BMessage, SourceMessage, TaggedPayload};
+use crate::verify;
+use rn_graph::{Graph, NodeId};
+use rn_labeling::{baselines, lambda, lambda_ack, lambda_arb, onebit, LabelingError};
+use rn_radio::{ExecutionStats, Simulator, StopCondition};
+
+/// Result of a plain broadcast execution (Algorithm B or a baseline).
+#[derive(Debug, Clone)]
+pub struct BroadcastResult {
+    /// Name of the labeling scheme used.
+    pub scheme: &'static str,
+    /// Number of nodes in the graph.
+    pub node_count: usize,
+    /// Length of the labeling (max label bits).
+    pub label_length: usize,
+    /// Number of distinct labels used.
+    pub distinct_labels: usize,
+    /// Round in which each node was first informed (0 for the source);
+    /// `None` if never informed within the round cap.
+    pub informed_rounds: Vec<Option<u64>>,
+    /// Round by which every node was informed, if broadcast completed.
+    pub completion_round: Option<u64>,
+    /// Communication statistics of the execution.
+    pub stats: ExecutionStats,
+}
+
+impl BroadcastResult {
+    /// Whether every node was informed.
+    pub fn completed(&self) -> bool {
+        self.completion_round.is_some()
+    }
+}
+
+/// Result of an acknowledged broadcast execution (Algorithm B_ack).
+#[derive(Debug, Clone)]
+pub struct AckBroadcastResult {
+    /// The broadcast part of the result.
+    pub broadcast: BroadcastResult,
+    /// Round in which the source first heard an "ack" (the Theorem 3.9
+    /// quantity), if it did.
+    pub ack_round: Option<u64>,
+}
+
+/// Result of an arbitrary-source execution (Algorithm B_arb).
+#[derive(Debug, Clone)]
+pub struct ArbBroadcastResult {
+    /// The coordinator node `r`.
+    pub coordinator: NodeId,
+    /// The actual source node s_G.
+    pub source: NodeId,
+    /// Round by which every node knew the source message, if that happened.
+    pub completion_round: Option<u64>,
+    /// Round by which every node additionally knew that broadcast had
+    /// completed everywhere (the acknowledged-broadcast guarantee), if that
+    /// happened.
+    pub common_knowledge_round: Option<u64>,
+    /// Communication statistics of the whole three-phase execution.
+    pub stats: ExecutionStats,
+    /// Label length of λ_arb (always 3).
+    pub label_length: usize,
+}
+
+fn round_cap(n: usize, factor: u64) -> u64 {
+    factor * (n as u64 + 2) + 16
+}
+
+/// Runs Algorithm B on a λ-labeled copy of `g`.
+pub fn run_broadcast(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<BroadcastResult, LabelingError> {
+    let scheme = lambda::construct(g, source)?;
+    let labeling = scheme.labeling();
+    let nodes = BNode::network(labeling, source, message);
+    let mut sim = Simulator::new(g.clone(), nodes);
+    sim.run_until(
+        StopCondition::QuietFor {
+            quiet: 3,
+            cap: round_cap(g.node_count(), 4),
+        },
+        |_| false,
+    );
+    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
+        matches!(m, BMessage::Data(_))
+    });
+    Ok(BroadcastResult {
+        scheme: lambda::SCHEME_NAME,
+        node_count: g.node_count(),
+        label_length: labeling.length(),
+        distinct_labels: labeling.distinct_count(),
+        completion_round: verify::completion_round(&informed),
+        informed_rounds: informed,
+        stats: ExecutionStats::from_trace(sim.trace()),
+    })
+}
+
+/// Runs Algorithm B_ack on a λ_ack-labeled copy of `g`.
+pub fn run_acknowledged_broadcast(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<AckBroadcastResult, LabelingError> {
+    let scheme = lambda_ack::construct(g, source)?;
+    let labeling = scheme.labeling();
+    let nodes = BackNode::network(labeling, source, message);
+    let mut sim = Simulator::new(g.clone(), nodes);
+    let mut ack_round = None;
+    sim.run_until(
+        StopCondition::QuietFor {
+            quiet: 3,
+            cap: round_cap(g.node_count(), 6),
+        },
+        |s| {
+        if ack_round.is_none() && s.nodes()[source].source_received_ack() {
+            ack_round = Some(s.current_round());
+        }
+        false
+    });
+    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
+        matches!(m.payload, TaggedPayload::Data(_))
+    });
+    Ok(AckBroadcastResult {
+        broadcast: BroadcastResult {
+            scheme: lambda_ack::SCHEME_NAME,
+            node_count: g.node_count(),
+            label_length: labeling.length(),
+            distinct_labels: labeling.distinct_count(),
+            completion_round: verify::completion_round(&informed),
+            informed_rounds: informed,
+            stats: ExecutionStats::from_trace(sim.trace()),
+        },
+        ack_round,
+    })
+}
+
+/// Runs Algorithm B_arb on a λ_arb-labeled copy of `g`, with the labeling
+/// computed without knowledge of `source`.
+pub fn run_arbitrary_source(
+    g: &Graph,
+    coordinator: NodeId,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<ArbBroadcastResult, LabelingError> {
+    let scheme = lambda_arb::construct_with_coordinator(
+        g,
+        coordinator,
+        rn_graph::algorithms::ReductionOrder::Forward,
+    )?;
+    let labeling = scheme.labeling();
+    if source >= g.node_count() {
+        return Err(LabelingError::SourceOutOfRange {
+            source,
+            node_count: g.node_count(),
+        });
+    }
+    let nodes = ArbNode::network(labeling, source, message);
+    let mut sim = Simulator::new(g.clone(), nodes);
+    let mut completion_round = None;
+    let mut common_knowledge_round = None;
+    let cap = round_cap(g.node_count(), 16);
+    sim.run_until(StopCondition::AfterRounds(cap), |s| {
+        if completion_round.is_none()
+            && s.nodes().iter().all(|n| n.learned_message() == Some(message))
+        {
+            completion_round = Some(s.current_round());
+        }
+        if common_knowledge_round.is_none() && s.nodes().iter().all(ArbNode::knows_completion) {
+            common_knowledge_round = Some(s.current_round());
+        }
+        completion_round.is_some() && common_knowledge_round.is_some()
+    });
+    Ok(ArbBroadcastResult {
+        coordinator,
+        source,
+        completion_round,
+        common_knowledge_round,
+        stats: ExecutionStats::from_trace(sim.trace()),
+        label_length: labeling.length(),
+    })
+}
+
+/// Runs the unique-identifier round-robin baseline on `g`.
+pub fn run_unique_id_broadcast(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<BroadcastResult, LabelingError> {
+    let labeling = baselines::unique_ids(g)?;
+    run_slotted(g, source, message, labeling, baselines::UNIQUE_IDS_NAME)
+}
+
+/// Runs the square-colouring slotted baseline on `g`.
+pub fn run_coloring_broadcast(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<BroadcastResult, LabelingError> {
+    let (labeling, _) = baselines::square_coloring(g)?;
+    run_slotted(g, source, message, labeling, baselines::SQUARE_COLORING_NAME)
+}
+
+fn run_slotted(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+    labeling: rn_labeling::Labeling,
+    scheme: &'static str,
+) -> Result<BroadcastResult, LabelingError> {
+    if source >= g.node_count() {
+        return Err(LabelingError::SourceOutOfRange {
+            source,
+            node_count: g.node_count(),
+        });
+    }
+    let nodes = SlottedNode::network(&labeling, source, message);
+    let mut sim = Simulator::new(g.clone(), nodes);
+    // The slotted baselines are slower: allow a generous quadratic cap.
+    let n = g.node_count() as u64;
+    let cap = 16 * n * n + 64;
+    sim.run_until(StopCondition::AfterRounds(cap), |s| {
+        s.nodes().iter().all(SlottedNode::is_informed)
+    });
+    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |_| true);
+    Ok(BroadcastResult {
+        scheme,
+        node_count: g.node_count(),
+        label_length: labeling.length(),
+        distinct_labels: labeling.distinct_count(),
+        completion_round: verify::completion_round(&informed),
+        informed_rounds: informed,
+        stats: ExecutionStats::from_trace(sim.trace()),
+    })
+}
+
+/// Runs the 1-bit delay-relay algorithm on a cycle.
+pub fn run_onebit_cycle(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<BroadcastResult, LabelingError> {
+    let labeling = onebit::cycle_onebit(g, source)?;
+    run_delay_relay(g, source, message, labeling)
+}
+
+/// Runs the 1-bit delay-relay algorithm on a canonically numbered grid.
+pub fn run_onebit_grid(
+    g: &Graph,
+    rows: usize,
+    cols: usize,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<BroadcastResult, LabelingError> {
+    let labeling = onebit::grid_onebit(g, rows, cols, source)?;
+    run_delay_relay(g, source, message, labeling)
+}
+
+fn run_delay_relay(
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+    labeling: rn_labeling::Labeling,
+) -> Result<BroadcastResult, LabelingError> {
+    let scheme = labeling.scheme();
+    let nodes = DelayRelayNode::network(&labeling, source, message);
+    let mut sim = Simulator::new(g.clone(), nodes);
+    sim.run_until(
+        StopCondition::QuietFor {
+            quiet: 3,
+            cap: round_cap(g.node_count(), 4),
+        },
+        |_| false,
+    );
+    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
+        matches!(m, BMessage::Data(_))
+    });
+    Ok(BroadcastResult {
+        scheme,
+        node_count: g.node_count(),
+        label_length: labeling.length(),
+        distinct_labels: labeling.distinct_count(),
+        completion_round: verify::completion_round(&informed),
+        informed_rounds: informed,
+        stats: ExecutionStats::from_trace(sim.trace()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn run_broadcast_reports_bounds() {
+        let g = generators::grid(4, 5);
+        let r = run_broadcast(&g, 7, 11).unwrap();
+        assert!(r.completed());
+        assert_eq!(r.label_length, 2);
+        assert!(r.distinct_labels <= 4);
+        assert!(r.completion_round.unwrap() <= 2 * 20 - 3);
+        assert_eq!(r.informed_rounds[7], Some(0));
+        assert!(r.stats.transmissions > 0);
+    }
+
+    #[test]
+    fn run_acknowledged_reports_ack_round() {
+        let g = generators::cycle(11);
+        let r = run_acknowledged_broadcast(&g, 3, 5).unwrap();
+        assert!(r.broadcast.completed());
+        let t = r.broadcast.completion_round.unwrap();
+        let ack = r.ack_round.unwrap();
+        assert!(ack > t);
+        assert!(ack <= t + 11 - 2);
+        assert_eq!(r.broadcast.label_length, 3);
+    }
+
+    #[test]
+    fn run_arbitrary_source_completes() {
+        let g = generators::gnp_connected(16, 0.2, 2).unwrap();
+        let r = run_arbitrary_source(&g, 0, 9, 77).unwrap();
+        assert!(r.completion_round.is_some());
+        assert!(r.common_knowledge_round.is_some());
+        assert!(r.common_knowledge_round >= r.completion_round);
+        assert_eq!(r.label_length, 3);
+    }
+
+    #[test]
+    fn baselines_complete_but_with_longer_labels() {
+        let g = generators::grid(3, 4);
+        let ids = run_unique_id_broadcast(&g, 0, 5).unwrap();
+        let colors = run_coloring_broadcast(&g, 0, 5).unwrap();
+        let lambda = run_broadcast(&g, 0, 5).unwrap();
+        assert!(ids.completed() && colors.completed() && lambda.completed());
+        assert!(ids.label_length >= colors.label_length);
+        assert!(colors.label_length >= lambda.label_length || lambda.label_length == 2);
+        assert!(ids.label_length > lambda.label_length);
+    }
+
+    #[test]
+    fn onebit_runners_complete() {
+        let c = generators::cycle(10);
+        let r = run_onebit_cycle(&c, 4, 3).unwrap();
+        assert!(r.completed());
+        assert_eq!(r.label_length, 1);
+
+        let g = generators::grid(3, 5);
+        let r = run_onebit_grid(&g, 3, 5, 7, 3).unwrap();
+        assert!(r.completed());
+        assert_eq!(r.label_length, 1);
+    }
+
+    #[test]
+    fn errors_propagate_for_bad_inputs() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(run_broadcast(&disconnected, 0, 1).is_err());
+        assert!(run_acknowledged_broadcast(&disconnected, 0, 1).is_err());
+        let g = generators::path(4);
+        assert!(run_arbitrary_source(&g, 0, 9, 1).is_err());
+        assert!(run_unique_id_broadcast(&g, 9, 1).is_err());
+        assert!(run_onebit_cycle(&g, 0, 1).is_err());
+    }
+}

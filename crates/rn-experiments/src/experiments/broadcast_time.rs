@@ -1,0 +1,94 @@
+//! **E2 — Theorem 2.9**: broadcast with the 2-bit scheme λ completes within
+//! `2n − 3` rounds on every graph.
+//!
+//! The sweep runs algorithm B over every workload family and size, reports
+//! the measured completion round next to the bound, and flags any violation
+//! (none are expected; the integration tests additionally assert this).
+
+use crate::report::{fmt_bool, fmt_f64, fmt_opt, Table};
+use crate::sweep::run_sweep;
+use crate::workloads::GraphFamily;
+use crate::ExperimentConfig;
+use rn_broadcast::runner;
+
+/// Measurement for one sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Actual node count.
+    pub n: usize,
+    /// Measured completion round.
+    pub completion: Option<u64>,
+    /// Total transmissions during the execution.
+    pub transmissions: usize,
+}
+
+/// Runs the sweep and renders the table.
+pub fn run(config: &ExperimentConfig) -> Table {
+    let points = run_sweep(&GraphFamily::ALL, config, |g, source, _w| {
+        let r = runner::run_broadcast(g, source, 7).expect("connected workload");
+        Point {
+            n: g.node_count(),
+            completion: r.completion_round,
+            transmissions: r.stats.transmissions,
+        }
+    });
+
+    let mut table = Table::new(
+        "E2: broadcast completion round of algorithm B vs the 2n-3 bound (Theorem 2.9)",
+        &[
+            "family",
+            "n",
+            "completion round",
+            "bound 2n-3",
+            "round/bound",
+            "transmissions",
+            "within bound",
+        ],
+    );
+    for p in &points {
+        let n = p.result.n;
+        let bound = 2 * n as u64 - 3;
+        let completion = p.result.completion;
+        table.push_row(vec![
+            p.workload.family.name().to_string(),
+            n.to_string(),
+            fmt_opt(completion),
+            bound.to_string(),
+            completion.map_or("-".to_string(), |c| fmt_f64(c as f64 / bound as f64)),
+            p.result.transmissions.to_string(),
+            fmt_bool(completion.map_or(false, |c| c <= bound)),
+        ]);
+    }
+    table.push_note("every row must read `yes`: Theorem 2.9 guarantees completion within 2n-3");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_are_within_the_bound() {
+        let t = run(&ExperimentConfig::small());
+        assert!(t.row_count() > 0);
+        assert!(!t.render().contains("NO"));
+    }
+
+    #[test]
+    fn path_rows_are_close_to_the_bound() {
+        // The path from an endpoint is the tightest case: ℓ = n, so the
+        // completion round is exactly 2n - 3.
+        let cfg = ExperimentConfig {
+            sizes: vec![16],
+            seeds: vec![1],
+            threads: 1,
+        };
+        let t = run(&cfg);
+        let path_row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "path")
+            .expect("path family present");
+        assert_eq!(path_row[2], path_row[3], "path should meet the bound exactly");
+    }
+}

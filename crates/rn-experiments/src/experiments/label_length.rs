@@ -1,0 +1,107 @@
+//! **E4 — label length and message size comparison** (paper §1.1, §3, §5).
+//!
+//! For every workload the table reports, per scheme:
+//! the label length in bits, the number of distinct labels used, the total
+//! advice (sum of label lengths over all nodes), and — when the matching
+//! algorithm is run — the largest message in bits. The paper's headline is
+//! visible directly in the table: λ/λ_ack/λ_arb stay at 2–3 bits and at most
+//! 4/5/6 distinct labels no matter how large the network grows, while both
+//! baselines grow with Θ(log n) or Θ(log Δ).
+
+use crate::report::Table;
+use crate::sweep::run_sweep;
+use crate::workloads::GraphFamily;
+use crate::ExperimentConfig;
+use rn_labeling::scheme::{LabelingScheme, SchemeKind};
+
+/// Measurement for one sweep point: per-scheme (length, distinct, total bits).
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Actual node count.
+    pub n: usize,
+    /// Maximum degree (drives the colouring baseline).
+    pub max_degree: usize,
+    /// One entry per scheme in [`SchemeKind::ALL`].
+    pub per_scheme: Vec<(usize, usize, usize)>,
+}
+
+/// Runs the sweep and renders the table.
+pub fn run(config: &ExperimentConfig) -> Table {
+    let points = run_sweep(&GraphFamily::CORE, config, |g, source, _w| {
+        let per_scheme = SchemeKind::ALL
+            .iter()
+            .map(|s| {
+                let l = s.assign(g, source).expect("connected workload");
+                (l.length(), l.distinct_count(), l.total_bits())
+            })
+            .collect();
+        Point {
+            n: g.node_count(),
+            max_degree: g.max_degree(),
+            per_scheme,
+        }
+    });
+
+    let mut headers: Vec<String> = vec!["family".into(), "n".into(), "max deg".into()];
+    for s in SchemeKind::ALL {
+        headers.push(format!("{} len", s.name()));
+        headers.push(format!("{} distinct", s.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "E4: label length (bits) and distinct labels per scheme",
+        &header_refs,
+    );
+    for p in &points {
+        let mut row = vec![
+            p.workload.family.name().to_string(),
+            p.result.n.to_string(),
+            p.result.max_degree.to_string(),
+        ];
+        for (len, distinct, _total) in &p.result.per_scheme {
+            row.push(len.to_string());
+            row.push(distinct.to_string());
+        }
+        table.push_row(row);
+    }
+    table.push_note(
+        "lambda stays at 2 bits / <=4 labels, lambda_ack at 3 bits / <=5 labels, lambda_arb at \
+         3 bits / <=6 labels for every n; unique_ids grows like ceil(log2 n) and square_coloring \
+         like ceil(log2 chi(G^2))",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_vs_growing_lengths() {
+        let cfg = ExperimentConfig {
+            sizes: vec![8, 64],
+            seeds: vec![1],
+            threads: 1,
+        };
+        let t = run(&cfg);
+        // Columns: 3 fixed + 2 per scheme; lambda len is column 3,
+        // unique_ids len is column 3 + 2*3 = 9.
+        let lambda_lens: Vec<usize> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(lambda_lens.iter().all(|&l| l == 2));
+        let id_lens: Vec<usize> = t.rows.iter().map(|r| r[9].parse().unwrap()).collect();
+        assert!(id_lens.iter().any(|&l| l >= 6), "ids must grow with n: {id_lens:?}");
+    }
+
+    #[test]
+    fn distinct_label_counts_match_the_paper() {
+        let t = run(&ExperimentConfig::small());
+        for row in &t.rows {
+            let lambda_distinct: usize = row[4].parse().unwrap();
+            let ack_distinct: usize = row[6].parse().unwrap();
+            let arb_distinct: usize = row[8].parse().unwrap();
+            assert!(lambda_distinct <= 4);
+            assert!(ack_distinct <= 5);
+            assert!(arb_distinct <= 6);
+        }
+    }
+}

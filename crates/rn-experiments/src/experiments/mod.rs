@@ -1,0 +1,92 @@
+//! One module per experiment of the DESIGN.md index.
+//!
+//! | id  | module                | reproduces                                             |
+//! |-----|-----------------------|--------------------------------------------------------|
+//! | E1  | [`fig1`]              | Figure 1: a worked execution of algorithm B            |
+//! | E2  | [`broadcast_time`]    | Theorem 2.9: broadcast within 2n − 3 rounds            |
+//! | E3  | [`ack_time`]          | Theorem 3.9: acknowledgement within n − 2 extra rounds |
+//! | E4  | [`label_length`]      | §1.1 label-length / message-size comparison            |
+//! | E5  | [`arbitrary_source`]  | §4: the unknown-source three-phase algorithm           |
+//! | E6  | [`onebit`]            | §5: 1-bit schemes on special graph classes             |
+//! | E7  | [`impossibility`]     | §1.1: impossibility on the unlabeled four-cycle        |
+//! | E8  | [`scheme_cost`]       | labeling-scheme construction cost                      |
+//! | E9  | [`baseline_comparison`] | λ vs round-robin vs square-colouring broadcast time |
+//! | E10 | [`common_round`]      | §3: the common completion round                        |
+//! | A1  | [`ablation`]          | dominating-set reduction order / colouring order       |
+
+pub mod ablation;
+pub mod ack_time;
+pub mod arbitrary_source;
+pub mod baseline_comparison;
+pub mod broadcast_time;
+pub mod common_round;
+pub mod fig1;
+pub mod impossibility;
+pub mod label_length;
+pub mod onebit;
+pub mod scheme_cost;
+
+use crate::{ExperimentConfig, Table};
+
+/// Identifier and human name of each experiment, for the `repro` binary.
+pub const EXPERIMENT_IDS: [(&str, &str); 11] = [
+    ("e1", "Figure 1 worked execution"),
+    ("e2", "Theorem 2.9 broadcast time"),
+    ("e3", "Theorem 3.9 acknowledgement time"),
+    ("e4", "label length and message size comparison"),
+    ("e5", "arbitrary-source broadcast"),
+    ("e6", "one-bit schemes on special classes"),
+    ("e7", "impossibility on the unlabeled four-cycle"),
+    ("e8", "labeling-scheme construction cost"),
+    ("e9", "baseline comparison"),
+    ("e10", "common completion round"),
+    ("a1", "ablations"),
+];
+
+/// Runs a single experiment by id, returning its tables.
+pub fn run_by_id(id: &str, config: &ExperimentConfig) -> Option<Vec<Table>> {
+    match id {
+        "e1" => Some(vec![fig1::run()]),
+        "e2" => Some(vec![broadcast_time::run(config)]),
+        "e3" => Some(vec![ack_time::run(config)]),
+        "e4" => Some(vec![label_length::run(config)]),
+        "e5" => Some(vec![arbitrary_source::run(config)]),
+        "e6" => Some(onebit::run(config)),
+        "e7" => Some(vec![impossibility::run()]),
+        "e8" => Some(vec![scheme_cost::run(config)]),
+        "e9" => Some(vec![baseline_comparison::run(config)]),
+        "e10" => Some(vec![common_round::run(config)]),
+        "a1" => Some(ablation::run(config)),
+        _ => None,
+    }
+}
+
+/// Runs every experiment, returning all tables in index order.
+pub fn run_all(config: &ExperimentConfig) -> Vec<Table> {
+    EXPERIMENT_IDS
+        .iter()
+        .flat_map(|(id, _)| run_by_id(id, config).expect("known id"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("nope", &ExperimentConfig::small()).is_none());
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        let cfg = ExperimentConfig {
+            sizes: vec![8],
+            seeds: vec![1],
+            threads: 1,
+        };
+        for (id, _) in EXPERIMENT_IDS {
+            assert!(run_by_id(id, &cfg).is_some(), "{id}");
+        }
+    }
+}

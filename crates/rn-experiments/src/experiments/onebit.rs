@@ -1,0 +1,104 @@
+//! **E6 — one-bit schemes on special graph classes** (paper §5 conclusion).
+//!
+//! The paper's conclusion claims that single-bit labels suffice for broadcast
+//! on several restricted classes. This experiment exercises the two classes
+//! implemented in `rn_labeling::onebit` — cycles and grids — across sizes and
+//! **every** source position, and reports the completion rounds.
+
+use crate::report::{fmt_bool, Table};
+use crate::ExperimentConfig;
+use rn_broadcast::runner;
+use rn_graph::generators;
+
+/// Runs the cycle and grid sweeps and renders one table per class.
+pub fn run(config: &ExperimentConfig) -> Vec<Table> {
+    vec![cycles(config), grids(config)]
+}
+
+fn cycles(config: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E6a: one-bit labels on cycles (delay-relay algorithm), all source positions",
+        &["n", "label length", "worst completion round", "all sources informed"],
+    );
+    for &n in &config.sizes {
+        let n = n.max(4);
+        let g = generators::cycle(n);
+        let mut worst = 0u64;
+        let mut all_ok = true;
+        for source in 0..n {
+            let r = runner::run_onebit_cycle(&g, source, 9).expect("cycle scheme applies");
+            match r.completion_round {
+                Some(c) => worst = worst.max(c),
+                None => all_ok = false,
+            }
+        }
+        table.push_row(vec![
+            n.to_string(),
+            "1".to_string(),
+            worst.to_string(),
+            fmt_bool(all_ok),
+        ]);
+    }
+    table.push_note("even cycles need the single marked neighbour; odd cycles use all-zero labels");
+    table
+}
+
+fn grids(config: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E6b: one-bit labels on grids (delay-relay algorithm), all source positions",
+        &["rows x cols", "n", "label length", "worst completion round", "all sources informed"],
+    );
+    for &n in &config.sizes {
+        let rows = ((n as f64).sqrt().round() as usize).max(2);
+        let cols = (n / rows).max(2);
+        let g = generators::grid(rows, cols);
+        let mut worst = 0u64;
+        let mut all_ok = true;
+        for source in 0..g.node_count() {
+            let r = runner::run_onebit_grid(&g, rows, cols, source, 9).expect("grid scheme applies");
+            match r.completion_round {
+                Some(c) => worst = worst.max(c),
+                None => all_ok = false,
+            }
+        }
+        table.push_row(vec![
+            format!("{rows}x{cols}"),
+            g.node_count().to_string(),
+            "1".to_string(),
+            worst.to_string(),
+            fmt_bool(all_ok),
+        ]);
+    }
+    table.push_note("worst case is roughly cols + 2*rows rounds: fast along the source row, half speed down columns");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_classes_complete_everywhere() {
+        let cfg = ExperimentConfig {
+            sizes: vec![6, 9],
+            seeds: vec![1],
+            threads: 1,
+        };
+        for t in run(&cfg) {
+            assert!(t.row_count() > 0);
+            assert!(!t.render().contains("NO"), "{}", t.title);
+        }
+    }
+
+    #[test]
+    fn completion_is_linear_in_n() {
+        let cfg = ExperimentConfig {
+            sizes: vec![16],
+            seeds: vec![1],
+            threads: 1,
+        };
+        let tables = run(&cfg);
+        let cycle_worst: u64 = tables[0].rows[0][2].parse().unwrap();
+        assert!(cycle_worst <= 16 + 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! # rn-experiments
+//!
+//! The experiment harness that reproduces the paper's worked example
+//! (Figure 1) and empirically validates every theorem and comparison the
+//! paper states. Each experiment in the DESIGN.md index (E1–E10, plus the
+//! ablations) has its own module under [`experiments`], producing plain-text
+//! tables through [`report::Table`]; the `repro` binary runs them all.
+//!
+//! Everything is deterministic: workloads are generated from explicit seeds
+//! and parallel sweeps return results in job order, so two runs of `repro`
+//! produce byte-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+pub mod workloads;
+
+pub use report::Table;
+pub use workloads::{GraphFamily, Workload};
+
+/// Configuration shared by the sweep experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Graph sizes to sweep over.
+    pub sizes: Vec<usize>,
+    /// Random seeds per size (each seed is one instance for randomised
+    /// families).
+    pub seeds: Vec<u64>,
+    /// Worker threads for the sweep (1 = run inline).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// A small configuration used by unit tests and quick smoke runs.
+    pub fn small() -> Self {
+        ExperimentConfig {
+            sizes: vec![8, 16, 24],
+            seeds: vec![1, 2],
+            threads: 1,
+        }
+    }
+
+    /// The full configuration used by the `repro` binary and the benches.
+    pub fn full() -> Self {
+        ExperimentConfig {
+            sizes: vec![8, 16, 32, 64, 128, 256, 512],
+            seeds: vec![1, 2, 3, 4, 5],
+            threads: rn_radio::batch::default_threads(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_nonempty() {
+        for cfg in [ExperimentConfig::small(), ExperimentConfig::full()] {
+            assert!(!cfg.sizes.is_empty());
+            assert!(!cfg.seeds.is_empty());
+            assert!(cfg.threads >= 1);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Small statistics helpers for summarising sweep results.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / count as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// Computes the summary of integer observations.
+    pub fn of_u64(values: &[u64]) -> Option<Summary> {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&floats)
+    }
+}
+
+/// The ratio `a / b`, or `None` when `b` is zero.
+pub fn ratio(a: f64, b: f64) -> Option<f64> {
+    if b == 0.0 {
+        None
+    } else {
+        Some(a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_u64_matches() {
+        let a = Summary::of_u64(&[2, 4, 6]).unwrap();
+        let b = Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(4.0, 2.0), Some(2.0));
+        assert_eq!(ratio(1.0, 0.0), None);
+    }
+}

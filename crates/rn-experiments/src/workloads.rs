@@ -1,0 +1,240 @@
+//! Workload definitions: the graph families the experiments sweep over.
+//!
+//! A [`Workload`] is a named, seeded recipe producing a connected graph of a
+//! requested size together with a deterministic source choice, so every
+//! experiment (and every bench) draws its instances from the same place.
+
+use rn_graph::{generators, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The graph families used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphFamily {
+    /// Path P_n with the source at one end — the worst case for broadcast
+    /// time (ℓ = n).
+    Path,
+    /// Cycle C_n.
+    Cycle,
+    /// Star with the source at the centre — the best case (one round).
+    Star,
+    /// Complete graph K_n.
+    Complete,
+    /// Near-square grid with roughly n nodes.
+    Grid,
+    /// Hypercube of the largest dimension with at most n nodes.
+    Hypercube,
+    /// Uniformly random labelled tree.
+    RandomTree,
+    /// Connected Erdős–Rényi graph with edge probability `10 / n` (sparse).
+    GnpSparse,
+    /// Connected Erdős–Rényi graph with edge probability `0.3` (dense).
+    GnpDense,
+    /// Random series-parallel graph.
+    SeriesParallel,
+    /// Two cliques of size n/3 joined by a path (a bottleneck topology).
+    Barbell,
+    /// Caterpillar tree: a spine with two legs per spine node.
+    Caterpillar,
+    /// Connected unit-disk graph (random deployment in the unit square with
+    /// an average degree around 8) — the classic wireless-network shape.
+    UnitDisk,
+}
+
+impl GraphFamily {
+    /// All families, in presentation order.
+    pub const ALL: [GraphFamily; 13] = [
+        GraphFamily::Path,
+        GraphFamily::Cycle,
+        GraphFamily::Star,
+        GraphFamily::Complete,
+        GraphFamily::Grid,
+        GraphFamily::Hypercube,
+        GraphFamily::RandomTree,
+        GraphFamily::GnpSparse,
+        GraphFamily::GnpDense,
+        GraphFamily::SeriesParallel,
+        GraphFamily::Barbell,
+        GraphFamily::Caterpillar,
+        GraphFamily::UnitDisk,
+    ];
+
+    /// A compact subset that still covers the qualitative regimes (used by
+    /// the heavier sweeps and the benches).
+    pub const CORE: [GraphFamily; 6] = [
+        GraphFamily::Path,
+        GraphFamily::Cycle,
+        GraphFamily::Grid,
+        GraphFamily::RandomTree,
+        GraphFamily::GnpSparse,
+        GraphFamily::Barbell,
+    ];
+
+    /// Human-readable family name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphFamily::Path => "path",
+            GraphFamily::Cycle => "cycle",
+            GraphFamily::Star => "star",
+            GraphFamily::Complete => "complete",
+            GraphFamily::Grid => "grid",
+            GraphFamily::Hypercube => "hypercube",
+            GraphFamily::RandomTree => "random_tree",
+            GraphFamily::GnpSparse => "gnp_sparse",
+            GraphFamily::GnpDense => "gnp_dense",
+            GraphFamily::SeriesParallel => "series_parallel",
+            GraphFamily::Barbell => "barbell",
+            GraphFamily::Caterpillar => "caterpillar",
+            GraphFamily::UnitDisk => "unit_disk",
+        }
+    }
+
+    /// Generates an instance with (close to) `n` nodes. Families with rigid
+    /// shapes (grids, hypercubes, barbells, caterpillars) round `n` to the
+    /// nearest achievable size, so always read the size off the returned
+    /// graph rather than assuming `n`.
+    ///
+    /// # Panics
+    /// Panics if `n < 4` (every family needs a handful of nodes).
+    pub fn generate(&self, n: usize, seed: u64) -> Graph {
+        assert!(n >= 4, "workloads require n >= 4");
+        match self {
+            GraphFamily::Path => generators::path(n),
+            GraphFamily::Cycle => generators::cycle(n),
+            GraphFamily::Star => generators::star(n),
+            GraphFamily::Complete => generators::complete(n),
+            GraphFamily::Grid => {
+                let rows = (n as f64).sqrt().round().max(2.0) as usize;
+                let cols = n.div_ceil(rows).max(2);
+                generators::grid(rows, cols)
+            }
+            GraphFamily::Hypercube => {
+                let dim = (usize::BITS - 1 - n.leading_zeros()).max(2) as usize;
+                generators::hypercube(dim)
+            }
+            GraphFamily::RandomTree => generators::random_tree(n, seed),
+            GraphFamily::GnpSparse => {
+                let p = (10.0 / n as f64).min(1.0);
+                generators::gnp_connected(n, p, seed).expect("valid gnp parameters")
+            }
+            GraphFamily::GnpDense => {
+                generators::gnp_connected(n, 0.3, seed).expect("valid gnp parameters")
+            }
+            GraphFamily::SeriesParallel => {
+                generators::series_parallel(n, seed).expect("valid series-parallel parameters")
+            }
+            GraphFamily::Barbell => {
+                let k = (n / 3).max(2);
+                generators::barbell(k, n.saturating_sub(2 * k))
+            }
+            GraphFamily::Caterpillar => {
+                let spine = (n / 3).max(1);
+                generators::caterpillar(spine, 2)
+            }
+            GraphFamily::UnitDisk => {
+                generators::unit_disk_with_degree(n, 8.0, seed).expect("valid unit-disk parameters")
+            }
+        }
+    }
+
+    /// Deterministic source choice for this family: the "natural" hard case
+    /// (end of the path, corner of the grid, a clique node of the barbell),
+    /// node 0 otherwise.
+    pub fn default_source(&self, _g: &Graph) -> NodeId {
+        0
+    }
+}
+
+/// A fully specified workload instance recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The graph family.
+    pub family: GraphFamily,
+    /// Requested size.
+    pub n: usize,
+    /// Random seed (ignored by deterministic families).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Creates the recipe.
+    pub fn new(family: GraphFamily, n: usize, seed: u64) -> Self {
+        Workload { family, n, seed }
+    }
+
+    /// Generates the graph and the default source.
+    pub fn instantiate(&self) -> (Graph, NodeId) {
+        let g = self.family.generate(self.n, self.seed);
+        let s = self.family.default_source(&g);
+        (g, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::algorithms::is_connected;
+
+    #[test]
+    fn every_family_generates_connected_graphs() {
+        for family in GraphFamily::ALL {
+            for n in [8, 17, 40] {
+                for seed in [1, 7] {
+                    let g = family.generate(n, seed);
+                    assert!(is_connected(&g), "{} n={n} seed={seed}", family.name());
+                    assert!(g.node_count() >= 4, "{} produced a tiny graph", family.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_are_distinct() {
+        let mut names: Vec<_> = GraphFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GraphFamily::ALL.len());
+    }
+
+    #[test]
+    fn sizes_are_close_to_requested() {
+        for family in GraphFamily::ALL {
+            let g = family.generate(64, 3);
+            let n = g.node_count();
+            assert!(
+                n >= 32 && n <= 96,
+                "{} produced {n} nodes for a request of 64",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for family in GraphFamily::ALL {
+            let a = family.generate(30, 9);
+            let b = family.generate(30, 9);
+            assert_eq!(a, b, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn workload_instantiate() {
+        let w = Workload::new(GraphFamily::Grid, 20, 0);
+        let (g, s) = w.instantiate();
+        assert!(s < g.node_count());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 4")]
+    fn tiny_workloads_rejected() {
+        let _ = GraphFamily::Path.generate(3, 0);
+    }
+
+    #[test]
+    fn core_is_subset_of_all() {
+        for f in GraphFamily::CORE {
+            assert!(GraphFamily::ALL.contains(&f));
+        }
+    }
+}

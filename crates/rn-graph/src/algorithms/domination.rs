@@ -1,0 +1,342 @@
+//! Dominating sets and minimal dominating subsets.
+//!
+//! The heart of the paper's labeling scheme (§2.1, step 4) is: given the set
+//! `DOM_{i-1} ∪ NEW_{i-1}` of candidate transmitters and the frontier
+//! `FRONTIER_i` of uninformed nodes adjacent to informed nodes, pick a
+//! **minimal** subset of the candidates that dominates the frontier. Minimality
+//! (no candidate can be removed without leaving some frontier node
+//! undominated) is exactly what guarantees progress (Lemma 2.4): every
+//! candidate kept has a "private" frontier neighbour that hears it without
+//! collision.
+//!
+//! [`minimal_dominating_subset`] implements that reduction; the
+//! [`ReductionOrder`] parameter exists only for the ablation benchmark — every
+//! order yields a minimal set, but different minimal sets can lead to
+//! different broadcast schedules.
+
+use crate::graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Order in which candidate nodes are tried for removal when reducing a
+/// dominating set to a minimal one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionOrder {
+    /// Try candidates in increasing node-index order.
+    Forward,
+    /// Try candidates in decreasing node-index order.
+    Reverse,
+    /// Try candidates in a pseudo-random order derived from the given seed.
+    Random(u64),
+}
+
+/// The open neighbourhood Γ(X) of a set of nodes: every node adjacent to at
+/// least one node of `set` (paper notation Γ). The result is sorted and
+/// deduplicated; note that members of `set` appear only if they have a
+/// neighbour inside `set`.
+pub fn neighborhood_of_set(g: &Graph, set: &[NodeId]) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = set.iter().flat_map(|&v| g.neighbors(v).iter().copied()).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether node `x` dominates node `y` in `g`, i.e. `x` is adjacent to `y`.
+/// (The paper's notion of domination is by adjacency, not closed
+/// neighbourhood.)
+pub fn dominates(g: &Graph, x: NodeId, y: NodeId) -> bool {
+    g.has_edge(x, y)
+}
+
+/// Whether `set` dominates every node of `targets`: each target has at least
+/// one neighbour in `set`.
+pub fn is_dominating_set(g: &Graph, set: &[NodeId], targets: &[NodeId]) -> bool {
+    let mut in_set = vec![false; g.node_count()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    targets
+        .iter()
+        .all(|&t| g.neighbors(t).iter().any(|&w| in_set[w]))
+}
+
+/// Whether `set` is a **minimal** set dominating `targets`: it dominates them
+/// and no proper subset does. Equivalently, every member of `set` has a
+/// private target neighbour (a target adjacent to it and to no other member).
+pub fn is_minimal_dominating_set(g: &Graph, set: &[NodeId], targets: &[NodeId]) -> bool {
+    if !is_dominating_set(g, set, targets) {
+        return false;
+    }
+    let mut in_set = vec![false; g.node_count()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    // Every member must have a private neighbour among the targets.
+    set.iter().all(|&member| {
+        targets.iter().any(|&t| {
+            g.has_edge(member, t)
+                && g.neighbors(t).iter().filter(|&&w| in_set[w]).count() == 1
+        })
+    })
+}
+
+/// Number of neighbours of `target` inside `set` (used to find nodes that hear
+/// exactly one transmitter).
+pub fn dominator_count(g: &Graph, set: &[NodeId], target: NodeId) -> usize {
+    let mut in_set = vec![false; g.node_count()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    g.neighbors(target).iter().filter(|&&w| in_set[w]).count()
+}
+
+/// Reduces `candidates` to a minimal subset that still dominates `targets`.
+///
+/// Precondition: `candidates` must dominate `targets` (checked; returns `None`
+/// if it does not — the paper's Lemma 2.5 guarantees this never happens when
+/// called by the scheme construction).
+///
+/// The reduction repeatedly drops any candidate whose removal keeps all
+/// targets dominated, trying candidates in the given [`ReductionOrder`]. The
+/// result is inclusion-minimal regardless of order. Runs in
+/// `O(|candidates| · Σ_{t∈targets} deg(t))`.
+pub fn minimal_dominating_subset(
+    g: &Graph,
+    candidates: &[NodeId],
+    targets: &[NodeId],
+    order: ReductionOrder,
+) -> Option<Vec<NodeId>> {
+    if !is_dominating_set(g, candidates, targets) {
+        return None;
+    }
+    let n = g.node_count();
+    // cover[t] = number of current set members adjacent to t, for t in targets.
+    let mut in_set = vec![false; n];
+    for &c in candidates {
+        in_set[c] = true;
+    }
+    let mut cover = vec![0usize; n];
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t] = true;
+        cover[t] = g.neighbors(t).iter().filter(|&&w| in_set[w]).count();
+    }
+
+    let mut trial: Vec<NodeId> = candidates.to_vec();
+    match order {
+        ReductionOrder::Forward => trial.sort_unstable(),
+        ReductionOrder::Reverse => {
+            trial.sort_unstable();
+            trial.reverse();
+        }
+        ReductionOrder::Random(seed) => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            trial.sort_unstable();
+            trial.shuffle(&mut rng);
+        }
+    }
+
+    for &c in &trial {
+        // c is removable iff every target neighbour of c is covered by at
+        // least one other set member (a target t blocks removal iff
+        // cover[t] == 1, i.e. c is its only dominator).
+        let removable = g
+            .neighbors(c)
+            .iter()
+            .all(|&t| !is_target[t] || cover[t] >= 2);
+        if removable && in_set[c] {
+            in_set[c] = false;
+            for &t in g.neighbors(c) {
+                if is_target[t] {
+                    cover[t] -= 1;
+                }
+            }
+        }
+    }
+
+    let mut result: Vec<NodeId> = (0..n).filter(|&v| in_set[v]).collect();
+    result.sort_unstable();
+    Some(result)
+}
+
+/// Greedy dominating set for the whole graph (classic ln-approximation):
+/// repeatedly pick the node covering the most uncovered nodes (closed
+/// neighbourhood). Used only by auxiliary experiments; the paper's scheme uses
+/// [`minimal_dominating_subset`] instead.
+pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    let mut num_covered = 0;
+    let mut set = Vec::new();
+    while num_covered < n {
+        let mut best = None;
+        let mut best_gain = 0usize;
+        for v in 0..n {
+            let mut gain = usize::from(!covered[v]);
+            gain += g.neighbors(v).iter().filter(|&&w| !covered[w]).count();
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(v);
+            }
+        }
+        let v = best.expect("some node must cover an uncovered node");
+        set.push(v);
+        if !covered[v] {
+            covered[v] = true;
+            num_covered += 1;
+        }
+        for &w in g.neighbors(v) {
+            if !covered[w] {
+                covered[w] = true;
+                num_covered += 1;
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn neighborhood_of_set_basic() {
+        let g = generators::path(5); // 0-1-2-3-4
+        assert_eq!(neighborhood_of_set(&g, &[0]), vec![1]);
+        assert_eq!(neighborhood_of_set(&g, &[1, 3]), vec![0, 2, 4]);
+        assert_eq!(neighborhood_of_set(&g, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dominates_is_adjacency() {
+        let g = generators::path(3);
+        assert!(dominates(&g, 0, 1));
+        assert!(!dominates(&g, 0, 2));
+        assert!(!dominates(&g, 0, 0));
+    }
+
+    #[test]
+    fn is_dominating_set_detects_coverage() {
+        let g = generators::star(5); // centre 0
+        assert!(is_dominating_set(&g, &[0], &[1, 2, 3, 4]));
+        assert!(!is_dominating_set(&g, &[1], &[2, 3]));
+        // empty target set is trivially dominated
+        assert!(is_dominating_set(&g, &[], &[]));
+    }
+
+    #[test]
+    fn minimality_check_accepts_and_rejects() {
+        let g = generators::path(5); // 0-1-2-3-4
+        // {1,3} dominates {0,2,4} minimally.
+        assert!(is_minimal_dominating_set(&g, &[1, 3], &[0, 2, 4]));
+        // {1,2,3} also dominates but is not minimal (2 has no private target).
+        assert!(!is_minimal_dominating_set(&g, &[1, 2, 3], &[0, 2, 4]));
+        // non-dominating set is not minimal-dominating
+        assert!(!is_minimal_dominating_set(&g, &[1], &[0, 2, 4]));
+    }
+
+    #[test]
+    fn dominator_count_counts_set_neighbors() {
+        let g = generators::cycle(4);
+        assert_eq!(dominator_count(&g, &[1, 3], 0), 2);
+        assert_eq!(dominator_count(&g, &[1], 0), 1);
+        assert_eq!(dominator_count(&g, &[], 0), 0);
+    }
+
+    #[test]
+    fn minimal_subset_none_when_candidates_do_not_dominate() {
+        let g = generators::path(5);
+        assert!(minimal_dominating_subset(&g, &[0], &[3], ReductionOrder::Forward).is_none());
+    }
+
+    #[test]
+    fn minimal_subset_is_minimal_for_all_orders() {
+        let g = generators::grid(3, 4);
+        let candidates: Vec<usize> = g.nodes().collect();
+        let targets: Vec<usize> = g.nodes().collect();
+        for order in [
+            ReductionOrder::Forward,
+            ReductionOrder::Reverse,
+            ReductionOrder::Random(7),
+            ReductionOrder::Random(1234),
+        ] {
+            let sub = minimal_dominating_subset(&g, &candidates, &targets, order).unwrap();
+            assert!(is_minimal_dominating_set(&g, &sub, &targets), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_subset_subset_of_candidates() {
+        let g = generators::cycle(8);
+        let candidates = vec![0, 2, 4, 6];
+        let targets = vec![1, 3, 5, 7];
+        let sub =
+            minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Forward).unwrap();
+        assert!(sub.iter().all(|v| candidates.contains(v)));
+        assert!(is_dominating_set(&g, &sub, &targets));
+    }
+
+    #[test]
+    fn minimal_subset_star_reduces_to_centre() {
+        let g = generators::star(6);
+        let candidates: Vec<usize> = g.nodes().collect();
+        let targets: Vec<usize> = (1..6).collect();
+        let sub =
+            minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Forward).unwrap();
+        assert_eq!(sub, vec![0]);
+    }
+
+    #[test]
+    fn minimal_subset_with_empty_targets_is_empty() {
+        let g = generators::path(4);
+        let sub =
+            minimal_dominating_subset(&g, &[0, 1, 2], &[], ReductionOrder::Forward).unwrap();
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn different_orders_may_differ_but_all_dominate() {
+        let g = generators::complete(6);
+        let candidates: Vec<usize> = g.nodes().collect();
+        let targets: Vec<usize> = g.nodes().collect();
+        let a = minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Forward)
+            .unwrap();
+        let b = minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Reverse)
+            .unwrap();
+        assert!(is_dominating_set(&g, &a, &targets));
+        assert!(is_dominating_set(&g, &b, &targets));
+        // Domination is by adjacency (open neighbourhood), so covering every
+        // node of a clique — including the chosen dominators themselves —
+        // needs exactly two nodes.
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn greedy_dominating_set_dominates_whole_graph() {
+        for g in [
+            generators::path(10),
+            generators::cycle(9),
+            generators::grid(4, 4),
+            generators::star(7),
+        ] {
+            let ds = greedy_dominating_set(&g);
+            // every node is in the set or adjacent to it (closed domination)
+            let mut in_set = vec![false; g.node_count()];
+            for &v in &ds {
+                in_set[v] = true;
+            }
+            for v in g.nodes() {
+                assert!(in_set[v] || g.neighbors(v).iter().any(|&w| in_set[w]));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_dominating_set_star_is_centre() {
+        let g = generators::star(9);
+        assert_eq!(greedy_dominating_set(&g), vec![0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Structural property checks: trees, bipartiteness, degree statistics.
+
+use crate::algorithms::connectivity::is_connected;
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Whether the graph is a tree: connected with exactly `n - 1` edges.
+/// The single-node graph is a tree; the empty graph is not.
+pub fn is_tree(g: &Graph) -> bool {
+    let n = g.node_count();
+    n >= 1 && g.edge_count() == n - 1 && is_connected(g)
+}
+
+/// Whether the graph is bipartite, i.e. 2-colourable.
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Returns a 2-colouring (side 0 / side 1) if the graph is bipartite,
+/// otherwise `None`. Works on disconnected graphs.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.node_count();
+    let mut side = vec![u8::MAX; n];
+    for start in 0..n {
+        if side[start] != u8::MAX {
+            continue;
+        }
+        side[start] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if side[v] == u8::MAX {
+                    side[v] = 1 - side[u];
+                    queue.push_back(v);
+                } else if side[v] == side[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Histogram of node degrees: `hist[d]` is the number of nodes of degree `d`.
+/// The vector has length `max_degree + 1` (empty for the empty graph).
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    if g.node_count() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Number of leaves (degree-1 nodes).
+pub fn leaf_count(g: &Graph) -> usize {
+    g.nodes().filter(|&v| g.degree(v) == 1).count()
+}
+
+/// Whether `g` is a simple cycle: connected, every node of degree exactly 2,
+/// and at least 3 nodes.
+pub fn is_cycle_graph(g: &Graph) -> bool {
+    g.node_count() >= 3
+        && g.nodes().all(|v| g.degree(v) == 2)
+        && is_connected(g)
+}
+
+/// Whether `g` is a path graph: a tree with exactly two leaves (or a single
+/// node, or a single edge).
+pub fn is_path_graph(g: &Graph) -> bool {
+    if !is_tree(g) {
+        return false;
+    }
+    match g.node_count() {
+        1 => true,
+        2 => true,
+        _ => leaf_count(g) == 2 && g.nodes().all(|v| g.degree(v) <= 2),
+    }
+}
+
+/// All nodes of maximum degree.
+pub fn max_degree_nodes(g: &Graph) -> Vec<NodeId> {
+    let d = g.max_degree();
+    g.nodes().filter(|&v| g.degree(v) == d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trees_are_recognised() {
+        assert!(is_tree(&generators::path(7)));
+        assert!(is_tree(&generators::star(5)));
+        assert!(is_tree(&Graph::empty(1)));
+        assert!(!is_tree(&Graph::empty(0)));
+        assert!(!is_tree(&generators::cycle(4)));
+        assert!(!is_tree(&Graph::empty(3)));
+    }
+
+    #[test]
+    fn tree_with_right_edge_count_but_disconnected_is_rejected() {
+        // 4 nodes, 3 edges, but contains a triangle plus an isolated node.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!is_tree(&g));
+    }
+
+    #[test]
+    fn bipartiteness() {
+        assert!(is_bipartite(&generators::path(6)));
+        assert!(is_bipartite(&generators::cycle(6)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(is_bipartite(&generators::grid(3, 4)));
+        assert!(!is_bipartite(&generators::complete(3)));
+        assert!(is_bipartite(&Graph::empty(4)));
+    }
+
+    #[test]
+    fn bipartition_is_a_proper_two_coloring() {
+        let g = generators::grid(4, 4);
+        let side = bipartition(&g).unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(side[u], side[v]);
+        }
+    }
+
+    #[test]
+    fn bipartition_handles_disconnected_graphs() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        assert!(bipartition(&g).is_some());
+    }
+
+    #[test]
+    fn degree_histogram_path() {
+        let g = generators::path(5);
+        assert_eq!(degree_histogram(&g), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn degree_histogram_empty() {
+        assert!(degree_histogram(&Graph::empty(0)).is_empty());
+        assert_eq!(degree_histogram(&Graph::empty(3)), vec![3]);
+    }
+
+    #[test]
+    fn leaf_count_of_star() {
+        assert_eq!(leaf_count(&generators::star(8)), 7);
+        assert_eq!(leaf_count(&generators::cycle(5)), 0);
+    }
+
+    #[test]
+    fn cycle_and_path_recognition() {
+        assert!(is_cycle_graph(&generators::cycle(5)));
+        assert!(!is_cycle_graph(&generators::path(5)));
+        assert!(!is_cycle_graph(&generators::complete(4)));
+        assert!(is_path_graph(&generators::path(5)));
+        assert!(is_path_graph(&Graph::empty(1)));
+        assert!(!is_path_graph(&generators::star(5)));
+        assert!(!is_path_graph(&generators::cycle(5)));
+    }
+
+    #[test]
+    fn max_degree_nodes_star() {
+        assert_eq!(max_degree_nodes(&generators::star(6)), vec![0]);
+        assert_eq!(max_degree_nodes(&generators::cycle(4)).len(), 4);
+    }
+}

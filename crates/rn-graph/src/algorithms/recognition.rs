@@ -1,0 +1,286 @@
+//! Recognition of the special graph classes used by the paper's §5
+//! extensions: series-parallel graphs and grid graphs.
+//!
+//! The conclusion of the paper states that 1-bit labels suffice for broadcast
+//! in series-parallel graphs and in grid graphs. The corresponding labeling
+//! schemes (in `rn-labeling::onebit`) are only defined on those classes, so we
+//! need recognisers to guard them and to validate the generators.
+
+use crate::algorithms::bfs::bfs_distances;
+use crate::algorithms::properties::{is_path_graph, is_tree};
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Whether the graph is (generalised) series-parallel, i.e. has treewidth at
+/// most 2 / contains no K₄ minor.
+///
+/// Uses the classic reduction: repeatedly delete vertices with at most one
+/// distinct neighbour and contract vertices with exactly two distinct
+/// neighbours (adding the bypass edge if absent). The graph is
+/// series-parallel iff the reduction empties it.
+pub fn is_series_parallel(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    // Mutable adjacency as sets of distinct neighbours.
+    let mut adj: Vec<BTreeSet<NodeId>> = (0..n)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut alive_count = n;
+
+    // Worklist of candidate low-degree vertices.
+    let mut work: Vec<NodeId> = (0..n).collect();
+    while alive_count > 0 {
+        let mut progressed = false;
+        let mut next_work = Vec::new();
+        while let Some(v) = work.pop() {
+            if !alive[v] {
+                continue;
+            }
+            let deg = adj[v].len();
+            if deg <= 1 {
+                // Delete v.
+                let nbrs: Vec<NodeId> = adj[v].iter().copied().collect();
+                for &u in &nbrs {
+                    adj[u].remove(&v);
+                    next_work.push(u);
+                }
+                adj[v].clear();
+                alive[v] = false;
+                alive_count -= 1;
+                progressed = true;
+            } else if deg == 2 {
+                // Contract v: connect its two neighbours directly.
+                let mut it = adj[v].iter().copied();
+                let a = it.next().expect("degree 2");
+                let b = it.next().expect("degree 2");
+                adj[a].remove(&v);
+                adj[b].remove(&v);
+                adj[a].insert(b);
+                adj[b].insert(a);
+                adj[v].clear();
+                alive[v] = false;
+                alive_count -= 1;
+                next_work.push(a);
+                next_work.push(b);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Re-scan all remaining vertices once; if still no vertex of
+            // degree <= 2, the graph has a K4 minor.
+            let low: Vec<NodeId> = (0..n).filter(|&v| alive[v] && adj[v].len() <= 2).collect();
+            if low.is_empty() {
+                return false;
+            }
+            work = low;
+        } else {
+            next_work.extend((0..n).filter(|&v| alive[v] && adj[v].len() <= 2));
+            next_work.sort_unstable();
+            next_work.dedup();
+            work = next_work;
+        }
+    }
+    true
+}
+
+/// Attempts to recognise `g` as an `r × c` grid graph (rows × columns, both at
+/// least 1), returning the dimensions on success.
+///
+/// A 1×n grid is a path. For r, c ≥ 2 the algorithm picks a degree-2 corner,
+/// derives candidate coordinates from BFS distances to two corners, and then
+/// verifies that the coordinate assignment is an exact isomorphism onto the
+/// grid. The verification step makes the answer sound: `Some((r, c))` is
+/// returned only if `g` really is that grid.
+pub fn is_grid(g: &Graph) -> Option<(usize, usize)> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some((1, 1));
+    }
+    if is_path_graph(g) {
+        return Some((1, n));
+    }
+    // r, c >= 2 from here on. Corners are exactly the degree-2 nodes.
+    let corners: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) == 2).collect();
+    if corners.len() != 4 {
+        return None;
+    }
+    let u = corners[0];
+    let du = bfs_distances(g, u);
+    for &x in &corners[1..] {
+        let dx = bfs_distances(g, x);
+        // Hypothesis: u = (0,0), x = (0, c-1), so c-1 = dist(u, x).
+        let c_minus_1 = match du[x] {
+            Some(d) if d >= 1 => d,
+            _ => continue,
+        };
+        if let Some(dims) = try_grid_coordinates(g, &du, &dx, c_minus_1) {
+            return Some(dims);
+        }
+    }
+    None
+}
+
+/// Given BFS distances from hypothesised corners (0,0) and (0, c-1), compute
+/// candidate coordinates for every node and verify grid isomorphism.
+fn try_grid_coordinates(
+    g: &Graph,
+    du: &[Option<usize>],
+    dx: &[Option<usize>],
+    c_minus_1: usize,
+) -> Option<(usize, usize)> {
+    let n = g.node_count();
+    let mut coords = Vec::with_capacity(n);
+    for v in 0..n {
+        let a = du[v]? as isize;
+        let b = dx[v]? as isize;
+        let cm1 = c_minus_1 as isize;
+        // In a grid: du = i + j, dx = i + (c-1-j).
+        let two_i = a + b - cm1;
+        let two_j = a - b + cm1;
+        if two_i < 0 || two_j < 0 || two_i % 2 != 0 || two_j % 2 != 0 {
+            return None;
+        }
+        coords.push(((two_i / 2) as usize, (two_j / 2) as usize));
+    }
+    let rows = coords.iter().map(|&(i, _)| i).max()? + 1;
+    let cols = coords.iter().map(|&(_, j)| j).max()? + 1;
+    if rows * cols != n || cols != c_minus_1 + 1 || rows < 2 || cols < 2 {
+        return None;
+    }
+    // Coordinates must be distinct.
+    let mut seen = vec![false; rows * cols];
+    for &(i, j) in &coords {
+        let idx = i * cols + j;
+        if seen[idx] {
+            return None;
+        }
+        seen[idx] = true;
+    }
+    // Edge set must be exactly the grid adjacency.
+    let expected_edges = rows * (cols - 1) + cols * (rows - 1);
+    if g.edge_count() != expected_edges {
+        return None;
+    }
+    for (a, b) in g.edges() {
+        let (i1, j1) = coords[a];
+        let (i2, j2) = coords[b];
+        let manhattan = i1.abs_diff(i2) + j1.abs_diff(j2);
+        if manhattan != 1 {
+            return None;
+        }
+    }
+    Some((rows, cols))
+}
+
+/// Whether `g` is a caterpillar tree: a tree in which removing all leaves
+/// yields a path (or an empty/singleton graph). Used by the workload suite as
+/// an "easy tree" family.
+pub fn is_caterpillar(g: &Graph) -> bool {
+    if !is_tree(g) {
+        return false;
+    }
+    let spine: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) >= 2).collect();
+    if spine.len() <= 1 {
+        return true;
+    }
+    let (sub, _) = g
+        .induced_subgraph(&spine)
+        .expect("spine nodes are valid and distinct");
+    is_path_graph(&sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trees_cycles_and_sp_compositions_are_series_parallel() {
+        assert!(is_series_parallel(&generators::path(10)));
+        assert!(is_series_parallel(&generators::cycle(7)));
+        assert!(is_series_parallel(&generators::star(9)));
+        assert!(is_series_parallel(&Graph::empty(0)));
+        assert!(is_series_parallel(&Graph::empty(3)));
+    }
+
+    #[test]
+    fn k4_and_larger_cliques_are_not_series_parallel() {
+        assert!(!is_series_parallel(&generators::complete(4)));
+        assert!(!is_series_parallel(&generators::complete(6)));
+    }
+
+    #[test]
+    fn triangle_is_series_parallel() {
+        assert!(is_series_parallel(&generators::complete(3)));
+    }
+
+    #[test]
+    fn three_by_three_grid_is_not_series_parallel() {
+        assert!(!is_series_parallel(&generators::grid(3, 3)));
+    }
+
+    #[test]
+    fn two_by_n_grid_is_series_parallel() {
+        // Ladders have treewidth 2.
+        assert!(is_series_parallel(&generators::grid(2, 6)));
+    }
+
+    #[test]
+    fn generated_series_parallel_graphs_pass_recognition() {
+        for seed in 0..5 {
+            let g = generators::series_parallel(30, seed).unwrap();
+            assert!(is_series_parallel(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_recognition_of_generated_grids() {
+        for (r, c) in [(1, 1), (1, 5), (5, 1), (2, 2), (2, 3), (3, 3), (4, 6)] {
+            let g = generators::grid(r, c);
+            let dims = is_grid(&g).unwrap_or_else(|| panic!("grid({r},{c}) not recognised"));
+            // 1×n and n×1 are both reported as (1, n); otherwise dims may be
+            // transposed because a grid and its transpose are isomorphic.
+            let n_ok = dims.0 * dims.1 == r * c;
+            let shape_ok = dims == (r, c) || dims == (c, r) || (r.min(c) == 1 && dims.0.min(dims.1) == 1);
+            assert!(n_ok && shape_ok, "grid({r},{c}) recognised as {dims:?}");
+        }
+    }
+
+    #[test]
+    fn non_grids_are_rejected() {
+        assert!(is_grid(&generators::cycle(6)).is_none());
+        assert!(is_grid(&generators::complete(4)).is_none());
+        assert!(is_grid(&generators::star(6)).is_none());
+        // A grid with one extra diagonal edge is not a grid.
+        let g = generators::grid(3, 3);
+        let g2 = g.with_extra_edges(&[(0, 4)]).unwrap();
+        assert!(is_grid(&g2).is_none());
+    }
+
+    #[test]
+    fn c4_is_the_2x2_grid() {
+        let g = generators::cycle(4);
+        assert_eq!(is_grid(&g), Some((2, 2)));
+    }
+
+    #[test]
+    fn caterpillar_recognition() {
+        assert!(is_caterpillar(&generators::path(6)));
+        assert!(is_caterpillar(&generators::star(5)));
+        assert!(is_caterpillar(&generators::caterpillar(5, 2)));
+        assert!(!is_caterpillar(&generators::cycle(5)));
+        // A "spider" with three long legs is a tree but not a caterpillar.
+        let spider = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
+        )
+        .unwrap();
+        assert!(!is_caterpillar(&spider));
+    }
+}

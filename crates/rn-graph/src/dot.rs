@@ -1,0 +1,66 @@
+//! Graphviz DOT export, used to eyeball example graphs and the Figure 1
+//! reproduction.
+
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format (`graph { ... }`).
+///
+/// `labels`, if provided, must have one entry per node and is rendered as the
+/// node label (e.g. the 2-bit label string assigned by the scheme); otherwise
+/// the node index is used.
+pub fn to_dot(g: &Graph, labels: Option<&[String]>) -> String {
+    let mut out = String::new();
+    out.push_str("graph radio_network {\n");
+    out.push_str("  node [shape=circle];\n");
+    for v in g.nodes() {
+        match labels {
+            Some(ls) => {
+                let _ = writeln!(out, "  n{v} [label=\"{v}:{}\"];", ls[v]);
+            }
+            None => {
+                let _ = writeln!(out, "  n{v} [label=\"{v}\"];");
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  n{u} -- n{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = generators::cycle(4);
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("graph radio_network {"));
+        for v in 0..4 {
+            assert!(dot.contains(&format!("n{v} [label=\"{v}\"]")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_labels_renders_labels() {
+        let g = generators::path(3);
+        let labels = vec!["10".to_string(), "00".to_string(), "01".to_string()];
+        let dot = to_dot(&g, Some(&labels));
+        assert!(dot.contains("n0 [label=\"0:10\"]"));
+        assert!(dot.contains("n2 [label=\"2:01\"]"));
+    }
+
+    #[test]
+    fn dot_of_empty_graph() {
+        let g = Graph::empty(0);
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("graph radio_network"));
+        assert!(!dot.contains(" -- "));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint of an edge is not a valid node index for this graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the model uses simple graphs.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice; the model uses simple
+    /// graphs (no parallel edges).
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// An operation that requires a connected graph was applied to a
+    /// disconnected graph.
+    NotConnected,
+    /// An operation that requires a non-empty graph was applied to an empty
+    /// graph.
+    EmptyGraph,
+    /// A generator was given parameters that cannot produce a valid graph
+    /// (for example `path(0)` or `grid(0, 3)`).
+    InvalidParameters {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "node index {node} out of range for a graph with {node_count} nodes"
+            ),
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) not allowed in a simple graph")
+            }
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn display_duplicate_edge() {
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("duplicate edge"));
+    }
+
+    #[test]
+    fn display_not_connected() {
+        assert_eq!(GraphError::NotConnected.to_string(), "graph is not connected");
+    }
+
+    #[test]
+    fn display_invalid_parameters() {
+        let e = GraphError::InvalidParameters {
+            reason: "n must be positive".into(),
+        };
+        assert!(e.to_string().contains("n must be positive"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::EmptyGraph);
+        assert_eq!(e.to_string(), "graph has no nodes");
+    }
+}

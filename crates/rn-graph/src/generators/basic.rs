@@ -1,0 +1,255 @@
+//! Elementary graph families: paths, cycles, stars, cliques, wheels and
+//! clique-with-tail constructions.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Path graph P_n: nodes `0..n` with edges `i — i+1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1, "path requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("valid path edge");
+    }
+    b.build()
+}
+
+/// Cycle graph C_n.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n).expect("valid cycle edge");
+    }
+    b.build()
+}
+
+/// Star graph with centre 0 and `n - 1` leaves.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i).expect("valid star edge");
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j).expect("valid clique edge");
+        }
+    }
+    b.build()
+}
+
+/// Wheel graph W_n: a cycle on nodes `1..n` plus a hub node 0 adjacent to all
+/// of them.
+///
+/// # Panics
+/// Panics if `n < 4` (the rim needs at least 3 nodes).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4");
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..rim {
+        b.add_edge(1 + i, 1 + (i + 1) % rim).expect("valid rim edge");
+        b.add_edge(0, 1 + i).expect("valid spoke edge");
+    }
+    b.build()
+}
+
+/// Complete bipartite graph K_{a,b}: sides `0..a` and `a..a+b`.
+///
+/// # Panics
+/// Panics if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a >= 1 && b >= 1, "complete_bipartite requires a, b >= 1");
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i, a + j).expect("valid bipartite edge");
+        }
+    }
+    builder.build()
+}
+
+/// Barbell graph: two cliques K_k joined by a path of `bridge` intermediate
+/// nodes (a bridge of 0 means the cliques share one edge endpoint-to-endpoint).
+///
+/// A classic hard case for broadcast: the whole message flow must squeeze
+/// through the bridge.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "barbell requires clique size k >= 2");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    // Left clique: 0..k, right clique: k+bridge..2k+bridge.
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j).expect("left clique edge");
+            b.add_edge(k + bridge + i, k + bridge + j).expect("right clique edge");
+        }
+    }
+    // Bridge path from node k-1 through bridge nodes to node k+bridge.
+    let mut prev = k - 1;
+    for t in 0..bridge {
+        b.add_edge(prev, k + t).expect("bridge edge");
+        prev = k + t;
+    }
+    b.add_edge(prev, k + bridge).expect("bridge to right clique");
+    b.build()
+}
+
+/// Lollipop graph: a clique K_k with a path of `tail` nodes attached.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 2, "lollipop requires clique size k >= 2");
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j).expect("clique edge");
+        }
+    }
+    let mut prev = k - 1;
+    for t in 0..tail {
+        b.add_edge(prev, k + t).expect("tail edge");
+        prev = k + t;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{self, is_connected};
+
+    #[test]
+    fn path_counts() {
+        for n in 1..20 {
+            let g = path(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n - 1);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "path requires n >= 1")]
+    fn path_zero_panics() {
+        let _ = path(0);
+    }
+
+    #[test]
+    fn cycle_counts_and_degrees() {
+        for n in 3..20 {
+            let g = cycle(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n);
+            assert!(g.nodes().all(|v| g.degree(v) == 2));
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle requires n >= 3")]
+    fn cycle_too_small_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+        assert!(is_connected(&g));
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(algorithms::diameter(&g), Some(1));
+        assert_eq!(complete(1).node_count(), 1);
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(7); // hub + 6 rim
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 3));
+        assert_eq!(g.edge_count(), 12);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn wheel_minimum_size() {
+        let g = wheel(4); // hub plus triangle = K4
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!((0..3).all(|v| g.degree(v) == 4));
+        assert!((3..7).all(|v| g.degree(v) == 3));
+        assert!(algorithms::is_bipartite(&g));
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        // two K4s (6 edges each) + 3 bridge edges
+        assert_eq!(g.edge_count(), 15);
+        assert!(is_connected(&g));
+        assert!(!algorithms::is_tree(&g));
+    }
+
+    #[test]
+    fn barbell_without_bridge_nodes() {
+        let g = barbell(3, 0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn lollipop_without_tail_is_clique() {
+        let g = lollipop(5, 0);
+        assert_eq!(g.edge_count(), 10);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph generators: the workload families used throughout the experiments.
+//!
+//! Every generator is deterministic; randomised families take an explicit
+//! `u64` seed so experiments are exactly reproducible. Families with
+//! unconditionally valid parameters panic on degenerate input (e.g. `path(0)`)
+//! because that is a programmer error; families whose parameters can be
+//! invalid in interesting ways return [`Result`].
+
+mod basic;
+mod geometric;
+mod grid;
+mod random;
+mod structured;
+mod trees;
+
+pub use basic::{barbell, complete, complete_bipartite, cycle, lollipop, path, star, wheel};
+pub use geometric::{unit_disk, unit_disk_with_degree, UnitDiskInstance};
+pub use grid::{grid, grid_coordinates, grid_index, ladder, torus};
+pub use random::{gnp_connected, random_bipartite_connected, random_regularish};
+pub use structured::{fan, hypercube, series_parallel, theta};
+pub use trees::{balanced_binary_tree, broom, caterpillar, random_tree, spider};

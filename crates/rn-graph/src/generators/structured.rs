@@ -1,0 +1,216 @@
+//! Structured families: hypercubes, random series-parallel graphs, fans and
+//! theta graphs.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hypercube Q_d on `2^d` nodes; nodes are adjacent iff their indices differ
+/// in exactly one bit.
+///
+/// # Panics
+/// Panics if `dim == 0` or `dim > 20` (the latter to avoid accidental
+/// multi-million-node graphs).
+pub fn hypercube(dim: usize) -> Graph {
+    assert!(dim >= 1 && dim <= 20, "hypercube requires 1 <= dim <= 20");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v, w).expect("hypercube edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random connected series-parallel graph with exactly `n` nodes.
+///
+/// Construction: start from a single edge and repeatedly apply, at random,
+/// either a *series* operation (subdivide a random edge with a new node) or a
+/// *parallel* operation (add a new node adjacent to both endpoints of a random
+/// edge). Both operations add one node and preserve treewidth ≤ 2, so the
+/// result is always series-parallel, connected and simple.
+///
+/// Returns an error if `n < 2`.
+pub fn series_parallel(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: "series_parallel requires n >= 2".into(),
+        });
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Edge list of the evolving graph.
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut node_count = 2;
+    while node_count < n {
+        let w = node_count;
+        node_count += 1;
+        let idx = rng.gen_range(0..edges.len());
+        let (u, v) = edges[idx];
+        if rng.gen_bool(0.5) {
+            // Series: subdivide (u, v) with w.
+            edges.swap_remove(idx);
+            edges.push((u, w));
+            edges.push((w, v));
+        } else {
+            // Parallel: add w adjacent to both u and v.
+            edges.push((u, w));
+            edges.push((w, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Fan graph F_n: a path on nodes `1..n` plus a hub node 0 adjacent to every
+/// path node. Series-parallel, diameter 2.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn fan(n: usize) -> Graph {
+    assert!(n >= 2, "fan requires n >= 2");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i).expect("spoke edge");
+        if i + 1 < n {
+            b.add_edge(i, i + 1).expect("path edge");
+        }
+    }
+    b.build()
+}
+
+/// Generalised theta graph: two terminal nodes (0 and 1) joined by `paths`
+/// internally disjoint paths, each with `internal` internal nodes.
+///
+/// With `internal == 1` every internal node is adjacent to both terminals,
+/// producing heavy collisions at the terminals — a stress test for the
+/// broadcast algorithm.
+///
+/// Returns an error if `paths == 0`, or if `internal == 0 && paths > 1`
+/// (multiple direct edges between the terminals would be parallel edges).
+pub fn theta(paths: usize, internal: usize) -> Result<Graph, GraphError> {
+    if paths == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "theta requires at least one path".into(),
+        });
+    }
+    if internal == 0 && paths > 1 {
+        return Err(GraphError::InvalidParameters {
+            reason: "theta with multiple paths requires at least one internal node per path".into(),
+        });
+    }
+    let n = 2 + paths * internal;
+    let mut b = GraphBuilder::new(n);
+    if internal == 0 {
+        b.add_edge(0, 1).expect("terminal edge");
+        return Ok(b.build());
+    }
+    let mut next = 2;
+    for _ in 0..paths {
+        let mut prev = 0;
+        for _ in 0..internal {
+            b.add_edge(prev, next).expect("path edge");
+            prev = next;
+            next += 1;
+        }
+        b.add_edge(prev, 1).expect("path edge to terminal");
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{diameter, is_connected, is_series_parallel};
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_dim_one_is_an_edge() {
+        let g = hypercube(1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hypercube requires")]
+    fn hypercube_zero_panics() {
+        let _ = hypercube(0);
+    }
+
+    #[test]
+    fn series_parallel_generator_properties() {
+        for seed in 0..10 {
+            let g = series_parallel(25, seed).unwrap();
+            assert_eq!(g.node_count(), 25);
+            assert!(is_connected(&g), "seed {seed}");
+            assert!(is_series_parallel(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn series_parallel_smallest_case() {
+        let g = series_parallel(2, 0).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(series_parallel(1, 0).is_err());
+    }
+
+    #[test]
+    fn series_parallel_deterministic_per_seed() {
+        assert_eq!(series_parallel(30, 5).unwrap(), series_parallel(30, 5).unwrap());
+    }
+
+    #[test]
+    fn fan_structure() {
+        let g = fan(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5 + 4);
+        assert_eq!(g.degree(0), 5);
+        assert!(is_series_parallel(&g));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn fan_minimum_is_single_edge() {
+        let g = fan(2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn theta_structure() {
+        let g = theta(3, 2).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 3);
+        assert!(is_connected(&g));
+        assert!(is_series_parallel(&g));
+    }
+
+    #[test]
+    fn theta_single_internal_node_paths() {
+        let g = theta(4, 1).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn theta_rejects_invalid() {
+        assert!(theta(0, 2).is_err());
+        assert!(theta(3, 0).is_err());
+        assert!(theta(1, 0).is_ok());
+    }
+}

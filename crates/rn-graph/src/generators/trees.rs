@@ -1,0 +1,244 @@
+//! Tree families: balanced binary trees, random trees, caterpillars, spiders
+//! and brooms.
+//!
+//! Trees are an important workload for the broadcast experiments because the
+//! frontier/dominator structure of the labeling scheme is easy to reason about
+//! on them, and because the paper's related work singles out tree radio
+//! networks (topology recognition with short labels).
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Balanced binary tree with `n` nodes; node `i`'s children are `2i + 1` and
+/// `2i + 2` (heap numbering).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn balanced_binary_tree(n: usize) -> Graph {
+    assert!(n >= 1, "balanced_binary_tree requires n >= 1");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i, (i - 1) / 2).expect("valid tree edge");
+    }
+    b.build()
+}
+
+/// Uniformly random labelled tree on `n` nodes, generated from a random
+/// Prüfer sequence with the given seed.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "random_tree requires n >= 1");
+    if n == 1 {
+        return Graph::empty(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("single edge");
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    prufer_to_tree(n, &prufer)
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into the corresponding tree.
+///
+/// # Panics
+/// Panics if the sequence has the wrong length or contains an out-of-range
+/// entry.
+pub fn prufer_to_tree(n: usize, prufer: &[usize]) -> Graph {
+    assert!(n >= 2, "prufer_to_tree requires n >= 2");
+    assert_eq!(prufer.len(), n - 2, "Prüfer sequence must have length n - 2");
+    assert!(
+        prufer.iter().all(|&x| x < n),
+        "Prüfer sequence entries must be < n"
+    );
+    let mut degree = vec![1usize; n];
+    for &x in prufer {
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &x in prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        b.add_edge(leaf, x).expect("valid Prüfer edge");
+        degree[leaf] -= 1;
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            leaves.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(u) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(v) = leaves.pop().expect("two leaves remain");
+    b.add_edge(u, v).expect("final Prüfer edge");
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` extra leaves.
+/// Total node count is `spine * (legs + 1)`.
+///
+/// # Panics
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar requires spine >= 1");
+    let n = spine * (legs + 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..spine.saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("spine edge");
+    }
+    let mut next = spine;
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(i, next).expect("leg edge");
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Spider: `legs` paths of length `leg_len` all attached to a central node 0.
+/// Total node count is `1 + legs * leg_len`.
+///
+/// # Panics
+/// Panics if `legs == 0` or `leg_len == 0`.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(legs >= 1 && leg_len >= 1, "spider requires legs, leg_len >= 1");
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::new(n);
+    let mut next = 1;
+    for _ in 0..legs {
+        let mut prev = 0;
+        for _ in 0..leg_len {
+            b.add_edge(prev, next).expect("leg edge");
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Broom: a path of `handle` nodes with `bristles` leaves attached to its last
+/// node. Total node count is `handle + bristles`.
+///
+/// # Panics
+/// Panics if `handle == 0`.
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    assert!(handle >= 1, "broom requires handle >= 1");
+    let n = handle + bristles;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..handle - 1 {
+        b.add_edge(i, i + 1).expect("handle edge");
+    }
+    for j in 0..bristles {
+        b.add_edge(handle - 1, handle + j).expect("bristle edge");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{is_caterpillar, is_tree};
+
+    #[test]
+    fn balanced_binary_tree_is_tree() {
+        for n in 1..40 {
+            let g = balanced_binary_tree(n);
+            assert!(is_tree(&g), "n = {n}");
+            assert!(g.max_degree() <= 3);
+        }
+    }
+
+    #[test]
+    fn balanced_binary_tree_root_degree() {
+        let g = balanced_binary_tree(7);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn random_tree_is_tree_for_many_seeds() {
+        for seed in 0..10 {
+            for n in [1, 2, 3, 5, 17, 64] {
+                let g = random_tree(n, seed);
+                assert!(is_tree(&g), "n = {n}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_per_seed() {
+        let a = random_tree(20, 42);
+        let b = random_tree(20, 42);
+        let c = random_tree(20, 43);
+        assert_eq!(a, b);
+        // With different seeds the tree is almost surely different; we only
+        // assert both are valid trees to avoid a flaky test.
+        assert!(is_tree(&c));
+    }
+
+    #[test]
+    fn prufer_decoding_known_sequence() {
+        // Prüfer sequence [3, 3, 3] on 5 nodes is the star centred at 3.
+        let g = prufer_to_tree(5, &[3, 3, 3]);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length n - 2")]
+    fn prufer_wrong_length_panics() {
+        let _ = prufer_to_tree(5, &[0, 1]);
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.node_count(), 12);
+        assert!(is_tree(&g));
+        assert!(is_caterpillar(&g));
+        assert_eq!(g.degree(0), 3); // spine end: 1 spine + 2 legs
+        assert_eq!(g.degree(1), 4); // interior spine: 2 spine + 2 legs
+    }
+
+    #[test]
+    fn caterpillar_no_legs_is_path() {
+        let g = caterpillar(5, 0);
+        assert!(crate::algorithms::properties::is_path_graph(&g));
+    }
+
+    #[test]
+    fn spider_structure() {
+        let g = spider(3, 4);
+        assert_eq!(g.node_count(), 13);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(0), 3);
+        assert!(!is_caterpillar(&g));
+    }
+
+    #[test]
+    fn spider_single_leg_is_path() {
+        let g = spider(1, 5);
+        assert!(crate::algorithms::properties::is_path_graph(&g));
+    }
+
+    #[test]
+    fn broom_structure() {
+        let g = broom(4, 5);
+        assert_eq!(g.node_count(), 9);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(3), 1 + 5);
+        assert!(is_caterpillar(&g));
+    }
+
+    #[test]
+    fn broom_no_bristles_is_path() {
+        let g = broom(6, 0);
+        assert!(crate::algorithms::properties::is_path_graph(&g));
+    }
+}

@@ -1,0 +1,182 @@
+//! Baseline labeling schemes from §1.1 of the paper.
+//!
+//! * **Unique identifiers** — every node gets a distinct ⌈log₂ n⌉-bit label;
+//!   the round-robin broadcast algorithm (in `rn-broadcast`) then lets node
+//!   `i` transmit alone in every round `≡ i (mod n)`... except that a
+//!   universal algorithm does not know `n`, so the baseline algorithm uses the
+//!   standard doubling schedule over label values. The scheme's length grows
+//!   with the network, which is exactly what the paper's constant-length
+//!   schemes avoid.
+//! * **Square colouring** — a proper colouring of G² gives labels of length
+//!   ⌈log₂ χ(G²)⌉ ≤ O(log Δ): two nodes with the same colour are at distance
+//!   ≥ 3, so letting colour classes transmit in round-robin order causes no
+//!   collision at any listener with an informed neighbour.
+
+use crate::error::LabelingError;
+use crate::label::{Label, Labeling};
+use rn_graph::algorithms::coloring::{square_graph_coloring, ColoringOrder};
+use rn_graph::algorithms::is_connected;
+use rn_graph::Graph;
+
+/// Scheme name for [`unique_ids`].
+pub const UNIQUE_IDS_NAME: &str = "unique_ids";
+/// Scheme name for [`square_coloring`].
+pub const SQUARE_COLORING_NAME: &str = "square_coloring";
+
+/// Number of bits needed to give each of `n` nodes a distinct label
+/// (at least 1).
+pub fn id_bits(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// The unique-identifier labeling: node `v` is labeled with the binary
+/// representation of `v` in ⌈log₂ n⌉ bits.
+pub fn unique_ids(g: &Graph) -> Result<Labeling, LabelingError> {
+    if g.node_count() == 0 {
+        return Err(LabelingError::EmptyGraph);
+    }
+    if !is_connected(g) {
+        return Err(LabelingError::NotConnected);
+    }
+    let bits = id_bits(g.node_count());
+    let labels = (0..g.node_count())
+        .map(|v| Label::from_value(v as u64, bits))
+        .collect();
+    Ok(Labeling::new(labels, UNIQUE_IDS_NAME))
+}
+
+/// The square-colouring labeling: node `v` is labeled with its colour in a
+/// greedy proper colouring of G², using ⌈log₂ k⌉ bits where `k` is the number
+/// of colours used. Also returns `k`.
+pub fn square_coloring(g: &Graph) -> Result<(Labeling, usize), LabelingError> {
+    square_coloring_with_order(g, ColoringOrder::DegreeDescending)
+}
+
+/// [`square_coloring`] with an explicit greedy-colouring vertex order
+/// (exposed for the ablation experiment).
+pub fn square_coloring_with_order(
+    g: &Graph,
+    order: ColoringOrder,
+) -> Result<(Labeling, usize), LabelingError> {
+    if g.node_count() == 0 {
+        return Err(LabelingError::EmptyGraph);
+    }
+    if !is_connected(g) {
+        return Err(LabelingError::NotConnected);
+    }
+    let (coloring, k) = square_graph_coloring(g, order);
+    let bits = id_bits(k);
+    let labels = coloring
+        .iter()
+        .map(|&c| Label::from_value(c as u64, bits))
+        .collect();
+    Ok((Labeling::new(labels, SQUARE_COLORING_NAME), k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn id_bits_values() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+
+    #[test]
+    fn unique_ids_are_distinct_and_log_n_bits() {
+        let g = generators::gnp_connected(37, 0.1, 0).unwrap();
+        let l = unique_ids(&g).unwrap();
+        assert_eq!(l.length(), 6); // ceil(log2 37)
+        assert_eq!(l.distinct_count(), 37);
+        for v in g.nodes() {
+            assert_eq!(l.get(v).value(), v as u64);
+        }
+    }
+
+    #[test]
+    fn unique_ids_rejects_bad_graphs() {
+        assert!(unique_ids(&Graph::empty(0)).is_err());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(unique_ids(&disconnected).is_err());
+    }
+
+    #[test]
+    fn unique_ids_single_node() {
+        let l = unique_ids(&Graph::empty(1)).unwrap();
+        assert_eq!(l.length(), 1);
+    }
+
+    #[test]
+    fn square_coloring_labels_encode_proper_coloring_of_square() {
+        let g = generators::grid(4, 5);
+        let (l, k) = square_coloring(&g).unwrap();
+        assert!(k >= 2);
+        assert_eq!(l.length(), id_bits(k));
+        // Any two adjacent nodes (distance 1 <= 2) must have different labels.
+        for (u, v) in g.edges() {
+            assert_ne!(l.get(u), l.get(v));
+        }
+        // And any two nodes with a common neighbour (distance 2) as well.
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            for (a_idx, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[a_idx + 1..] {
+                    assert_ne!(l.get(a), l.get(b), "distance-2 nodes {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_coloring_length_scales_with_degree_not_size() {
+        // Long path: Δ = 2 regardless of n, so the label length stays tiny
+        // while unique_ids grows with log n.
+        let g = generators::path(200);
+        let (l, k) = square_coloring(&g).unwrap();
+        assert!(k <= 3);
+        assert!(l.length() <= 2);
+        let ids = unique_ids(&g).unwrap();
+        assert_eq!(ids.length(), 8);
+    }
+
+    #[test]
+    fn square_coloring_on_star_uses_n_colors() {
+        // The square of a star is a clique, so every node gets its own colour.
+        let g = generators::star(9);
+        let (l, k) = square_coloring(&g).unwrap();
+        assert_eq!(k, 9);
+        assert_eq!(l.distinct_count(), 9);
+    }
+
+    #[test]
+    fn square_coloring_rejects_bad_graphs() {
+        assert!(square_coloring(&Graph::empty(0)).is_err());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(square_coloring(&disconnected).is_err());
+    }
+
+    #[test]
+    fn coloring_orders_give_valid_schemes() {
+        let g = generators::hypercube(4);
+        for order in [
+            ColoringOrder::Natural,
+            ColoringOrder::DegreeDescending,
+            ColoringOrder::BfsFromZero,
+        ] {
+            let (l, k) = square_coloring_with_order(&g, order).unwrap();
+            assert!(k >= g.max_degree() + 1);
+            assert_eq!(l.length(), id_bits(k));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Errors produced by labeling-scheme construction.
+
+use std::fmt;
+
+/// Errors raised while constructing a labeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelingError {
+    /// The graph is not connected; the radio-broadcast model requires a
+    /// connected graph (the paper, §1.1).
+    NotConnected,
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// The designated source node is not a node of the graph.
+    SourceOutOfRange {
+        /// The offending source index.
+        source: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// The scheme is only defined on a restricted graph class and the given
+    /// graph is not in that class (e.g. the 1-bit grid scheme on a non-grid).
+    UnsupportedGraphClass {
+        /// The scheme that rejected the graph.
+        scheme: &'static str,
+        /// Description of the required class.
+        required: String,
+    },
+}
+
+impl fmt::Display for LabelingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelingError::NotConnected => {
+                write!(f, "labeling schemes require a connected graph")
+            }
+            LabelingError::EmptyGraph => write!(f, "labeling schemes require a non-empty graph"),
+            LabelingError::SourceOutOfRange { source, node_count } => write!(
+                f,
+                "source node {source} out of range for a graph with {node_count} nodes"
+            ),
+            LabelingError::UnsupportedGraphClass { scheme, required } => {
+                write!(f, "scheme {scheme} requires {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LabelingError::NotConnected.to_string().contains("connected"));
+        assert!(LabelingError::EmptyGraph.to_string().contains("non-empty"));
+        let e = LabelingError::SourceOutOfRange {
+            source: 9,
+            node_count: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = LabelingError::UnsupportedGraphClass {
+            scheme: "grid_onebit",
+            required: "a grid graph".into(),
+        };
+        assert!(e.to_string().contains("grid_onebit"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LabelingError::EmptyGraph);
+        assert!(!e.to_string().is_empty());
+    }
+}

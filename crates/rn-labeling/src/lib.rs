@@ -1,0 +1,45 @@
+//! # rn-labeling
+//!
+//! The paper's contribution: **constant-length labeling schemes** that make
+//! deterministic broadcast feasible in arbitrary radio networks.
+//!
+//! A labeling scheme is a function from the nodes of a graph to short binary
+//! strings, computed with full knowledge of the topology (the "central
+//! monitor" of the paper's motivating scenario). The universal broadcast
+//! algorithms in `rn-broadcast` then run on the labeled network without any
+//! knowledge of the topology — not even its size.
+//!
+//! Implemented schemes:
+//!
+//! * [`lambda`] — the 2-bit scheme **λ** of §2.2, driving algorithm B
+//!   (broadcast in ≤ 2n−3 rounds, Theorem 2.9);
+//! * [`lambda_ack`] — the 3-bit scheme **λ_ack** of §3.1, driving algorithm
+//!   B_ack (acknowledged broadcast, Theorem 3.9);
+//! * [`lambda_arb`] — the 3-bit scheme **λ_arb** of §4.1 for the case where
+//!   the source is unknown at labeling time, driving algorithm B_arb;
+//! * [`baselines`] — the two folklore schemes the paper compares against in
+//!   §1.1: distinct O(log n)-bit identifiers (round-robin broadcast) and an
+//!   O(log Δ)-bit colouring of the square of the graph;
+//! * [`onebit`] — 1-bit schemes for special graph classes, reproducing the
+//!   flavour of the §5 conclusion claims (see DESIGN.md for the exact scope
+//!   of this substitution);
+//! * [`sequences`] — the five-sequence construction (INF/UNINF/FRONTIER/DOM/
+//!   NEW) of §2.1 that underlies λ and is reused by the verification oracles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod error;
+pub mod label;
+pub mod lambda;
+pub mod lambda_ack;
+pub mod lambda_arb;
+pub mod onebit;
+pub mod scheme;
+pub mod sequences;
+
+pub use error::LabelingError;
+pub use label::{Label, Labeling};
+pub use scheme::{LabelingScheme, SchemeKind};
+pub use sequences::SequenceConstruction;

@@ -1,0 +1,127 @@
+//! A uniform interface over the labeling schemes, used by the experiment
+//! harness to sweep over schemes generically.
+
+use crate::error::LabelingError;
+use crate::label::Labeling;
+use crate::{baselines, lambda, lambda_ack, lambda_arb};
+use rn_graph::{Graph, NodeId};
+
+/// A labeling scheme viewed abstractly: a named function from
+/// `(graph, source)` to a labeling.
+///
+/// Schemes that do not need the source (λ_arb, and the baselines) simply
+/// ignore it; keeping a single signature makes sweeping over schemes trivial.
+pub trait LabelingScheme {
+    /// Human-readable scheme name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Computes the labeling for `(g, source)`.
+    fn assign(&self, g: &Graph, source: NodeId) -> Result<Labeling, LabelingError>;
+}
+
+/// The built-in schemes, as a value type convenient for iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// The paper's 2-bit scheme λ (§2.2).
+    Lambda,
+    /// The paper's 3-bit scheme λ_ack (§3.1).
+    LambdaAck,
+    /// The paper's 3-bit unknown-source scheme λ_arb (§4.1).
+    LambdaArb,
+    /// Baseline: distinct ⌈log₂ n⌉-bit identifiers.
+    UniqueIds,
+    /// Baseline: colouring of the square of the graph, ⌈log₂ χ(G²)⌉ bits.
+    SquareColoring,
+}
+
+impl SchemeKind {
+    /// All built-in schemes, in presentation order.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Lambda,
+        SchemeKind::LambdaAck,
+        SchemeKind::LambdaArb,
+        SchemeKind::UniqueIds,
+        SchemeKind::SquareColoring,
+    ];
+
+    /// The constant-length schemes from the paper (excludes the baselines).
+    pub const PAPER_SCHEMES: [SchemeKind; 3] = [
+        SchemeKind::Lambda,
+        SchemeKind::LambdaAck,
+        SchemeKind::LambdaArb,
+    ];
+}
+
+impl LabelingScheme for SchemeKind {
+    fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Lambda => lambda::SCHEME_NAME,
+            SchemeKind::LambdaAck => lambda_ack::SCHEME_NAME,
+            SchemeKind::LambdaArb => lambda_arb::SCHEME_NAME,
+            SchemeKind::UniqueIds => baselines::UNIQUE_IDS_NAME,
+            SchemeKind::SquareColoring => baselines::SQUARE_COLORING_NAME,
+        }
+    }
+
+    fn assign(&self, g: &Graph, source: NodeId) -> Result<Labeling, LabelingError> {
+        match self {
+            SchemeKind::Lambda => Ok(lambda::construct(g, source)?.into_labeling()),
+            SchemeKind::LambdaAck => Ok(lambda_ack::construct(g, source)?.into_labeling()),
+            SchemeKind::LambdaArb => Ok(lambda_arb::construct(g)?.into_labeling()),
+            SchemeKind::UniqueIds => baselines::unique_ids(g),
+            SchemeKind::SquareColoring => Ok(baselines::square_coloring(g)?.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn all_schemes_label_a_grid() {
+        let g = generators::grid(3, 4);
+        for scheme in SchemeKind::ALL {
+            let l = scheme.assign(&g, 0).unwrap();
+            assert_eq!(l.node_count(), 12, "{}", scheme.name());
+            assert!(l.length() >= 1);
+        }
+    }
+
+    #[test]
+    fn paper_schemes_have_constant_length() {
+        for n in [10usize, 50, 200] {
+            let g = generators::gnp_connected(n, 0.08, n as u64).unwrap();
+            for scheme in SchemeKind::PAPER_SCHEMES {
+                let l = scheme.assign(&g, 0).unwrap();
+                assert!(l.length() <= 3, "{} at n = {n}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_length_grows_with_n() {
+        let small = generators::path(8);
+        let large = generators::path(512);
+        let s = SchemeKind::UniqueIds.assign(&small, 0).unwrap();
+        let l = SchemeKind::UniqueIds.assign(&large, 0).unwrap();
+        assert!(l.length() > s.length());
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        let mut names: Vec<_> = SchemeKind::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SchemeKind::ALL.len());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        for scheme in SchemeKind::ALL {
+            assert!(scheme.assign(&disconnected, 0).is_err(), "{}", scheme.name());
+        }
+    }
+}

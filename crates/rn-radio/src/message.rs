@@ -1,0 +1,79 @@
+//! The [`RadioMessage`] trait: what the simulator requires of transmitted
+//! messages.
+//!
+//! The simulator itself never inspects message contents; it only clones them
+//! for delivery and asks for their size in bits so the experiment harness can
+//! account for communication cost (the paper distinguishes algorithms using
+//! constant-size messages from those appending an O(log n)-bit timestamp).
+
+/// A message that can be transmitted over the radio network.
+pub trait RadioMessage: Clone {
+    /// Size of this message in bits, as accounted by the experiments.
+    ///
+    /// The convention used throughout the repository: the source message µ
+    /// counts as 1 bit of "payload type" plus its own length; control words
+    /// ("stay", "ack", ...) count as a constant number of bits; appended round
+    /// numbers count as `ceil(log2(value + 2))` bits. Implementations are free
+    /// to use any consistent convention — the experiments only compare
+    /// relative sizes.
+    fn bit_size(&self) -> usize;
+}
+
+/// Number of bits needed to write `value` in binary (at least 1).
+pub fn bits_for(value: u64) -> usize {
+    (64 - value.leading_zeros()).max(1) as usize
+}
+
+impl RadioMessage for u64 {
+    fn bit_size(&self) -> usize {
+        bits_for(*self)
+    }
+}
+
+impl RadioMessage for String {
+    fn bit_size(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+impl<M: RadioMessage> RadioMessage for Option<M> {
+    fn bit_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, RadioMessage::bit_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_small_values() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn u64_bit_size() {
+        assert_eq!(7u64.bit_size(), 3);
+        assert_eq!(0u64.bit_size(), 1);
+    }
+
+    #[test]
+    fn string_bit_size() {
+        assert_eq!("stay".to_string().bit_size(), 32);
+        assert_eq!(String::new().bit_size(), 0);
+    }
+
+    #[test]
+    fn option_bit_size_adds_presence_bit() {
+        let some: Option<u64> = Some(4);
+        let none: Option<u64> = None;
+        assert_eq!(some.bit_size(), 1 + 3);
+        assert_eq!(none.bit_size(), 1);
+    }
+}

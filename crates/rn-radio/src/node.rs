@@ -1,0 +1,75 @@
+//! The [`RadioNode`] trait: the interface a distributed algorithm implements
+//! to run on the simulator.
+//!
+//! The interface is deliberately minimal and enforces the paper's knowledge
+//! model: a node is constructed from its label (and, for the source, the
+//! source message) by the algorithm crate, and afterwards the simulator only
+//! ever calls [`RadioNode::step`] ("what do you do this round?") and
+//! [`RadioNode::receive`] ("this is what you heard"). No global information —
+//! not the round number, not the topology, not the network size — ever flows
+//! from the simulator into a node.
+
+use crate::message::RadioMessage;
+
+/// What a node does in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Transmit the given message to all neighbours.
+    Transmit(M),
+    /// Stay silent and listen.
+    Listen,
+}
+
+impl<M> Action<M> {
+    /// Whether this action is a transmission.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit(_))
+    }
+
+    /// The transmitted message, if any.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            Action::Transmit(m) => Some(m),
+            Action::Listen => None,
+        }
+    }
+}
+
+/// A node of the radio network running a deterministic distributed algorithm.
+///
+/// The simulator drives each node through the same two calls every round, in
+/// this order:
+///
+/// 1. [`step`](RadioNode::step) — the node decides to transmit or listen,
+///    based only on its internal state (label + history);
+/// 2. [`receive`](RadioNode::receive) — **only if the node listened**, it is
+///    told what it heard: `Some(msg)` if exactly one neighbour transmitted,
+///    `None` otherwise (silence and collision are indistinguishable, as the
+///    model has no collision detection).
+///
+/// Transmitting nodes get no feedback at all for that round.
+pub trait RadioNode {
+    /// The message type this protocol exchanges.
+    type Msg: RadioMessage;
+
+    /// Decide this round's action.
+    fn step(&mut self) -> Action<Self::Msg>;
+
+    /// Observe the outcome of a listening round.
+    fn receive(&mut self, heard: Option<&Self::Msg>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let t: Action<u64> = Action::Transmit(5);
+        let l: Action<u64> = Action::Listen;
+        assert!(t.is_transmit());
+        assert!(!l.is_transmit());
+        assert_eq!(t.message(), Some(&5));
+        assert_eq!(l.message(), None);
+    }
+}

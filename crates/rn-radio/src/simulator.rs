@@ -1,0 +1,463 @@
+//! The synchronous round-by-round simulator.
+//!
+//! [`Simulator`] owns the graph and one [`RadioNode`] per graph node, and
+//! executes the radio model of §1.1 of the paper faithfully:
+//!
+//! * every round, every node chooses to transmit or listen
+//!   ([`RadioNode::step`]);
+//! * a listening node receives a message iff exactly one of its neighbours
+//!   transmitted; otherwise it observes nothing (and cannot distinguish
+//!   silence from collision);
+//! * transmitting nodes observe nothing.
+//!
+//! The simulator records a full [`Trace`] for the harness and supports
+//! flexible stop conditions so experiments can run "until all nodes are
+//! informed", "for exactly k rounds", or "until the trace goes quiet".
+
+use crate::node::{Action, RadioNode};
+use crate::trace::{NodeEvent, RoundRecord, Trace};
+use rn_graph::{Graph, NodeId};
+
+/// When the simulation should stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run exactly this many rounds.
+    AfterRounds(u64),
+    /// Run until a round in which nobody transmits (the network has gone
+    /// quiet), or until the given safety cap, whichever comes first.
+    QuietOrCap(u64),
+    /// Run until nobody has transmitted for `quiet` consecutive rounds, or
+    /// until the `cap`, whichever comes first. Useful for protocols (like
+    /// Algorithm B) that legitimately have isolated silent rounds in the
+    /// middle of an execution.
+    QuietFor {
+        /// Number of consecutive silent rounds that ends the run.
+        quiet: u64,
+        /// Safety cap on the total number of rounds.
+        cap: u64,
+    },
+}
+
+/// Why the simulation stopped and how long it ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of rounds executed.
+    pub rounds_executed: u64,
+    /// Whether the run ended because a user predicate returned true.
+    pub predicate_satisfied: bool,
+    /// Whether the run ended because the network went quiet (only possible
+    /// with [`StopCondition::QuietOrCap`]).
+    pub went_quiet: bool,
+}
+
+/// The synchronous radio-network simulator.
+pub struct Simulator<N: RadioNode> {
+    graph: Graph,
+    nodes: Vec<N>,
+    trace: Trace<N::Msg>,
+    round: u64,
+    record_trace: bool,
+}
+
+impl<N: RadioNode> Simulator<N> {
+    /// Creates a simulator for `graph` with one protocol instance per node.
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() != graph.node_count()`.
+    pub fn new(graph: Graph, nodes: Vec<N>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            graph.node_count(),
+            "need exactly one protocol instance per graph node"
+        );
+        Simulator {
+            graph,
+            nodes,
+            trace: Trace::new(),
+            round: 0,
+            record_trace: true,
+        }
+    }
+
+    /// Disables trace recording (saves memory for very long benchmark runs).
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Read access to the node states (omniscient harness view; the nodes
+    /// themselves never see each other).
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<N::Msg> {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning the trace and the final node states.
+    pub fn into_parts(self) -> (Trace<N::Msg>, Vec<N>) {
+        (self.trace, self.nodes)
+    }
+
+    /// Number of rounds executed so far.
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Executes a single round and returns the number of transmitters.
+    pub fn step_round(&mut self) -> usize {
+        self.round += 1;
+        let n = self.graph.node_count();
+
+        // Phase 1: every node decides.
+        let actions: Vec<Action<N::Msg>> = self.nodes.iter_mut().map(RadioNode::step).collect();
+        let transmitting: Vec<bool> = actions.iter().map(Action::is_transmit).collect();
+        let transmitter_count = transmitting.iter().filter(|&&t| t).count();
+
+        // Phase 2: delivery. A listener hears a message iff exactly one
+        // neighbour transmitted.
+        let mut events: Vec<NodeEvent<N::Msg>> = Vec::with_capacity(if self.record_trace { n } else { 0 });
+        for v in 0..n {
+            match &actions[v] {
+                Action::Transmit(m) => {
+                    if self.record_trace {
+                        events.push(NodeEvent::Transmitted(m.clone()));
+                    }
+                }
+                Action::Listen => {
+                    let mut tx_neighbors = self
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&w| transmitting[w]);
+                    let first: Option<NodeId> = tx_neighbors.next();
+                    let second: Option<NodeId> = tx_neighbors.next();
+                    match (first, second) {
+                        (Some(w), None) => {
+                            let msg = actions[w].message().expect("w transmits");
+                            self.nodes[v].receive(Some(msg));
+                            if self.record_trace {
+                                events.push(NodeEvent::Heard {
+                                    from: w,
+                                    message: msg.clone(),
+                                });
+                            }
+                        }
+                        (Some(_), Some(_)) => {
+                            // Collision: indistinguishable from silence for
+                            // the node.
+                            self.nodes[v].receive(None);
+                            if self.record_trace {
+                                let count = self
+                                    .graph
+                                    .neighbors(v)
+                                    .iter()
+                                    .filter(|&&w| transmitting[w])
+                                    .count();
+                                events.push(NodeEvent::Collision {
+                                    transmitting_neighbors: count,
+                                });
+                            }
+                        }
+                        (None, _) => {
+                            self.nodes[v].receive(None);
+                            if self.record_trace {
+                                events.push(NodeEvent::Silence);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.record_trace {
+            self.trace.rounds.push(RoundRecord {
+                round: self.round,
+                events,
+            });
+        }
+        transmitter_count
+    }
+
+    /// Runs until the stop condition is met or `predicate` (evaluated after
+    /// each round, with harness-level omniscience) returns true.
+    pub fn run_until<P>(&mut self, stop: StopCondition, mut predicate: P) -> RunOutcome
+    where
+        P: FnMut(&Self) -> bool,
+    {
+        let (cap, quiet_needed) = match stop {
+            StopCondition::AfterRounds(k) => (k, None),
+            StopCondition::QuietOrCap(k) => (k, Some(1)),
+            StopCondition::QuietFor { quiet, cap } => (cap, Some(quiet)),
+        };
+        let start = self.round;
+        let mut quiet_streak = 0u64;
+        while self.round - start < cap {
+            let transmitters = self.step_round();
+            if predicate(self) {
+                return RunOutcome {
+                    rounds_executed: self.round - start,
+                    predicate_satisfied: true,
+                    went_quiet: false,
+                };
+            }
+            if transmitters == 0 {
+                quiet_streak += 1;
+            } else {
+                quiet_streak = 0;
+            }
+            if let Some(needed) = quiet_needed {
+                if quiet_streak >= needed {
+                    return RunOutcome {
+                        rounds_executed: self.round - start,
+                        predicate_satisfied: false,
+                        went_quiet: true,
+                    };
+                }
+            }
+        }
+        RunOutcome {
+            rounds_executed: self.round - start,
+            predicate_satisfied: false,
+            went_quiet: false,
+        }
+    }
+
+    /// Runs exactly `rounds` rounds (unless a predicate is wanted, use
+    /// [`run_until`](Self::run_until)).
+    pub fn run_rounds(&mut self, rounds: u64) -> RunOutcome {
+        self.run_until(StopCondition::AfterRounds(rounds), |_| false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    /// Test protocol: node 0 ("source") transmits `42` in its first round and
+    /// then stays silent; everyone else listens forever and remembers what it
+    /// heard.
+    struct OneShot {
+        is_source: bool,
+        sent: bool,
+        heard: Option<u64>,
+        listen_outcomes: Vec<Option<u64>>,
+    }
+
+    impl OneShot {
+        fn new(is_source: bool) -> Self {
+            OneShot {
+                is_source,
+                sent: false,
+                heard: None,
+                listen_outcomes: Vec::new(),
+            }
+        }
+    }
+
+    impl RadioNode for OneShot {
+        type Msg = u64;
+        fn step(&mut self) -> Action<u64> {
+            if self.is_source && !self.sent {
+                self.sent = true;
+                Action::Transmit(42)
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, heard: Option<&u64>) {
+            let h = heard.copied();
+            self.listen_outcomes.push(h);
+            if self.heard.is_none() {
+                self.heard = h;
+            }
+        }
+    }
+
+    /// Protocol in which the given set of nodes all transmit in round 1.
+    struct Simultaneous {
+        transmit_first: bool,
+        done: bool,
+        heard: Option<u64>,
+        listened_rounds: usize,
+    }
+
+    impl RadioNode for Simultaneous {
+        type Msg = u64;
+        fn step(&mut self) -> Action<u64> {
+            if self.transmit_first && !self.done {
+                self.done = true;
+                Action::Transmit(7)
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, heard: Option<&u64>) {
+            self.listened_rounds += 1;
+            if self.heard.is_none() {
+                self.heard = heard.copied();
+            }
+        }
+    }
+
+    fn one_shot_sim(g: Graph) -> Simulator<OneShot> {
+        let nodes: Vec<OneShot> = (0..g.node_count()).map(|v| OneShot::new(v == 0)).collect();
+        Simulator::new(g, nodes)
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol instance per graph node")]
+    fn mismatched_node_count_panics() {
+        let g = generators::path(3);
+        let _ = Simulator::new(g, vec![OneShot::new(true)]);
+    }
+
+    #[test]
+    fn single_transmitter_is_heard_by_all_neighbors() {
+        let g = generators::star(5); // 0 is the centre
+        let mut sim = one_shot_sim(g);
+        sim.step_round();
+        for v in 1..5 {
+            assert_eq!(sim.nodes()[v].heard, Some(42), "leaf {v}");
+        }
+        // Source transmitted, so it observed nothing (receive never called).
+        assert!(sim.nodes()[0].listen_outcomes.is_empty());
+    }
+
+    #[test]
+    fn non_neighbors_hear_nothing() {
+        let g = generators::path(3); // 0 - 1 - 2
+        let mut sim = one_shot_sim(g);
+        sim.step_round();
+        assert_eq!(sim.nodes()[1].heard, Some(42));
+        assert_eq!(sim.nodes()[2].heard, None);
+    }
+
+    #[test]
+    fn collision_delivers_nothing() {
+        // Path 0 - 1 - 2: nodes 0 and 2 transmit simultaneously; node 1 must
+        // hear nothing (collision without detection).
+        let g = generators::path(3);
+        let nodes = vec![
+            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous { transmit_first: false, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+        ];
+        let mut sim = Simulator::new(g, nodes);
+        sim.step_round();
+        assert_eq!(sim.nodes()[1].heard, None);
+        assert_eq!(sim.nodes()[1].listened_rounds, 1);
+        // Trace records a collision with 2 transmitting neighbours.
+        assert_eq!(sim.trace().rounds[0].collision_nodes(), vec![1]);
+        match &sim.trace().rounds[0].events[1] {
+            NodeEvent::Collision { transmitting_neighbors } => {
+                assert_eq!(*transmitting_neighbors, 2)
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collision_indistinguishable_from_silence_at_the_node() {
+        // From the node's perspective, a collision round and a silent round
+        // deliver exactly the same observation (None).
+        let g = generators::path(3);
+        let nodes = vec![
+            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous { transmit_first: false, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+        ];
+        let mut sim = Simulator::new(g, nodes);
+        sim.step_round(); // collision at node 1
+        sim.step_round(); // silence everywhere
+        // Both rounds look identical to node 1 (None twice).
+        assert_eq!(sim.nodes()[1].listened_rounds, 2);
+        assert_eq!(sim.nodes()[1].heard, None);
+    }
+
+    #[test]
+    fn trace_records_rounds_and_transmitters() {
+        let g = generators::path(4);
+        let mut sim = one_shot_sim(g);
+        sim.run_rounds(3);
+        assert_eq!(sim.trace().len(), 3);
+        assert_eq!(sim.trace().rounds[0].transmitters(), vec![0]);
+        assert!(sim.trace().rounds[1].transmitters().is_empty());
+        assert_eq!(sim.trace().transmit_rounds(0), vec![1]);
+        assert_eq!(sim.trace().first_receive_round(1), Some(1));
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let g = generators::star(6);
+        let mut sim = one_shot_sim(g);
+        let outcome = sim.run_until(StopCondition::AfterRounds(100), |s| {
+            s.nodes().iter().skip(1).all(|n| n.heard.is_some())
+        });
+        assert!(outcome.predicate_satisfied);
+        assert_eq!(outcome.rounds_executed, 1);
+        assert_eq!(sim.current_round(), 1);
+    }
+
+    #[test]
+    fn quiet_detection_stops_when_no_one_transmits() {
+        let g = generators::path(3);
+        let mut sim = one_shot_sim(g);
+        let outcome = sim.run_until(StopCondition::QuietOrCap(50), |_| false);
+        // Round 1: source transmits; round 2: silence -> quiet.
+        assert!(outcome.went_quiet);
+        assert_eq!(outcome.rounds_executed, 2);
+    }
+
+    #[test]
+    fn after_rounds_cap_reached() {
+        let g = generators::path(3);
+        let mut sim = one_shot_sim(g);
+        let outcome = sim.run_rounds(5);
+        assert_eq!(outcome.rounds_executed, 5);
+        assert!(!outcome.predicate_satisfied);
+        assert!(!outcome.went_quiet);
+    }
+
+    #[test]
+    fn without_trace_records_nothing() {
+        let g = generators::star(4);
+        let nodes: Vec<OneShot> = (0..4).map(|v| OneShot::new(v == 0)).collect();
+        let mut sim = Simulator::new(g, nodes).without_trace();
+        sim.run_rounds(3);
+        assert!(sim.trace().is_empty());
+        // Delivery still works without the trace.
+        assert_eq!(sim.nodes()[1].heard, Some(42));
+    }
+
+    #[test]
+    fn into_parts_returns_trace_and_nodes() {
+        let g = generators::path(2);
+        let mut sim = one_shot_sim(g);
+        sim.run_rounds(2);
+        let (trace, nodes) = sim.into_parts();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].heard, Some(42));
+    }
+
+    #[test]
+    fn multiple_sequential_runs_accumulate_rounds() {
+        let g = generators::path(3);
+        let mut sim = one_shot_sim(g);
+        sim.run_rounds(2);
+        sim.run_rounds(3);
+        assert_eq!(sim.current_round(), 5);
+        assert_eq!(sim.trace().len(), 5);
+        assert_eq!(sim.trace().rounds.last().unwrap().round, 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Aggregate statistics computed from an execution [`Trace`].
+//!
+//! The experiments report these alongside the round counts: number of
+//! transmissions, collisions, and total/maximum message size in bits. They
+//! quantify the paper's remarks about message sizes (algorithm B needs only
+//! the source message and a constant-size "stay" word; B_ack appends an
+//! O(log n)-bit round number).
+
+use crate::message::RadioMessage;
+use crate::trace::{NodeEvent, Trace};
+
+/// Aggregate statistics of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutionStats {
+    /// Number of rounds in the trace.
+    pub rounds: u64,
+    /// Total number of transmissions over all rounds.
+    pub transmissions: usize,
+    /// Total number of successful receptions.
+    pub receptions: usize,
+    /// Total number of (node, round) pairs at which a collision occurred.
+    pub collisions: usize,
+    /// Number of rounds in which nobody transmitted.
+    pub silent_rounds: u64,
+    /// Maximum number of simultaneous transmitters in any round.
+    pub max_transmitters_per_round: usize,
+    /// Total number of bits transmitted.
+    pub total_bits: usize,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+}
+
+impl ExecutionStats {
+    /// Computes statistics from a trace.
+    pub fn from_trace<M: RadioMessage>(trace: &Trace<M>) -> Self {
+        let mut stats = ExecutionStats {
+            rounds: trace.len() as u64,
+            ..Default::default()
+        };
+        for round in &trace.rounds {
+            let mut tx_this_round = 0usize;
+            for event in &round.events {
+                match event {
+                    NodeEvent::Transmitted(m) => {
+                        tx_this_round += 1;
+                        stats.transmissions += 1;
+                        let bits = m.bit_size();
+                        stats.total_bits += bits;
+                        stats.max_message_bits = stats.max_message_bits.max(bits);
+                    }
+                    NodeEvent::Heard { .. } => stats.receptions += 1,
+                    NodeEvent::Collision { .. } => stats.collisions += 1,
+                    NodeEvent::Silence => {}
+                }
+            }
+            if tx_this_round == 0 {
+                stats.silent_rounds += 1;
+            }
+            stats.max_transmitters_per_round = stats.max_transmitters_per_round.max(tx_this_round);
+        }
+        stats
+    }
+
+    /// Average transmissions per round (0.0 for an empty trace).
+    pub fn avg_transmissions_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.transmissions as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RoundRecord;
+
+    fn trace() -> Trace<u64> {
+        Trace {
+            rounds: vec![
+                RoundRecord {
+                    round: 1,
+                    events: vec![
+                        NodeEvent::Transmitted(9),
+                        NodeEvent::Heard { from: 0, message: 9 },
+                        NodeEvent::Silence,
+                    ],
+                },
+                RoundRecord {
+                    round: 2,
+                    events: vec![
+                        NodeEvent::Transmitted(255),
+                        NodeEvent::Transmitted(1),
+                        NodeEvent::Collision { transmitting_neighbors: 2 },
+                    ],
+                },
+                RoundRecord {
+                    round: 3,
+                    events: vec![NodeEvent::Silence, NodeEvent::Silence, NodeEvent::Silence],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_from_trace() {
+        let s = ExecutionStats::from_trace(&trace());
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.transmissions, 3);
+        assert_eq!(s.receptions, 1);
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.silent_rounds, 1);
+        assert_eq!(s.max_transmitters_per_round, 2);
+        assert_eq!(s.total_bits, 4 + 8 + 1);
+        assert_eq!(s.max_message_bits, 8);
+        assert!((s.avg_transmissions_per_round() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_trace() {
+        let s = ExecutionStats::from_trace(&Trace::<u64>::new());
+        assert_eq!(s, ExecutionStats::default());
+        assert_eq!(s.avg_transmissions_per_round(), 0.0);
+    }
+}

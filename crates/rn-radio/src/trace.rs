@@ -1,0 +1,220 @@
+//! Execution traces: a per-round record of who transmitted, who heard what,
+//! and where collisions happened.
+//!
+//! Traces are what the experiment harness uses to reproduce Figure 1 of the
+//! paper (the per-node transmit/receive round numbers) and to verify the
+//! characterisation of Lemma 2.8 (exactly the DOM_i nodes transmit in round
+//! 2i−1, exactly the NEW_i nodes are newly informed).
+
+use crate::message::RadioMessage;
+use rn_graph::NodeId;
+
+/// What happened at one node in one round, as seen by an omniscient observer
+/// (the nodes themselves never see this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent<M> {
+    /// The node transmitted the given message.
+    Transmitted(M),
+    /// The node listened and heard a message from the given neighbour.
+    Heard {
+        /// The transmitting neighbour.
+        from: NodeId,
+        /// The message received.
+        message: M,
+    },
+    /// The node listened and heard nothing because two or more neighbours
+    /// transmitted simultaneously.
+    Collision {
+        /// Number of neighbours that transmitted.
+        transmitting_neighbors: usize,
+    },
+    /// The node listened and heard nothing because no neighbour transmitted.
+    Silence,
+}
+
+/// Complete record of one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord<M> {
+    /// 1-based round number (the paper numbers rounds from 1).
+    pub round: u64,
+    /// Per-node events, indexed by node id.
+    pub events: Vec<NodeEvent<M>>,
+}
+
+impl<M: RadioMessage> RoundRecord<M> {
+    /// Nodes that transmitted in this round, in increasing order.
+    pub fn transmitters(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, NodeEvent::Transmitted(_)))
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Nodes that successfully received a message in this round.
+    pub fn receivers(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, NodeEvent::Heard { .. }))
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Nodes at which a collision occurred in this round.
+    pub fn collision_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, NodeEvent::Collision { .. }))
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Total number of bits transmitted in this round.
+    pub fn bits_transmitted(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                NodeEvent::Transmitted(m) => m.bit_size(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A full execution trace: one [`RoundRecord`] per executed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<M> {
+    /// The per-round records in execution order (index 0 is round 1).
+    pub rounds: Vec<RoundRecord<M>>,
+}
+
+impl<M: RadioMessage> Trace<M> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { rounds: Vec::new() }
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// All rounds in which node `v` transmitted (1-based round numbers).
+    pub fn transmit_rounds(&self, v: NodeId) -> Vec<u64> {
+        self.rounds
+            .iter()
+            .filter(|r| matches!(r.events.get(v), Some(NodeEvent::Transmitted(_))))
+            .map(|r| r.round)
+            .collect()
+    }
+
+    /// All rounds in which node `v` successfully received a message.
+    pub fn receive_rounds(&self, v: NodeId) -> Vec<u64> {
+        self.rounds
+            .iter()
+            .filter(|r| matches!(r.events.get(v), Some(NodeEvent::Heard { .. })))
+            .map(|r| r.round)
+            .collect()
+    }
+
+    /// The first round in which node `v` successfully received a message.
+    pub fn first_receive_round(&self, v: NodeId) -> Option<u64> {
+        self.receive_rounds(v).into_iter().next()
+    }
+
+    /// All rounds in which a collision occurred at node `v`.
+    pub fn collision_rounds(&self, v: NodeId) -> Vec<u64> {
+        self.rounds
+            .iter()
+            .filter(|r| matches!(r.events.get(v), Some(NodeEvent::Collision { .. })))
+            .map(|r| r.round)
+            .collect()
+    }
+
+    /// The message node `v` heard in a specific round, if any.
+    pub fn heard_in_round(&self, v: NodeId, round: u64) -> Option<&M> {
+        self.rounds
+            .iter()
+            .find(|r| r.round == round)
+            .and_then(|r| match r.events.get(v) {
+                Some(NodeEvent::Heard { message, .. }) => Some(message),
+                _ => None,
+            })
+    }
+}
+
+impl<M: RadioMessage> Default for Trace<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace<u64> {
+        Trace {
+            rounds: vec![
+                RoundRecord {
+                    round: 1,
+                    events: vec![
+                        NodeEvent::Transmitted(9),
+                        NodeEvent::Heard { from: 0, message: 9 },
+                        NodeEvent::Silence,
+                    ],
+                },
+                RoundRecord {
+                    round: 2,
+                    events: vec![
+                        NodeEvent::Silence,
+                        NodeEvent::Transmitted(9),
+                        NodeEvent::Collision {
+                            transmitting_neighbors: 2,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_record_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.rounds[0].transmitters(), vec![0]);
+        assert_eq!(t.rounds[0].receivers(), vec![1]);
+        assert!(t.rounds[0].collision_nodes().is_empty());
+        assert_eq!(t.rounds[1].collision_nodes(), vec![2]);
+        assert_eq!(t.rounds[0].bits_transmitted(), 4); // 9 needs 4 bits
+    }
+
+    #[test]
+    fn trace_per_node_queries() {
+        let t = sample_trace();
+        assert_eq!(t.transmit_rounds(0), vec![1]);
+        assert_eq!(t.transmit_rounds(1), vec![2]);
+        assert_eq!(t.receive_rounds(1), vec![1]);
+        assert_eq!(t.first_receive_round(1), Some(1));
+        assert_eq!(t.first_receive_round(2), None);
+        assert_eq!(t.collision_rounds(2), vec![2]);
+        assert_eq!(t.heard_in_round(1, 1), Some(&9));
+        assert_eq!(t.heard_in_round(1, 2), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t: Trace<u64> = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.first_receive_round(0), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Scheme comparison on a single network: how the paper's constant-length
+//! schemes stack up against the folklore baselines of §1.1, on the same
+//! topology and source.
+//!
+//! ```text
+//! cargo run --example scheme_comparison
+//! ```
+
+use radio_labeling::broadcast::runner::{
+    run_broadcast, run_coloring_broadcast, run_unique_id_broadcast, BroadcastResult,
+};
+use radio_labeling::broadcast::runner::run_acknowledged_broadcast;
+use radio_labeling::graph::generators;
+
+fn describe(name: &str, r: &BroadcastResult) {
+    println!(
+        "  {name:<16} label bits: {:>2}   distinct labels: {:>3}   completion round: {:>5}   \
+         transmissions: {:>5}   largest message: {:>2} bits",
+        r.label_length,
+        r.distinct_labels,
+        r.completion_round
+            .map_or("-".to_string(), |c| c.to_string()),
+        r.stats.transmissions,
+        r.stats.max_message_bits,
+    );
+}
+
+fn main() {
+    // A barbell network: two dense clusters joined by a thin bridge — the
+    // kind of topology where collisions at the bridge hurt naive flooding.
+    let network = generators::barbell(12, 4);
+    let source = 0;
+    println!(
+        "network: barbell with {} nodes, {} edges, max degree {}\n",
+        network.node_count(),
+        network.edge_count(),
+        network.max_degree()
+    );
+
+    let lambda = run_broadcast(&network, source, 7).expect("connected");
+    let ids = run_unique_id_broadcast(&network, source, 7).expect("connected");
+    let colors = run_coloring_broadcast(&network, source, 7).expect("connected");
+
+    println!("plain broadcast:");
+    describe("lambda (2-bit)", &lambda);
+    describe("unique ids", &ids);
+    describe("square coloring", &colors);
+
+    let ack = run_acknowledged_broadcast(&network, source, 7).expect("connected");
+    println!("\nacknowledged broadcast (lambda_ack, 3-bit labels):");
+    describe("lambda_ack", &ack.broadcast);
+    println!(
+        "  source learned of completion in round {} (broadcast finished in round {})",
+        ack.ack_round.expect("ack arrives"),
+        ack.broadcast.completion_round.expect("completes"),
+    );
+
+    let n = network.node_count();
+    println!(
+        "\nTheorem 2.9 bound for this network: 2n-3 = {} rounds; every algorithm above that \
+         completed within its own guarantee did so deterministically, with no collision detection.",
+        2 * n - 3
+    );
+}

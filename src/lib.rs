@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the workspace crates under one name.
+//!
+//! Downstream users can depend on `radio-labeling` alone and reach every
+//! sub-crate through the re-exports below.
+
+pub use rn_broadcast as broadcast;
+pub use rn_experiments as experiments;
+pub use rn_graph as graph;
+pub use rn_labeling as labeling;
+pub use rn_radio as radio;

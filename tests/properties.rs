@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) on randomly generated connected radio
+//! networks: the paper's guarantees must hold for *every* graph, so we let
+//! proptest hunt for counterexamples.
+
+use proptest::prelude::*;
+use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::verify;
+use radio_labeling::graph::{algorithms, generators, Graph};
+use radio_labeling::labeling::{lambda, lambda_ack, lambda_arb, SequenceConstruction};
+
+/// Strategy: a random connected graph of 2..=48 nodes (mixing trees, sparse
+/// and dense G(n, p) samples) plus a valid source index.
+fn connected_graph_and_source() -> impl Strategy<Value = (Graph, usize)> {
+    (2usize..=48, any::<u64>(), 0usize..3).prop_flat_map(|(n, seed, kind)| {
+        let g = match kind {
+            0 => generators::random_tree(n, seed),
+            1 => generators::gnp_connected(n, 0.12, seed).expect("valid parameters"),
+            _ => generators::gnp_connected(n, 0.4, seed).expect("valid parameters"),
+        };
+        let n = g.node_count();
+        (Just(g), 0..n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn broadcast_always_completes_within_2n_minus_3((g, source) in connected_graph_and_source()) {
+        let n = g.node_count();
+        let result = runner::run_broadcast(&g, source, 7).unwrap();
+        prop_assert!(result.completed());
+        prop_assert!(verify::check_theorem_2_9(result.completion_round, n).is_ok());
+    }
+
+    #[test]
+    fn acknowledgement_always_arrives_in_window((g, source) in connected_graph_and_source()) {
+        let n = g.node_count();
+        let result = runner::run_acknowledged_broadcast(&g, source, 7).unwrap();
+        prop_assert!(verify::check_theorem_3_9(
+            result.broadcast.completion_round,
+            result.ack_round,
+            n
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn labels_stay_constant_length_and_few((g, source) in connected_graph_and_source()) {
+        let l = lambda::construct(&g, source).unwrap();
+        prop_assert_eq!(l.labeling().length(), 2);
+        prop_assert!(l.labeling().distinct_count() <= 4);
+
+        let la = lambda_ack::construct(&g, source).unwrap();
+        prop_assert_eq!(la.labeling().length(), 3);
+        prop_assert!(la.labeling().distinct_count() <= 5);
+        for forbidden in lambda_ack::forbidden_labels() {
+            prop_assert!(la.labeling().nodes_with_label(forbidden).is_empty());
+        }
+
+        let lb = lambda_arb::construct(&g).unwrap();
+        prop_assert_eq!(lb.labeling().length(), 3);
+        prop_assert!(lb.labeling().distinct_count() <= 6);
+    }
+
+    #[test]
+    fn sequence_construction_invariants((g, source) in connected_graph_and_source()) {
+        let c = SequenceConstruction::build(
+            &g,
+            source,
+            radio_labeling::graph::algorithms::ReductionOrder::Forward,
+        )
+        .unwrap();
+        // Lemma 2.6: ell <= n.
+        prop_assert!(c.ell() <= g.node_count());
+        // Corollary 2.7: the NEW sets partition V \ {source}.
+        let mut covered = vec![false; g.node_count()];
+        for stage in c.stages() {
+            for &v in &stage.new {
+                prop_assert!(!covered[v], "node {} in two NEW sets", v);
+                covered[v] = true;
+            }
+            // Fact 2.1: NEW ⊆ FRONTIER ⊆ UNINF.
+            for v in &stage.new {
+                prop_assert!(stage.frontier.contains(v));
+            }
+            for v in &stage.frontier {
+                prop_assert!(stage.uninf.contains(v));
+            }
+            // DOM_i dominates FRONTIER_i minimally.
+            if !stage.frontier.is_empty() {
+                prop_assert!(algorithms::is_minimal_dominating_set(
+                    &g,
+                    &stage.dom,
+                    &stage.frontier
+                ));
+            }
+        }
+        prop_assert!(!covered[source]);
+        prop_assert_eq!(
+            covered.iter().filter(|&&c| c).count(),
+            g.node_count() - 1
+        );
+    }
+
+    #[test]
+    fn no_node_transmits_before_being_informed((g, source) in connected_graph_and_source()) {
+        // Physical sanity: in the trace of algorithm B, any node that
+        // transmits µ either is the source or has already received µ.
+        let result = runner::run_broadcast(&g, source, 7).unwrap();
+        for v in g.nodes() {
+            if v == source {
+                continue;
+            }
+            let informed = result.informed_rounds[v];
+            prop_assert!(informed.is_some());
+            // A node informed in round r is at BFS distance <= (r+1)/2 from
+            // the source: information travels at most one hop per odd round.
+            let d = algorithms::bfs_distances(&g, source)[v].unwrap() as u64;
+            prop_assert!(informed.unwrap() >= d);
+        }
+    }
+
+    #[test]
+    fn arbitrary_source_completes_for_random_source((g, source) in connected_graph_and_source()) {
+        // Keep instances small: B_arb runs three phases.
+        prop_assume!(g.node_count() <= 24);
+        let r = runner::run_arbitrary_source(&g, 0, source, 7).unwrap();
+        prop_assert!(r.completion_round.is_some());
+        prop_assert!(r.common_knowledge_round.is_some());
+        prop_assert!(r.common_knowledge_round >= r.completion_round);
+    }
+
+    #[test]
+    fn baselines_complete_on_random_graphs((g, source) in connected_graph_and_source()) {
+        prop_assume!(g.node_count() <= 32);
+        let ids = runner::run_unique_id_broadcast(&g, source, 7).unwrap();
+        prop_assert!(ids.completed());
+        let colors = runner::run_coloring_broadcast(&g, source, 7).unwrap();
+        prop_assert!(colors.completed());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_generators_produce_connected_simple_graphs(
+        n in 2usize..120,
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+    ) {
+        let g = generators::gnp_connected(n, p, seed).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(algorithms::is_connected(&g));
+        // simple graph: no self loops, no duplicate edges (by construction the
+        // edge iterator yields each pair once with u < v).
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+        }
+
+        let t = generators::random_tree(n, seed);
+        prop_assert!(algorithms::is_tree(&t));
+    }
+
+    #[test]
+    fn square_coloring_separates_close_nodes(n in 4usize..40, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.15, seed).unwrap();
+        let (coloring, k) = algorithms::square_graph_coloring(
+            &g,
+            algorithms::coloring::ColoringOrder::DegreeDescending,
+        );
+        prop_assert!(k >= 1);
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            for (i, &a) in nbrs.iter().enumerate() {
+                prop_assert!(coloring[a] != coloring[v]);
+                for &b in &nbrs[i + 1..] {
+                    prop_assert!(coloring[a] != coloring[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_dominating_subset_is_minimal(n in 4usize..40, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.2, seed).unwrap();
+        let candidates: Vec<usize> = g.nodes().collect();
+        let targets: Vec<usize> = g.nodes().collect();
+        let sub = algorithms::minimal_dominating_subset(
+            &g,
+            &candidates,
+            &targets,
+            algorithms::ReductionOrder::Forward,
+        )
+        .unwrap();
+        prop_assert!(algorithms::is_minimal_dominating_set(&g, &sub, &targets));
+    }
+}
