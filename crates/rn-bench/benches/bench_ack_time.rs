@@ -1,20 +1,33 @@
-//! E3 — Theorem 3.9: benchmarks algorithm B_ack and regenerates the
-//! acknowledgement-window table.
+//! E3 — Theorem 3.9: benchmarks algorithm B_ack through the session API and
+//! regenerates the acknowledgement-window table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_broadcast::runner::run_acknowledged_broadcast;
+use rn_broadcast::session::{Scheme, Session};
 use rn_experiments::experiments::ack_time;
 use rn_experiments::{ExperimentConfig, GraphFamily};
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_ack_time");
     group.sample_size(15);
-    for family in [GraphFamily::Path, GraphFamily::RandomTree, GraphFamily::GnpSparse] {
+    for family in [
+        GraphFamily::Path,
+        GraphFamily::RandomTree,
+        GraphFamily::GnpSparse,
+    ] {
         for n in [64usize, 256] {
-            let g = family.generate(n, 1);
+            let g = Arc::new(family.generate(n, 1));
             let id = BenchmarkId::new(family.name(), g.node_count());
             group.bench_with_input(id, &g, |b, g| {
-                b.iter(|| std::hint::black_box(run_acknowledged_broadcast(g, 0, 7).unwrap()))
+                b.iter(|| {
+                    std::hint::black_box(
+                        Session::builder(Scheme::LambdaAck, Arc::clone(g))
+                            .message(7)
+                            .build()
+                            .unwrap()
+                            .run(),
+                    )
+                })
             });
         }
     }

@@ -1,20 +1,45 @@
 //! E5 — arbitrary-source broadcast: benchmarks the three-phase algorithm
-//! B_arb and regenerates its sweep table.
+//! B_arb — both the full pipeline and an amortized run against a session's
+//! cached source-independent labeling — and regenerates its sweep table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_broadcast::runner::run_arbitrary_source;
+use rn_broadcast::session::{RunSpec, Scheme, Session};
 use rn_experiments::experiments::arbitrary_source;
 use rn_experiments::{ExperimentConfig, GraphFamily};
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_arbitrary_source");
     group.sample_size(10);
-    for family in [GraphFamily::Cycle, GraphFamily::Grid, GraphFamily::GnpSparse] {
-        let g = family.generate(64, 1);
+    for family in [
+        GraphFamily::Cycle,
+        GraphFamily::Grid,
+        GraphFamily::GnpSparse,
+    ] {
+        let g = Arc::new(family.generate(64, 1));
         let source = g.node_count() / 2;
-        let id = BenchmarkId::new(family.name(), g.node_count());
-        group.bench_with_input(id, &g, |b, g| {
-            b.iter(|| std::hint::black_box(run_arbitrary_source(g, 0, source, 7).unwrap()))
+        let full_id = BenchmarkId::new(format!("{}_full", family.name()), g.node_count());
+        group.bench_with_input(full_id, &g, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Session::builder(Scheme::LambdaArb, Arc::clone(g))
+                        .source(source)
+                        .message(7)
+                        .build()
+                        .unwrap()
+                        .run(),
+                )
+            })
+        });
+        // λ_arb labels are source-independent: the amortized variant reuses
+        // one cached labeling for a run from an arbitrary source.
+        let session = Session::builder(Scheme::LambdaArb, Arc::clone(&g))
+            .message(7)
+            .build()
+            .unwrap();
+        let amortized_id = BenchmarkId::new(format!("{}_amortized", family.name()), g.node_count());
+        group.bench_with_input(amortized_id, &session, |b, s| {
+            b.iter(|| std::hint::black_box(s.run_with(RunSpec::new(source, 7)).unwrap()))
         });
     }
     group.finish();

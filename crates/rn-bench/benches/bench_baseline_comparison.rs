@@ -1,26 +1,34 @@
 //! E9 — baseline comparison: benchmarks λ against the unique-identifier and
-//! square-colouring baselines and regenerates the comparison table.
+//! square-colouring baselines through one shared graph and regenerates the
+//! comparison table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_broadcast::runner::{run_broadcast, run_coloring_broadcast, run_unique_id_broadcast};
+use rn_broadcast::session::{Scheme, Session};
 use rn_experiments::experiments::baseline_comparison;
 use rn_experiments::{ExperimentConfig, GraphFamily};
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_baseline_comparison");
     group.sample_size(10);
-    let g = GraphFamily::Grid.generate(100, 1);
-    group.bench_with_input(BenchmarkId::new("lambda", g.node_count()), &g, |b, g| {
-        b.iter(|| std::hint::black_box(run_broadcast(g, 0, 7).unwrap()))
-    });
-    group.bench_with_input(BenchmarkId::new("unique_ids", g.node_count()), &g, |b, g| {
-        b.iter(|| std::hint::black_box(run_unique_id_broadcast(g, 0, 7).unwrap()))
-    });
-    group.bench_with_input(
-        BenchmarkId::new("square_coloring", g.node_count()),
-        &g,
-        |b, g| b.iter(|| std::hint::black_box(run_coloring_broadcast(g, 0, 7).unwrap())),
-    );
+    let g = Arc::new(GraphFamily::Grid.generate(100, 1));
+    for (name, scheme) in [
+        ("lambda", Scheme::Lambda),
+        ("unique_ids", Scheme::UniqueIds),
+        ("square_coloring", Scheme::SquareColoring),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, g.node_count()), &g, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Session::builder(scheme, Arc::clone(g))
+                        .message(7)
+                        .build()
+                        .unwrap()
+                        .run(),
+                )
+            })
+        });
+    }
     group.finish();
 
     let cfg = ExperimentConfig {

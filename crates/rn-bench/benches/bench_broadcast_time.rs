@@ -1,20 +1,40 @@
-//! E2 — Theorem 2.9: benchmarks algorithm B (labeling + simulation) across
-//! sizes and families, and regenerates the completion-round table.
+//! E2 — Theorem 2.9: benchmarks algorithm B across sizes and families, both
+//! as the full pipeline (labeling + simulation) and as an amortized session
+//! run (the labeling constructed once, only the simulation repeating), and
+//! regenerates the completion-round table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_broadcast::runner::run_broadcast;
+use rn_broadcast::session::{Scheme, Session};
 use rn_experiments::experiments::broadcast_time;
 use rn_experiments::{ExperimentConfig, GraphFamily};
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_broadcast_time");
     group.sample_size(15);
     for family in [GraphFamily::Path, GraphFamily::Grid, GraphFamily::GnpSparse] {
         for n in [64usize, 256] {
-            let g = family.generate(n, 1);
-            let id = BenchmarkId::new(family.name(), g.node_count());
-            group.bench_with_input(id, &g, |b, g| {
-                b.iter(|| std::hint::black_box(run_broadcast(g, 0, 7).unwrap()))
+            let g = Arc::new(family.generate(n, 1));
+            let full_id = BenchmarkId::new(format!("{}_full", family.name()), g.node_count());
+            group.bench_with_input(full_id, &g, |b, g| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        Session::builder(Scheme::Lambda, Arc::clone(g))
+                            .message(7)
+                            .build()
+                            .unwrap()
+                            .run(),
+                    )
+                })
+            });
+            let session = Session::builder(Scheme::Lambda, Arc::clone(&g))
+                .message(7)
+                .build()
+                .unwrap();
+            let amortized_id =
+                BenchmarkId::new(format!("{}_amortized", family.name()), g.node_count());
+            group.bench_with_input(amortized_id, &session, |b, s| {
+                b.iter(|| std::hint::black_box(s.run()))
             });
         }
     }

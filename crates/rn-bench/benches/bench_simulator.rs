@@ -38,14 +38,23 @@ fn bench_graph_algorithms(c: &mut Criterion) {
         });
         let candidates: Vec<usize> = g.nodes().collect();
         let targets: Vec<usize> = g.nodes().collect();
-        group.bench_with_input(BenchmarkId::new("minimal_dominating_subset", n), &g, |b, g| {
-            b.iter(|| {
-                std::hint::black_box(
-                    minimal_dominating_subset(g, &candidates, &targets, ReductionOrder::Forward)
+        group.bench_with_input(
+            BenchmarkId::new("minimal_dominating_subset", n),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        minimal_dominating_subset(
+                            g,
+                            &candidates,
+                            &targets,
+                            ReductionOrder::Forward,
+                        )
                         .unwrap(),
-                )
-            })
-        });
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

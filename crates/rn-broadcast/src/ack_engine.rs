@@ -198,9 +198,7 @@ impl BackEngine {
                     AckExtra::OwnInformedRound => Some(k),
                 };
                 self.ever_acted = true;
-                return EngineAction::Transmit(TaggedMessage::ack_with_extra(
-                    self.phase, k, extra,
-                ));
+                return EngineAction::Transmit(TaggedMessage::ack_with_extra(self.phase, k, extra));
             } else if self.x2 {
                 let k = self.informed_round.expect("informed non-source");
                 self.ever_acted = true;
@@ -357,7 +355,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Data(9), 3)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Data(9),
+            3,
+        )));
         assert_eq!(e.informed_round(), Some(3));
         assert_eq!(e.step(), EngineAction::Listen); // age 1, x2 = 0
         e.receive(None);
@@ -382,7 +384,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Data(9), 7)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Data(9),
+            7,
+        )));
         match e.step() {
             EngineAction::Transmit(m) => {
                 assert_eq!(m.payload, TaggedPayload::Stay);
@@ -403,7 +409,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Data(9), 11)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Data(9),
+            11,
+        )));
         match e.step() {
             EngineAction::Transmit(m) => {
                 assert_eq!(m.payload, TaggedPayload::Ack);
@@ -425,7 +435,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::Two, TaggedPayload::Ready(4), 11)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::Two,
+            TaggedPayload::Ready(4),
+            11,
+        )));
         assert_eq!(e.step(), EngineAction::Listen);
     }
 
@@ -441,7 +455,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Data(9), 1)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Data(9),
+            1,
+        )));
         assert_eq!(e.step(), EngineAction::Listen);
         e.receive(None);
         // Transmits (µ, 3).
@@ -449,7 +467,11 @@ mod tests {
         // Round 4: listens and hears ("stay", 4); it must retransmit (µ, 5)
         // in round 5, two rounds after its own transmission.
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Stay, 4)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Stay,
+            4,
+        )));
         match e.step() {
             EngineAction::Transmit(m) => {
                 assert_eq!(m.payload, TaggedPayload::Data(9));
@@ -471,11 +493,15 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Data(9), 1)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Data(9),
+            1,
+        )));
         assert_eq!(e.step(), EngineAction::Listen);
         e.receive(None);
         assert!(matches!(e.step(), EngineAction::Transmit(_))); // transmits (µ, 3)
-        // Round 4: hears an ack for a round it did not transmit in: ignored.
+                                                                // Round 4: hears an ack for a round it did not transmit in: ignored.
         assert_eq!(e.step(), EngineAction::Listen);
         e.receive(Some(&TaggedMessage::ack_with_extra(Phase::One, 7, None)));
         assert_eq!(e.step(), EngineAction::Listen);
@@ -483,7 +509,11 @@ mod tests {
         assert_eq!(e.step(), EngineAction::Listen);
         // Ack for round 3 (its transmit round): forwarded with its own
         // informed round and the extra copied through.
-        e.receive(Some(&TaggedMessage::ack_with_extra(Phase::One, 3, Some(42))));
+        e.receive(Some(&TaggedMessage::ack_with_extra(
+            Phase::One,
+            3,
+            Some(42),
+        )));
         match e.step() {
             EngineAction::Transmit(m) => {
                 assert_eq!(m.payload, TaggedPayload::Ack);
@@ -505,8 +535,8 @@ mod tests {
             true,
         );
         assert!(matches!(e.step(), EngineAction::Transmit(_))); // (µ, 1)
-        // Hears an ack for a round it did not transmit in: recorded as heard,
-        // not final.
+                                                                // Hears an ack for a round it did not transmit in: recorded as heard,
+                                                                // not final.
         assert_eq!(e.step(), EngineAction::Listen);
         e.receive(Some(&TaggedMessage::ack_with_extra(Phase::One, 9, None)));
         assert_eq!(e.first_ack_heard(), Some((9, None)));
@@ -529,7 +559,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::One, TaggedPayload::Stay, 2)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::One,
+            TaggedPayload::Stay,
+            2,
+        )));
         assert!(!e.is_informed());
         assert_eq!(e.step(), EngineAction::Listen);
         e.receive(Some(&TaggedMessage::ack_with_extra(Phase::One, 2, None)));
@@ -548,7 +582,11 @@ mod tests {
             true,
         );
         assert_eq!(e.step(), EngineAction::Listen);
-        e.receive(Some(&TaggedMessage::new(Phase::Three, TaggedPayload::Data(77), 4)));
+        e.receive(Some(&TaggedMessage::new(
+            Phase::Three,
+            TaggedPayload::Data(77),
+            4,
+        )));
         assert_eq!(e.payload(), Some(TaggedPayload::Data(77)));
         for _ in 0..6 {
             assert_eq!(e.step(), EngineAction::Listen);

@@ -274,7 +274,7 @@ mod tests {
         let mut source = BNode::new(Label::two_bits(true, false), Some(MSG));
         assert_eq!(source.step(), Action::Transmit(BMessage::Data(MSG)));
         source.receive(Some(&BMessage::Stay)); // harness would not call this for a transmitter; emulate round 2 listen below
-        // Round 2: source listens and hears "stay".
+                                               // Round 2: source listens and hears "stay".
         assert_eq!(source.step(), Action::Listen);
         source.receive(Some(&BMessage::Stay));
         // Round 3: source retransmits µ.

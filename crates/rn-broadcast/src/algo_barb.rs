@@ -243,7 +243,9 @@ impl ArbNode {
             *c -= 1;
             if *c == 0 {
                 self.phase3_start_countdown = None;
-                let m = self.original_message.expect("only the source-coordinator waits");
+                let m = self
+                    .original_message
+                    .expect("only the source-coordinator waits");
                 self.phase3.set_source_payload(TaggedPayload::Data(m));
                 self.phase3.enable();
                 self.completion_countdown = Some(self.t_bound.expect("T known") + 1);
@@ -329,7 +331,12 @@ mod tests {
 
     const MSG: SourceMessage = 4242;
 
-    fn run_barb(g: rn_graph::Graph, coordinator: usize, source: usize, cap: u64) -> Simulator<ArbNode> {
+    fn run_barb(
+        g: rn_graph::Graph,
+        coordinator: usize,
+        source: usize,
+        cap: u64,
+    ) -> Simulator<ArbNode> {
         let scheme = lambda_arb::construct_with_coordinator(
             &g,
             coordinator,

@@ -78,11 +78,7 @@ impl SlottedNode {
     ///
     /// # Panics
     /// Panics if `source` is out of range for the labeling.
-    pub fn network(
-        labeling: &Labeling,
-        source: usize,
-        message: SourceMessage,
-    ) -> Vec<SlottedNode> {
+    pub fn network(labeling: &Labeling, source: usize, message: SourceMessage) -> Vec<SlottedNode> {
         assert!(source < labeling.node_count(), "source out of range");
         (0..labeling.node_count())
             .map(|v| {
@@ -260,9 +256,10 @@ mod tests {
         let (labeling, _) = baselines::square_coloring(&g).unwrap();
         let nodes = SlottedNode::network(&labeling, source, MSG);
         let mut sim = Simulator::new(g, nodes).without_trace();
-        sim.run_until(StopCondition::AfterRounds(8 * (n as u64) * (n as u64)), |s| {
-            s.nodes().iter().all(SlottedNode::is_informed)
-        });
+        sim.run_until(
+            StopCondition::AfterRounds(8 * (n as u64) * (n as u64)),
+            |s| s.nodes().iter().all(SlottedNode::is_informed),
+        );
         assert!(sim.nodes().iter().all(SlottedNode::is_informed));
         assert!(sim.current_round() < id_rounds);
     }

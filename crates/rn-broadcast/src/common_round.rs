@@ -11,9 +11,10 @@
 //! arithmetic claim `m + (second completion) < 2m`.
 
 use crate::messages::SourceMessage;
-use crate::runner;
+use crate::session::{Scheme, Session};
 use rn_graph::{Graph, NodeId};
 use rn_labeling::LabelingError;
+use std::sync::Arc;
 
 /// Result of the common-round construction.
 #[derive(Debug, Clone)]
@@ -38,14 +39,24 @@ pub fn run_common_round(
     source: NodeId,
     message: SourceMessage,
 ) -> Result<CommonRoundResult, LabelingError> {
-    let ack = runner::run_acknowledged_broadcast(g, source, message)?;
+    // Both stages share one graph allocation.
+    let g = Arc::new(g.clone());
+    let ack = Session::builder(Scheme::LambdaAck, Arc::clone(&g))
+        .source(source)
+        .message(message)
+        .build()?
+        .run();
     let m = ack
         .ack_round
         .expect("Theorem 3.9: the source receives an ack");
 
     // Second stage: broadcast the value m with Algorithm B. Its rounds are
     // numbered from 1; globally they follow round m.
-    let second = runner::run_broadcast(g, source, m)?;
+    let second = Session::builder(Scheme::Lambda, g)
+        .source(source)
+        .message(m)
+        .build()?
+        .run();
     let second_completion = second
         .completion_round
         .expect("Theorem 2.9: the second broadcast completes");

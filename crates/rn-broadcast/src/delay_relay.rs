@@ -83,9 +83,7 @@ impl RadioNode for DelayRelayNode {
     fn step(&mut self) -> Action<BMessage> {
         if self.is_source && !self.source_sent {
             self.source_sent = true;
-            return Action::Transmit(BMessage::Data(
-                self.sourcemsg.expect("the source holds µ"),
-            ));
+            return Action::Transmit(BMessage::Data(self.sourcemsg.expect("the source holds µ")));
         }
         if let Some(c) = &mut self.relay_countdown {
             *c -= 1;

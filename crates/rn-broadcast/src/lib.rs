@@ -20,8 +20,13 @@
 //!   unique-identifier and square-colouring baselines of §1.1;
 //! * [`verify`] — omniscient verification oracles used by tests and
 //!   experiments (informed rounds, Lemma 2.8 conformance, theorem bounds);
-//! * [`runner`] — convenience runners that label a graph, build the node
-//!   protocols, simulate, and return a structured result.
+//! * [`session`] — **the execution API**: a [`session::SessionBuilder`]
+//!   configures scheme + graph + source + message + policies, the built
+//!   [`session::Session`] owns the constructed labeling so repeated and
+//!   batch-parallel runs amortize scheme construction, and every run returns
+//!   one unified [`session::RunReport`];
+//! * [`runner`] — the legacy one-shot runners, kept as thin deprecated
+//!   wrappers around [`session::Session`].
 //!
 //! Every protocol here respects the paper's knowledge model: a node's
 //! behaviour depends only on its label and on the messages it has heard. No
@@ -41,10 +46,13 @@ pub mod common_round;
 pub mod delay_relay;
 pub mod messages;
 pub mod runner;
+pub mod session;
 pub mod verify;
 
 pub use messages::{BMessage, Phase, TaggedMessage, TaggedPayload};
-pub use runner::{
-    run_arbitrary_source, run_broadcast, run_acknowledged_broadcast, AckBroadcastResult,
-    ArbBroadcastResult, BroadcastResult,
+#[allow(deprecated)]
+pub use runner::{run_acknowledged_broadcast, run_arbitrary_source, run_broadcast};
+pub use runner::{AckBroadcastResult, ArbBroadcastResult, BroadcastResult};
+pub use session::{
+    RoundCapPolicy, RunReport, RunSpec, Scheme, Session, SessionBuilder, StopPolicy, TracePolicy,
 };

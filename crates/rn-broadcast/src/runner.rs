@@ -1,23 +1,24 @@
-//! High-level runners: label a graph, instantiate the protocol, simulate, and
-//! return a structured result.
+//! Legacy one-shot runners, kept as thin deprecated wrappers around the
+//! unified [`Session`](crate::session::Session) API.
 //!
-//! These are the entry points used by the examples, the integration tests and
-//! the experiment harness. Each runner reports the quantities the paper's
-//! theorems bound (completion round, acknowledgement round), plus the
-//! communication statistics the experiments tabulate.
+//! Each function builds a single-use session with the default policies (which
+//! reproduce the historical behaviour exactly — same stop conditions, same
+//! round caps, same trace-derived statistics) and converts the unified
+//! [`RunReport`](crate::session::RunReport) back into the historical result
+//! struct. New code should construct a session directly: it shares the graph
+//! instead of cloning it, reuses the constructed labeling across runs, and
+//! can fan batches out over worker threads.
 
-use crate::algo_b::BNode;
-use crate::algo_back::BackNode;
-use crate::algo_barb::ArbNode;
-use crate::baselines::SlottedNode;
-use crate::delay_relay::DelayRelayNode;
-use crate::messages::{BMessage, SourceMessage, TaggedPayload};
-use crate::verify;
+use crate::messages::SourceMessage;
+use crate::session::{RunReport, Scheme, Session};
 use rn_graph::{Graph, NodeId};
-use rn_labeling::{baselines, lambda, lambda_ack, lambda_arb, onebit, LabelingError};
-use rn_radio::{ExecutionStats, Simulator, StopCondition};
+use rn_labeling::LabelingError;
+use rn_radio::ExecutionStats;
 
 /// Result of a plain broadcast execution (Algorithm B or a baseline).
+///
+/// Superseded by [`RunReport`], which carries the same fields (and more) for
+/// every scheme.
 #[derive(Debug, Clone)]
 pub struct BroadcastResult {
     /// Name of the labeling scheme used.
@@ -44,6 +45,20 @@ impl BroadcastResult {
     }
 }
 
+impl From<RunReport> for BroadcastResult {
+    fn from(report: RunReport) -> Self {
+        BroadcastResult {
+            scheme: report.scheme,
+            node_count: report.node_count,
+            label_length: report.label_length,
+            distinct_labels: report.distinct_labels,
+            informed_rounds: report.informed_rounds,
+            completion_round: report.completion_round,
+            stats: report.stats,
+        }
+    }
+}
+
 /// Result of an acknowledged broadcast execution (Algorithm B_ack).
 #[derive(Debug, Clone)]
 pub struct AckBroadcastResult {
@@ -52,6 +67,16 @@ pub struct AckBroadcastResult {
     /// Round in which the source first heard an "ack" (the Theorem 3.9
     /// quantity), if it did.
     pub ack_round: Option<u64>,
+}
+
+impl From<RunReport> for AckBroadcastResult {
+    fn from(report: RunReport) -> Self {
+        let ack_round = report.ack_round;
+        AckBroadcastResult {
+            broadcast: report.into(),
+            ack_round,
+        }
+    }
 }
 
 /// Result of an arbitrary-source execution (Algorithm B_arb).
@@ -73,190 +98,130 @@ pub struct ArbBroadcastResult {
     pub label_length: usize,
 }
 
-fn round_cap(n: usize, factor: u64) -> u64 {
-    factor * (n as u64 + 2) + 16
+impl From<RunReport> for ArbBroadcastResult {
+    fn from(report: RunReport) -> Self {
+        ArbBroadcastResult {
+            coordinator: report.coordinator.unwrap_or(0),
+            source: report.source,
+            completion_round: report.completion_round,
+            common_knowledge_round: report.common_knowledge_round,
+            stats: report.stats,
+            label_length: report.label_length,
+        }
+    }
+}
+
+fn run_session(
+    scheme: Scheme,
+    g: &Graph,
+    source: NodeId,
+    message: SourceMessage,
+) -> Result<RunReport, LabelingError> {
+    Ok(Session::builder(scheme, g.clone())
+        .source(source)
+        .message(message)
+        .build()?
+        .run())
 }
 
 /// Runs Algorithm B on a λ-labeled copy of `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::Lambda` instead; it reuses the labeling and graph across runs"
+)]
 pub fn run_broadcast(
     g: &Graph,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<BroadcastResult, LabelingError> {
-    let scheme = lambda::construct(g, source)?;
-    let labeling = scheme.labeling();
-    let nodes = BNode::network(labeling, source, message);
-    let mut sim = Simulator::new(g.clone(), nodes);
-    sim.run_until(
-        StopCondition::QuietFor {
-            quiet: 3,
-            cap: round_cap(g.node_count(), 4),
-        },
-        |_| false,
-    );
-    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
-        matches!(m, BMessage::Data(_))
-    });
-    Ok(BroadcastResult {
-        scheme: lambda::SCHEME_NAME,
-        node_count: g.node_count(),
-        label_length: labeling.length(),
-        distinct_labels: labeling.distinct_count(),
-        completion_round: verify::completion_round(&informed),
-        informed_rounds: informed,
-        stats: ExecutionStats::from_trace(sim.trace()),
-    })
+    run_session(Scheme::Lambda, g, source, message).map(Into::into)
 }
 
 /// Runs Algorithm B_ack on a λ_ack-labeled copy of `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::LambdaAck` instead; it reuses the labeling and graph across runs"
+)]
 pub fn run_acknowledged_broadcast(
     g: &Graph,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<AckBroadcastResult, LabelingError> {
-    let scheme = lambda_ack::construct(g, source)?;
-    let labeling = scheme.labeling();
-    let nodes = BackNode::network(labeling, source, message);
-    let mut sim = Simulator::new(g.clone(), nodes);
-    let mut ack_round = None;
-    sim.run_until(
-        StopCondition::QuietFor {
-            quiet: 3,
-            cap: round_cap(g.node_count(), 6),
-        },
-        |s| {
-        if ack_round.is_none() && s.nodes()[source].source_received_ack() {
-            ack_round = Some(s.current_round());
-        }
-        false
-    });
-    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
-        matches!(m.payload, TaggedPayload::Data(_))
-    });
-    Ok(AckBroadcastResult {
-        broadcast: BroadcastResult {
-            scheme: lambda_ack::SCHEME_NAME,
-            node_count: g.node_count(),
-            label_length: labeling.length(),
-            distinct_labels: labeling.distinct_count(),
-            completion_round: verify::completion_round(&informed),
-            informed_rounds: informed,
-            stats: ExecutionStats::from_trace(sim.trace()),
-        },
-        ack_round,
-    })
+    run_session(Scheme::LambdaAck, g, source, message).map(Into::into)
 }
 
 /// Runs Algorithm B_arb on a λ_arb-labeled copy of `g`, with the labeling
 /// computed without knowledge of `source`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::LambdaArb` instead; one session serves every source position"
+)]
 pub fn run_arbitrary_source(
     g: &Graph,
     coordinator: NodeId,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<ArbBroadcastResult, LabelingError> {
-    let scheme = lambda_arb::construct_with_coordinator(
-        g,
-        coordinator,
-        rn_graph::algorithms::ReductionOrder::Forward,
-    )?;
-    let labeling = scheme.labeling();
+    // Matches the legacy behaviour: the λ_arb construction validates the
+    // coordinator before the source is checked.
+    let session = Session::builder(Scheme::LambdaArb, g.clone())
+        .coordinator(coordinator)
+        .source(if source < g.node_count() { source } else { 0 })
+        .message(message)
+        .build()?;
     if source >= g.node_count() {
         return Err(LabelingError::SourceOutOfRange {
             source,
             node_count: g.node_count(),
         });
     }
-    let nodes = ArbNode::network(labeling, source, message);
-    let mut sim = Simulator::new(g.clone(), nodes);
-    let mut completion_round = None;
-    let mut common_knowledge_round = None;
-    let cap = round_cap(g.node_count(), 16);
-    sim.run_until(StopCondition::AfterRounds(cap), |s| {
-        if completion_round.is_none()
-            && s.nodes().iter().all(|n| n.learned_message() == Some(message))
-        {
-            completion_round = Some(s.current_round());
-        }
-        if common_knowledge_round.is_none() && s.nodes().iter().all(ArbNode::knows_completion) {
-            common_knowledge_round = Some(s.current_round());
-        }
-        completion_round.is_some() && common_knowledge_round.is_some()
-    });
-    Ok(ArbBroadcastResult {
-        coordinator,
-        source,
-        completion_round,
-        common_knowledge_round,
-        stats: ExecutionStats::from_trace(sim.trace()),
-        label_length: labeling.length(),
-    })
+    Ok(session.run().into())
 }
 
 /// Runs the unique-identifier round-robin baseline on `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::UniqueIds` instead"
+)]
 pub fn run_unique_id_broadcast(
     g: &Graph,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<BroadcastResult, LabelingError> {
-    let labeling = baselines::unique_ids(g)?;
-    run_slotted(g, source, message, labeling, baselines::UNIQUE_IDS_NAME)
+    run_session(Scheme::UniqueIds, g, source, message).map(Into::into)
 }
 
 /// Runs the square-colouring slotted baseline on `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::SquareColoring` instead"
+)]
 pub fn run_coloring_broadcast(
     g: &Graph,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<BroadcastResult, LabelingError> {
-    let (labeling, _) = baselines::square_coloring(g)?;
-    run_slotted(g, source, message, labeling, baselines::SQUARE_COLORING_NAME)
-}
-
-fn run_slotted(
-    g: &Graph,
-    source: NodeId,
-    message: SourceMessage,
-    labeling: rn_labeling::Labeling,
-    scheme: &'static str,
-) -> Result<BroadcastResult, LabelingError> {
-    if source >= g.node_count() {
-        return Err(LabelingError::SourceOutOfRange {
-            source,
-            node_count: g.node_count(),
-        });
-    }
-    let nodes = SlottedNode::network(&labeling, source, message);
-    let mut sim = Simulator::new(g.clone(), nodes);
-    // The slotted baselines are slower: allow a generous quadratic cap.
-    let n = g.node_count() as u64;
-    let cap = 16 * n * n + 64;
-    sim.run_until(StopCondition::AfterRounds(cap), |s| {
-        s.nodes().iter().all(SlottedNode::is_informed)
-    });
-    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |_| true);
-    Ok(BroadcastResult {
-        scheme,
-        node_count: g.node_count(),
-        label_length: labeling.length(),
-        distinct_labels: labeling.distinct_count(),
-        completion_round: verify::completion_round(&informed),
-        informed_rounds: informed,
-        stats: ExecutionStats::from_trace(sim.trace()),
-    })
+    run_session(Scheme::SquareColoring, g, source, message).map(Into::into)
 }
 
 /// Runs the 1-bit delay-relay algorithm on a cycle.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::OneBitCycle` instead"
+)]
 pub fn run_onebit_cycle(
     g: &Graph,
     source: NodeId,
     message: SourceMessage,
 ) -> Result<BroadcastResult, LabelingError> {
-    let labeling = onebit::cycle_onebit(g, source)?;
-    run_delay_relay(g, source, message, labeling)
+    run_session(Scheme::OneBitCycle, g, source, message).map(Into::into)
 }
 
 /// Runs the 1-bit delay-relay algorithm on a canonically numbered grid.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `session::Session` with `Scheme::OneBitGrid` instead"
+)]
 pub fn run_onebit_grid(
     g: &Graph,
     rows: usize,
@@ -264,41 +229,11 @@ pub fn run_onebit_grid(
     source: NodeId,
     message: SourceMessage,
 ) -> Result<BroadcastResult, LabelingError> {
-    let labeling = onebit::grid_onebit(g, rows, cols, source)?;
-    run_delay_relay(g, source, message, labeling)
-}
-
-fn run_delay_relay(
-    g: &Graph,
-    source: NodeId,
-    message: SourceMessage,
-    labeling: rn_labeling::Labeling,
-) -> Result<BroadcastResult, LabelingError> {
-    let scheme = labeling.scheme();
-    let nodes = DelayRelayNode::network(&labeling, source, message);
-    let mut sim = Simulator::new(g.clone(), nodes);
-    sim.run_until(
-        StopCondition::QuietFor {
-            quiet: 3,
-            cap: round_cap(g.node_count(), 4),
-        },
-        |_| false,
-    );
-    let informed = verify::first_payload_rounds(sim.trace(), g.node_count(), source, |m| {
-        matches!(m, BMessage::Data(_))
-    });
-    Ok(BroadcastResult {
-        scheme,
-        node_count: g.node_count(),
-        label_length: labeling.length(),
-        distinct_labels: labeling.distinct_count(),
-        completion_round: verify::completion_round(&informed),
-        informed_rounds: informed,
-        stats: ExecutionStats::from_trace(sim.trace()),
-    })
+    run_session(Scheme::OneBitGrid { rows, cols }, g, source, message).map(Into::into)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rn_graph::generators;

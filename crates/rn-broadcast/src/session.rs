@@ -1,0 +1,1047 @@
+//! The unified execution API: one builder, one report, reusable schemes,
+//! batch-parallel runs.
+//!
+//! Historically each algorithm had its own ad-hoc runner (`run_broadcast`,
+//! `run_acknowledged_broadcast`, `run_arbitrary_source`, …) that re-built the
+//! labeling scheme and cloned the graph on every call and returned its own
+//! result struct. [`Session`] replaces all of them:
+//!
+//! * a [`Scheme`] selects the labeling scheme / algorithm pair — the paper's
+//!   λ, λ_ack and λ_arb, the 1-bit delay-relay schemes for cycles and grids,
+//!   and the §1.1 baselines;
+//! * a [`SessionBuilder`] configures the graph (shared via `Arc`, never
+//!   cloned per run), source, message, and the stop / trace / round-cap
+//!   policies;
+//! * [`SessionBuilder::build`] constructs the labeling **once**; the session
+//!   owns the labeling and a template of per-node protocol state machines, so
+//!   repeated runs amortize scheme construction — the dominant pattern in the
+//!   experiment sweeps and benches;
+//! * every run returns the same [`RunReport`], a superset of the three legacy
+//!   result structs;
+//! * [`Session::run_batch`] fans independent runs out over the scoped worker
+//!   threads of [`rn_radio::batch`], returning reports in spec order.
+//!
+//! ```
+//! use rn_broadcast::session::{Scheme, Session};
+//! use rn_graph::generators;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(generators::grid(4, 5));
+//! let session = Session::builder(Scheme::Lambda, Arc::clone(&g))
+//!     .source(7)
+//!     .message(11)
+//!     .build()
+//!     .unwrap();
+//! let report = session.run();
+//! assert!(report.completed());
+//! assert_eq!(report.label_length, 2); // the 2-bit λ labels of Theorem 2.9
+//!
+//! // The cached labeling is reused: only the simulation repeats.
+//! let again = session.run_with_message(12).unwrap();
+//! assert_eq!(again.completion_round, report.completion_round);
+//! ```
+
+use crate::algo_b::BNode;
+use crate::algo_back::BackNode;
+use crate::algo_barb::ArbNode;
+use crate::baselines::SlottedNode;
+use crate::delay_relay::DelayRelayNode;
+use crate::messages::{BMessage, SourceMessage, TaggedPayload};
+use crate::verify;
+use rn_graph::{Graph, NodeId};
+use rn_labeling::{baselines, lambda, lambda_ack, lambda_arb, onebit, Labeling, LabelingError};
+use rn_radio::{ExecutionStats, RadioNode, Simulator, StopCondition};
+use std::sync::Arc;
+
+/// Which labeling scheme / broadcast algorithm pair a session executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The paper's 2-bit scheme λ driving Algorithm B (Theorem 2.9).
+    Lambda,
+    /// The paper's 3-bit scheme λ_ack driving Algorithm B_ack (Theorem 3.9).
+    LambdaAck,
+    /// The paper's 3-bit unknown-source scheme λ_arb driving Algorithm B_arb
+    /// (§4.2). The labeling is built for the session's coordinator, not its
+    /// source, so one session can run from every source position.
+    LambdaArb,
+    /// The 1-bit delay-relay scheme for cycles (§5 conclusion).
+    OneBitCycle,
+    /// The 1-bit delay-relay scheme for canonically numbered grids
+    /// (§5 conclusion).
+    OneBitGrid {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+    },
+    /// Baseline: distinct ⌈log₂ n⌉-bit identifiers, slotted round robin.
+    UniqueIds,
+    /// Baseline: colouring of the square of the graph, slotted.
+    SquareColoring,
+}
+
+impl Scheme {
+    /// The schemes defined on every connected graph (excludes the restricted
+    /// 1-bit classes), in presentation order.
+    pub const GENERAL: [Scheme; 5] = [
+        Scheme::Lambda,
+        Scheme::LambdaAck,
+        Scheme::LambdaArb,
+        Scheme::UniqueIds,
+        Scheme::SquareColoring,
+    ];
+
+    /// Human-readable scheme name, matching the name recorded in labelings
+    /// and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Lambda => lambda::SCHEME_NAME,
+            Scheme::LambdaAck => lambda_ack::SCHEME_NAME,
+            Scheme::LambdaArb => lambda_arb::SCHEME_NAME,
+            Scheme::OneBitCycle => onebit::CYCLE_SCHEME_NAME,
+            Scheme::OneBitGrid { .. } => onebit::GRID_SCHEME_NAME,
+            Scheme::UniqueIds => baselines::UNIQUE_IDS_NAME,
+            Scheme::SquareColoring => baselines::SQUARE_COLORING_NAME,
+        }
+    }
+
+    /// Whether the labeling depends on the source position. Source-independent
+    /// schemes (λ_arb and the baselines) reuse one cached labeling for every
+    /// source in [`Session::run_with`] / [`Session::run_batch`].
+    pub fn labeling_depends_on_source(&self) -> bool {
+        match self {
+            Scheme::Lambda
+            | Scheme::LambdaAck
+            | Scheme::OneBitCycle
+            | Scheme::OneBitGrid { .. } => true,
+            Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => false,
+        }
+    }
+}
+
+/// When a run stops, beyond the scheme-specific completion predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopPolicy {
+    /// The scheme-appropriate default: quiet detection (3 consecutive silent
+    /// rounds) for λ, λ_ack and the 1-bit schemes, which legitimately go
+    /// quiet when done; run-to-cap with completion predicates for λ_arb and
+    /// the slotted baselines.
+    #[default]
+    Auto,
+    /// Run until the round cap regardless of quiet detection (completion
+    /// predicates still stop λ_arb and baseline runs early).
+    RunToCap,
+    /// Stop after this many consecutive silent rounds, for any scheme.
+    QuietFor(u64),
+}
+
+/// Whether a run records a full [`rn_radio::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Record the trace and derive [`RunReport::informed_rounds`] and the
+    /// full [`ExecutionStats`] from it (the default, and what the legacy
+    /// runners did).
+    #[default]
+    Recorded,
+    /// Skip trace recording (saves memory and time on large batch runs).
+    /// Informed rounds are then tracked from node state after each round —
+    /// identical for every scheme in this crate — and the statistics carry
+    /// only the round count.
+    Disabled,
+}
+
+/// How the safety cap on the number of rounds is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundCapPolicy {
+    /// The scheme-appropriate default: linear in `n` for the constant-length
+    /// schemes (whose theorems bound completion by `O(n)` rounds), quadratic
+    /// for the slotted baselines.
+    #[default]
+    Auto,
+    /// An explicit cap in rounds.
+    Fixed(u64),
+}
+
+/// One run of a session: a source and a message. Sessions built for a
+/// source-independent scheme execute any spec against the cached labeling;
+/// source-dependent schemes relabel when the source differs from the
+/// session's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// The broadcasting source node.
+    pub source: NodeId,
+    /// The source message µ.
+    pub message: SourceMessage,
+}
+
+impl RunSpec {
+    /// Creates a run spec.
+    pub fn new(source: NodeId, message: SourceMessage) -> Self {
+        RunSpec { source, message }
+    }
+}
+
+/// The unified result of one session run: a superset of the legacy
+/// `BroadcastResult` / `AckBroadcastResult` / `ArbBroadcastResult`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the labeling scheme used.
+    pub scheme: &'static str,
+    /// Number of nodes in the graph.
+    pub node_count: usize,
+    /// The broadcasting source of this run.
+    pub source: NodeId,
+    /// The coordinator `r` of the λ_arb labeling, if the scheme has one.
+    pub coordinator: Option<NodeId>,
+    /// The source message µ of this run.
+    pub message: SourceMessage,
+    /// Length of the labeling (max label bits).
+    pub label_length: usize,
+    /// Number of distinct labels used.
+    pub distinct_labels: usize,
+    /// Round in which each node was first informed (0 for the source);
+    /// `None` if never informed within the round cap.
+    pub informed_rounds: Vec<Option<u64>>,
+    /// Round by which every node was informed, if broadcast completed.
+    pub completion_round: Option<u64>,
+    /// Round in which the source first heard an "ack" (the Theorem 3.9
+    /// quantity). Only λ_ack sessions produce acknowledgements.
+    pub ack_round: Option<u64>,
+    /// Round by which every node additionally knew that broadcast had
+    /// completed everywhere. Only λ_arb sessions track common knowledge.
+    pub common_knowledge_round: Option<u64>,
+    /// Number of rounds the simulation executed (including quiet tail
+    /// rounds after completion).
+    pub rounds_executed: u64,
+    /// Communication statistics of the execution.
+    pub stats: ExecutionStats,
+}
+
+impl RunReport {
+    /// Whether every node was informed.
+    pub fn completed(&self) -> bool {
+        self.completion_round.is_some()
+    }
+}
+
+/// Builder for a [`Session`].
+///
+/// Defaults: source 0, coordinator 0 (λ_arb only), message 1, and the `Auto`
+/// stop, `Recorded` trace and `Auto` round-cap policies — which together
+/// reproduce the behaviour of the legacy `run_*` functions exactly.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    scheme: Scheme,
+    graph: Arc<Graph>,
+    source: NodeId,
+    coordinator: NodeId,
+    message: SourceMessage,
+    stop: StopPolicy,
+    trace: TracePolicy,
+    round_cap: RoundCapPolicy,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for `scheme` on `graph` (owned or `Arc`-shared).
+    pub fn new(scheme: Scheme, graph: impl Into<Arc<Graph>>) -> Self {
+        SessionBuilder {
+            scheme,
+            graph: graph.into(),
+            source: 0,
+            coordinator: 0,
+            message: 1,
+            stop: StopPolicy::default(),
+            trace: TracePolicy::default(),
+            round_cap: RoundCapPolicy::default(),
+        }
+    }
+
+    /// Sets the broadcasting source (default 0).
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets the λ_arb coordinator `r` (default 0; ignored by other schemes).
+    pub fn coordinator(mut self, coordinator: NodeId) -> Self {
+        self.coordinator = coordinator;
+        self
+    }
+
+    /// Sets the source message µ (default 1).
+    pub fn message(mut self, message: SourceMessage) -> Self {
+        self.message = message;
+        self
+    }
+
+    /// Sets the stop policy (default [`StopPolicy::Auto`]).
+    pub fn stop(mut self, stop: StopPolicy) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Sets the trace policy (default [`TracePolicy::Recorded`]).
+    pub fn trace(mut self, trace: TracePolicy) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the round-cap policy (default [`RoundCapPolicy::Auto`]).
+    pub fn round_cap(mut self, round_cap: RoundCapPolicy) -> Self {
+        self.round_cap = round_cap;
+        self
+    }
+
+    /// Constructs the labeling and the per-node protocol templates.
+    ///
+    /// This is the expensive step (BFS layering, sequence construction,
+    /// dominating-set minimisation); every run of the returned session reuses
+    /// its output.
+    pub fn build(self) -> Result<Session, LabelingError> {
+        let node_count = self.graph.node_count();
+        if node_count == 0 {
+            return Err(LabelingError::EmptyGraph);
+        }
+        if self.source >= node_count {
+            return Err(LabelingError::SourceOutOfRange {
+                source: self.source,
+                node_count,
+            });
+        }
+        let prepared = prepare(
+            self.scheme,
+            &self.graph,
+            self.source,
+            self.coordinator,
+            self.message,
+        )?;
+        Ok(Session {
+            scheme: self.scheme,
+            graph: self.graph,
+            source: self.source,
+            coordinator: self.coordinator,
+            message: self.message,
+            stop: self.stop,
+            trace: self.trace,
+            round_cap: self.round_cap,
+            prepared,
+        })
+    }
+}
+
+/// A reusable execution context: one graph, one constructed labeling scheme,
+/// many runs.
+///
+/// See the [module documentation](self) for an overview and example.
+pub struct Session {
+    scheme: Scheme,
+    graph: Arc<Graph>,
+    source: NodeId,
+    coordinator: NodeId,
+    message: SourceMessage,
+    stop: StopPolicy,
+    trace: TracePolicy,
+    round_cap: RoundCapPolicy,
+    prepared: Prepared,
+}
+
+impl Session {
+    /// Starts a [`SessionBuilder`] for `scheme` on `graph`.
+    pub fn builder(scheme: Scheme, graph: impl Into<Arc<Graph>>) -> SessionBuilder {
+        SessionBuilder::new(scheme, graph)
+    }
+
+    /// The scheme this session executes.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The session's default source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The cached labeling this session was built with. Stable across runs:
+    /// running never re-labels the session's own graph/source pair.
+    pub fn labeling(&self) -> &Labeling {
+        self.prepared.labeling()
+    }
+
+    /// Runs the session with its configured source and message.
+    pub fn run(&self) -> RunReport {
+        self.execute(&self.prepared, self.source, self.message)
+    }
+
+    /// Runs with the session's source but a different message. The cached
+    /// labeling is always reused (labels never depend on µ).
+    pub fn run_with_message(&self, message: SourceMessage) -> Result<RunReport, LabelingError> {
+        self.run_with(RunSpec::new(self.source, message))
+    }
+
+    /// Runs an arbitrary spec.
+    ///
+    /// For source-independent schemes (λ_arb, the baselines) any source
+    /// executes against the cached labeling. For source-dependent schemes a
+    /// spec with a different source constructs a fresh labeling for that
+    /// source (the documented cost of moving the source); specs with the
+    /// session's own source always reuse the cache.
+    pub fn run_with(&self, spec: RunSpec) -> Result<RunReport, LabelingError> {
+        if spec.source >= self.graph.node_count() {
+            return Err(LabelingError::SourceOutOfRange {
+                source: spec.source,
+                node_count: self.graph.node_count(),
+            });
+        }
+        if spec.source == self.source || !self.scheme.labeling_depends_on_source() {
+            Ok(self.execute(&self.prepared, spec.source, spec.message))
+        } else {
+            let prepared = prepare(
+                self.scheme,
+                &self.graph,
+                spec.source,
+                self.coordinator,
+                spec.message,
+            )?;
+            Ok(self.execute(&prepared, spec.source, spec.message))
+        }
+    }
+
+    /// Runs every spec, fanning the independent simulations out over up to
+    /// `threads` worker threads ([`rn_radio::batch::run_parallel`]). Reports
+    /// come back in spec order, so batch runs are deterministic regardless of
+    /// the thread count. `threads <= 1` runs inline.
+    pub fn run_batch(
+        &self,
+        specs: &[RunSpec],
+        threads: usize,
+    ) -> Result<Vec<RunReport>, LabelingError> {
+        rn_radio::batch::run_parallel(specs.to_vec(), threads, |spec| self.run_with(spec))
+            .into_iter()
+            .collect()
+    }
+
+    /// The stop condition this session's policies resolve to for its graph.
+    fn stop_condition(&self) -> StopCondition {
+        let n = self.graph.node_count() as u64;
+        let cap = match self.round_cap {
+            RoundCapPolicy::Fixed(c) => c,
+            RoundCapPolicy::Auto => match self.scheme {
+                Scheme::Lambda | Scheme::OneBitCycle | Scheme::OneBitGrid { .. } => {
+                    4 * (n + 2) + 16
+                }
+                Scheme::LambdaAck => 6 * (n + 2) + 16,
+                Scheme::LambdaArb => 16 * (n + 2) + 16,
+                Scheme::UniqueIds | Scheme::SquareColoring => 16 * n * n + 64,
+            },
+        };
+        match self.stop {
+            StopPolicy::Auto => match self.scheme {
+                Scheme::Lambda
+                | Scheme::LambdaAck
+                | Scheme::OneBitCycle
+                | Scheme::OneBitGrid { .. } => StopCondition::QuietFor { quiet: 3, cap },
+                Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => {
+                    StopCondition::AfterRounds(cap)
+                }
+            },
+            StopPolicy::RunToCap => StopCondition::AfterRounds(cap),
+            StopPolicy::QuietFor(quiet) => StopCondition::QuietFor { quiet, cap },
+        }
+    }
+
+    fn execute(&self, prepared: &Prepared, source: NodeId, message: SourceMessage) -> RunReport {
+        let stop = self.stop_condition();
+        let record = self.trace == TracePolicy::Recorded;
+        let labeling = prepared.labeling();
+        let mut report = RunReport {
+            scheme: labeling.scheme(),
+            node_count: self.graph.node_count(),
+            source,
+            coordinator: matches!(self.scheme, Scheme::LambdaArb).then_some(self.coordinator),
+            message,
+            label_length: labeling.length(),
+            distinct_labels: labeling.distinct_count(),
+            informed_rounds: Vec::new(),
+            completion_round: None,
+            ack_round: None,
+            common_knowledge_round: None,
+            rounds_executed: 0,
+            stats: ExecutionStats::default(),
+        };
+
+        match &prepared.kind {
+            PreparedKind::AlgoB { labeling, template } => {
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    BNode::network(labeling, source, message)
+                });
+                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                    stop,
+                    BNode::is_informed,
+                    |_, _| false,
+                );
+                run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
+                report.completion_round = verify::completion_round(&report.informed_rounds);
+            }
+            PreparedKind::AlgoBack { labeling, template } => {
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    BackNode::network(labeling, source, message)
+                });
+                let mut ack_round = None;
+                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                    stop,
+                    BackNode::is_informed,
+                    |sim, round| {
+                        if ack_round.is_none() && sim.nodes()[source].source_received_ack() {
+                            ack_round = Some(round);
+                        }
+                        false
+                    },
+                );
+                run.fill(&mut report, record, |m| {
+                    matches!(m.payload, TaggedPayload::Data(_))
+                });
+                report.completion_round = verify::completion_round(&report.informed_rounds);
+                report.ack_round = ack_round;
+            }
+            PreparedKind::AlgoBarb { labeling, template } => {
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    ArbNode::network(labeling, source, message)
+                });
+                let mut completion = None;
+                let mut common_knowledge = None;
+                let run = Execution::new(&self.graph, nodes, record, true, source).run(
+                    stop,
+                    |node: &ArbNode| node.learned_message().is_some(),
+                    |sim, round| {
+                        if completion.is_none()
+                            && sim
+                                .nodes()
+                                .iter()
+                                .all(|n| n.learned_message() == Some(message))
+                        {
+                            completion = Some(round);
+                        }
+                        if common_knowledge.is_none()
+                            && sim.nodes().iter().all(ArbNode::knows_completion)
+                        {
+                            common_knowledge = Some(round);
+                        }
+                        completion.is_some() && common_knowledge.is_some()
+                    },
+                );
+                // B_arb relays µ inside several message kinds, so informed
+                // rounds come from node state rather than a payload pattern
+                // (the legacy runner did not report them at all).
+                run.fill_from_nodes(&mut report);
+                report.completion_round = completion;
+                report.common_knowledge_round = common_knowledge;
+            }
+            PreparedKind::Slotted { labeling, template } => {
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    SlottedNode::network(labeling, source, message)
+                });
+                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                    stop,
+                    SlottedNode::is_informed,
+                    |sim, _| sim.nodes().iter().all(SlottedNode::is_informed),
+                );
+                run.fill(&mut report, record, |_| true);
+                report.completion_round = verify::completion_round(&report.informed_rounds);
+            }
+            PreparedKind::DelayRelay { labeling, template } => {
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    DelayRelayNode::network(labeling, source, message)
+                });
+                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                    stop,
+                    DelayRelayNode::is_informed,
+                    |_, _| false,
+                );
+                run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
+                report.completion_round = verify::completion_round(&report.informed_rounds);
+            }
+        }
+        report
+    }
+}
+
+/// The cached output of scheme construction: the labeling plus a template of
+/// per-node protocol state machines, and the spec the template was built for.
+struct Prepared {
+    /// The (source, message) pair the node template encodes.
+    spec: RunSpec,
+    kind: PreparedKind,
+}
+
+/// The scheme-specific half of a [`Prepared`].
+enum PreparedKind {
+    /// λ with Algorithm B.
+    AlgoB {
+        labeling: Labeling,
+        template: Vec<BNode>,
+    },
+    /// λ_ack with Algorithm B_ack.
+    AlgoBack {
+        labeling: Labeling,
+        template: Vec<BackNode>,
+    },
+    /// λ_arb with Algorithm B_arb.
+    AlgoBarb {
+        labeling: Labeling,
+        template: Vec<ArbNode>,
+    },
+    /// A baseline labeling with the slotted round-robin algorithm.
+    Slotted {
+        labeling: Labeling,
+        template: Vec<SlottedNode>,
+    },
+    /// A 1-bit labeling with the delay-relay algorithm.
+    DelayRelay {
+        labeling: Labeling,
+        template: Vec<DelayRelayNode>,
+    },
+}
+
+impl Prepared {
+    fn labeling(&self) -> &Labeling {
+        match &self.kind {
+            PreparedKind::AlgoB { labeling, .. }
+            | PreparedKind::AlgoBack { labeling, .. }
+            | PreparedKind::AlgoBarb { labeling, .. }
+            | PreparedKind::Slotted { labeling, .. }
+            | PreparedKind::DelayRelay { labeling, .. } => labeling,
+        }
+    }
+}
+
+fn prepare(
+    scheme: Scheme,
+    graph: &Graph,
+    source: NodeId,
+    coordinator: NodeId,
+    message: SourceMessage,
+) -> Result<Prepared, LabelingError> {
+    let kind = match scheme {
+        Scheme::Lambda => {
+            let labeling = lambda::construct(graph, source)?.into_labeling();
+            let template = BNode::network(&labeling, source, message);
+            PreparedKind::AlgoB { labeling, template }
+        }
+        Scheme::LambdaAck => {
+            let labeling = lambda_ack::construct(graph, source)?.into_labeling();
+            let template = BackNode::network(&labeling, source, message);
+            PreparedKind::AlgoBack { labeling, template }
+        }
+        Scheme::LambdaArb => {
+            let labeling = lambda_arb::construct_with_coordinator(
+                graph,
+                coordinator,
+                rn_graph::algorithms::ReductionOrder::Forward,
+            )?
+            .into_labeling();
+            let template = ArbNode::network(&labeling, source, message);
+            PreparedKind::AlgoBarb { labeling, template }
+        }
+        Scheme::OneBitCycle => {
+            let labeling = onebit::cycle_onebit(graph, source)?;
+            let template = DelayRelayNode::network(&labeling, source, message);
+            PreparedKind::DelayRelay { labeling, template }
+        }
+        Scheme::OneBitGrid { rows, cols } => {
+            let labeling = onebit::grid_onebit(graph, rows, cols, source)?;
+            let template = DelayRelayNode::network(&labeling, source, message);
+            PreparedKind::DelayRelay { labeling, template }
+        }
+        Scheme::UniqueIds => {
+            let labeling = baselines::unique_ids(graph)?;
+            let template = SlottedNode::network(&labeling, source, message);
+            PreparedKind::Slotted { labeling, template }
+        }
+        Scheme::SquareColoring => {
+            let (labeling, _) = baselines::square_coloring(graph)?;
+            let template = SlottedNode::network(&labeling, source, message);
+            PreparedKind::Slotted { labeling, template }
+        }
+    };
+    Ok(Prepared {
+        spec: RunSpec::new(source, message),
+        kind,
+    })
+}
+
+/// Clones a prepared node template when the run's spec matches the spec the
+/// template was built for, otherwise rebuilds the (cheap, O(n)) node vector
+/// from the cached labeling.
+fn clone_or_rebuild<N: Clone>(
+    template: &[N],
+    source: NodeId,
+    message: SourceMessage,
+    template_spec: RunSpec,
+    rebuild: impl FnOnce() -> Vec<N>,
+) -> Vec<N> {
+    if template_spec == RunSpec::new(source, message) {
+        template.to_vec()
+    } else {
+        rebuild()
+    }
+}
+
+/// One simulation in flight: wires the online informed-round tracking and the
+/// per-scheme observation hook into `Simulator::run_until`.
+struct Execution<'g, N: RadioNode> {
+    graph: &'g Arc<Graph>,
+    nodes: Vec<N>,
+    record: bool,
+    /// Whether to track informed rounds from node state after each round.
+    /// Only needed when the trace (the usual source of informed rounds) is
+    /// disabled, or for protocols whose payloads are not a simple message
+    /// pattern (B_arb) — skipping it keeps the O(n)-per-round scan off the
+    /// default hot path.
+    track_online: bool,
+    source: NodeId,
+}
+
+/// A finished simulation, ready to fill a [`RunReport`].
+struct Finished<N: RadioNode> {
+    sim: Simulator<N>,
+    online_informed: Vec<Option<u64>>,
+    rounds_executed: u64,
+}
+
+impl<'g, N: RadioNode> Execution<'g, N> {
+    fn new(
+        graph: &'g Arc<Graph>,
+        nodes: Vec<N>,
+        record: bool,
+        track_online: bool,
+        source: NodeId,
+    ) -> Self {
+        Execution {
+            graph,
+            nodes,
+            record,
+            track_online,
+            source,
+        }
+    }
+
+    /// Runs to the stop condition. After every round, `informed` marks newly
+    /// informed nodes and `observe` (receiving the simulator and the current
+    /// round) updates scheme-specific measurements; returning `true` from
+    /// `observe` stops the run early.
+    fn run(
+        self,
+        stop: StopCondition,
+        informed: impl Fn(&N) -> bool,
+        mut observe: impl FnMut(&Simulator<N>, u64) -> bool,
+    ) -> Finished<N> {
+        let mut sim = Simulator::new(Arc::clone(self.graph), self.nodes);
+        if !self.record {
+            sim = sim.without_trace();
+        }
+        let mut online = if self.track_online {
+            let mut online = vec![None; self.graph.node_count()];
+            online[self.source] = Some(0);
+            online
+        } else {
+            Vec::new()
+        };
+        let track = self.track_online;
+        let outcome = sim.run_until(stop, |s| {
+            let round = s.current_round();
+            if track {
+                for (v, node) in s.nodes().iter().enumerate() {
+                    if online[v].is_none() && informed(node) {
+                        online[v] = Some(round);
+                    }
+                }
+            }
+            observe(s, round)
+        });
+        Finished {
+            sim,
+            online_informed: online,
+            rounds_executed: outcome.rounds_executed,
+        }
+    }
+}
+
+impl<N: RadioNode> Finished<N> {
+    /// Fills the trace-derived report fields. With a recorded trace the
+    /// informed rounds come from the trace through the same payload predicate
+    /// the legacy runners used; without one they come from the online node
+    /// state, and the statistics carry only the round count.
+    fn fill(&self, report: &mut RunReport, record: bool, is_payload: impl Fn(&N::Msg) -> bool) {
+        if record {
+            report.informed_rounds = verify::first_payload_rounds(
+                self.sim.trace(),
+                report.node_count,
+                report.source,
+                is_payload,
+            );
+            report.stats = ExecutionStats::from_trace(self.sim.trace());
+        } else {
+            report.informed_rounds = self.online_informed.clone();
+            report.stats = ExecutionStats {
+                rounds: self.rounds_executed,
+                ..ExecutionStats::default()
+            };
+        }
+        report.rounds_executed = self.rounds_executed;
+    }
+
+    /// Like [`fill`](Self::fill), but always takes informed rounds from node
+    /// state (for protocols whose payloads are not a simple message pattern).
+    fn fill_from_nodes(&self, report: &mut RunReport) {
+        report.informed_rounds = self.online_informed.clone();
+        if self.sim.trace().is_empty() {
+            report.stats = ExecutionStats {
+                rounds: self.rounds_executed,
+                ..ExecutionStats::default()
+            };
+        } else {
+            report.stats = ExecutionStats::from_trace(self.sim.trace());
+        }
+        report.rounds_executed = self.rounds_executed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn lambda_session_matches_theorem_2_9() {
+        let g = generators::grid(4, 5);
+        let session = Session::builder(Scheme::Lambda, g)
+            .source(7)
+            .message(11)
+            .build()
+            .unwrap();
+        let r = session.run();
+        assert!(r.completed());
+        assert_eq!(r.scheme, "lambda");
+        assert_eq!(r.label_length, 2);
+        assert!(r.distinct_labels <= 4);
+        assert!(r.completion_round.unwrap() <= 2 * 20 - 3);
+        assert_eq!(r.informed_rounds[7], Some(0));
+        assert!(r.stats.transmissions > 0);
+        assert_eq!(r.coordinator, None);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_cached_labeling_and_agree() {
+        let g = generators::gnp_connected(24, 0.15, 3).unwrap();
+        let session = Session::builder(Scheme::Lambda, g)
+            .source(5)
+            .message(9)
+            .build()
+            .unwrap();
+        let labeling_before = session.labeling() as *const Labeling;
+        let a = session.run();
+        let b = session.run();
+        assert!(std::ptr::eq(labeling_before, session.labeling()));
+        assert_eq!(a.completion_round, b.completion_round);
+        assert_eq!(a.informed_rounds, b.informed_rounds);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn ack_session_reports_the_ack_round() {
+        let g = generators::cycle(11);
+        let session = Session::builder(Scheme::LambdaAck, g)
+            .source(3)
+            .message(5)
+            .build()
+            .unwrap();
+        let r = session.run();
+        assert!(r.completed());
+        let t = r.completion_round.unwrap();
+        let ack = r.ack_round.unwrap();
+        assert!(ack > t);
+        assert!(ack <= t + 11 - 2);
+        assert_eq!(r.label_length, 3);
+    }
+
+    #[test]
+    fn arb_session_runs_every_source_against_one_labeling() {
+        let g = Arc::new(generators::gnp_connected(14, 0.25, 2).unwrap());
+        let session = Session::builder(Scheme::LambdaArb, Arc::clone(&g))
+            .coordinator(0)
+            .message(77)
+            .build()
+            .unwrap();
+        let labeling = session.labeling() as *const Labeling;
+        for source in 0..g.node_count() {
+            let r = session.run_with(RunSpec::new(source, 77)).unwrap();
+            assert!(r.completion_round.is_some(), "source {source}");
+            assert!(r.common_knowledge_round.is_some(), "source {source}");
+            assert!(r.common_knowledge_round >= r.completion_round);
+            assert_eq!(r.coordinator, Some(0));
+            assert_eq!(r.label_length, 3);
+        }
+        assert!(std::ptr::eq(labeling, session.labeling()));
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_in_order() {
+        let g = Arc::new(generators::gnp_connected(18, 0.2, 7).unwrap());
+        let session = Session::builder(Scheme::LambdaArb, Arc::clone(&g))
+            .build()
+            .unwrap();
+        let specs: Vec<RunSpec> = (0..g.node_count())
+            .map(|s| RunSpec::new(s, 40 + s as u64))
+            .collect();
+        let sequential: Vec<RunReport> = specs
+            .iter()
+            .map(|&spec| session.run_with(spec).unwrap())
+            .collect();
+        let parallel = session.run_batch(&specs, 4).unwrap();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.source, s.source);
+            assert_eq!(p.completion_round, s.completion_round);
+            assert_eq!(p.common_knowledge_round, s.common_knowledge_round);
+            assert_eq!(p.stats, s.stats);
+        }
+    }
+
+    #[test]
+    fn disabled_trace_still_tracks_informed_rounds() {
+        let g = generators::grid(4, 5);
+        let with_trace = Session::builder(Scheme::Lambda, g.clone())
+            .source(7)
+            .build()
+            .unwrap()
+            .run();
+        let without = Session::builder(Scheme::Lambda, g)
+            .source(7)
+            .trace(TracePolicy::Disabled)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(with_trace.informed_rounds, without.informed_rounds);
+        assert_eq!(with_trace.completion_round, without.completion_round);
+        assert_eq!(without.stats.transmissions, 0, "no trace, no tx stats");
+        assert_eq!(without.stats.rounds, without.rounds_executed);
+    }
+
+    #[test]
+    fn baseline_sessions_complete_with_longer_labels() {
+        let g = Arc::new(generators::grid(3, 4));
+        let ids = Session::builder(Scheme::UniqueIds, Arc::clone(&g))
+            .message(5)
+            .build()
+            .unwrap()
+            .run();
+        let colors = Session::builder(Scheme::SquareColoring, Arc::clone(&g))
+            .message(5)
+            .build()
+            .unwrap()
+            .run();
+        let lambda = Session::builder(Scheme::Lambda, Arc::clone(&g))
+            .message(5)
+            .build()
+            .unwrap()
+            .run();
+        assert!(ids.completed() && colors.completed() && lambda.completed());
+        assert!(ids.label_length > lambda.label_length);
+        assert!(colors.label_length >= lambda.label_length || lambda.label_length == 2);
+    }
+
+    #[test]
+    fn onebit_sessions_complete_on_their_classes() {
+        let c = generators::cycle(10);
+        let r = Session::builder(Scheme::OneBitCycle, c)
+            .source(4)
+            .message(3)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.completed());
+        assert_eq!(r.label_length, 1);
+
+        let g = generators::grid(3, 5);
+        let r = Session::builder(Scheme::OneBitGrid { rows: 3, cols: 5 }, g)
+            .source(7)
+            .message(3)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.completed());
+        assert_eq!(r.label_length, 1);
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        for scheme in Scheme::GENERAL {
+            assert!(
+                Session::builder(scheme, disconnected.clone())
+                    .build()
+                    .is_err(),
+                "{}",
+                scheme.name()
+            );
+        }
+        let g = generators::path(4);
+        assert!(Session::builder(Scheme::Lambda, g.clone())
+            .source(9)
+            .build()
+            .is_err());
+        assert!(Session::builder(Scheme::OneBitCycle, g).build().is_err());
+    }
+
+    #[test]
+    fn run_with_rejects_out_of_range_sources() {
+        let g = generators::path(6);
+        let session = Session::builder(Scheme::Lambda, g).build().unwrap();
+        assert!(matches!(
+            session.run_with(RunSpec::new(99, 1)),
+            Err(LabelingError::SourceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_relabels_for_a_source_dependent_scheme() {
+        let g = generators::path(12);
+        let session = Session::builder(Scheme::Lambda, g)
+            .source(0)
+            .build()
+            .unwrap();
+        let from_other_end = session.run_with(RunSpec::new(11, 4)).unwrap();
+        assert!(from_other_end.completed());
+        assert_eq!(from_other_end.informed_rounds[11], Some(0));
+        // The session's own cache is untouched.
+        assert_eq!(session.run().informed_rounds[0], Some(0));
+    }
+
+    #[test]
+    fn fixed_round_cap_truncates_the_run() {
+        let g = generators::path(20);
+        let session = Session::builder(Scheme::Lambda, g)
+            .round_cap(RoundCapPolicy::Fixed(3))
+            .build()
+            .unwrap();
+        let r = session.run();
+        assert!(r.rounds_executed <= 3);
+        assert!(!r.completed(), "a 20-path cannot finish in 3 rounds");
+    }
+
+    #[test]
+    fn scheme_names_are_distinct_and_stable() {
+        let mut names: Vec<&str> = Scheme::GENERAL.iter().map(Scheme::name).collect();
+        names.push(Scheme::OneBitCycle.name());
+        names.push(Scheme::OneBitGrid { rows: 2, cols: 2 }.name());
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

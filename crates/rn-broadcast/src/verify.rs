@@ -149,8 +149,7 @@ pub fn check_lemma_2_8(
         // overhear it later) is excluded.
         let mut first_receivers: Vec<usize> = (0..labeling.node_count())
             .filter(|&v| {
-                v != construction.source()
-                    && first_data_round(trace, v) == Some(odd_round)
+                v != construction.source() && first_data_round(trace, v) == Some(odd_round)
             })
             .collect();
         first_receivers.sort_unstable();

@@ -37,10 +37,7 @@ fn main() {
         ExperimentConfig::full()
     };
 
-    let requested: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let tables = if requested.is_empty() {
         run_all(&config)

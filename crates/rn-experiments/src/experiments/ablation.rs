@@ -57,7 +57,7 @@ fn broadcast_rounds_with_order(
         matches!(m, rn_broadcast::BMessage::Data(_))
     });
     let completion = verify::completion_round(&informed);
-    let within = completion.map_or(false, |c| c <= 2 * g.node_count() as u64 - 3);
+    let within = completion.is_some_and(|c| c <= 2 * g.node_count() as u64 - 3);
     (completion, within)
 }
 

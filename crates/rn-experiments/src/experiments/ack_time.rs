@@ -6,7 +6,8 @@ use crate::report::{fmt_bool, fmt_opt, Table};
 use crate::sweep::run_sweep;
 use crate::workloads::GraphFamily;
 use crate::ExperimentConfig;
-use rn_broadcast::runner;
+use rn_broadcast::session::{Scheme, Session};
+use std::sync::Arc;
 
 /// Measurement for one sweep point.
 #[derive(Debug, Clone, Copy)]
@@ -24,12 +25,17 @@ pub struct Point {
 /// Runs the sweep and renders the table.
 pub fn run(config: &ExperimentConfig) -> Table {
     let points = run_sweep(&GraphFamily::ALL, config, |g, source, _w| {
-        let r = runner::run_acknowledged_broadcast(g, source, 7).expect("connected workload");
+        let r = Session::builder(Scheme::LambdaAck, Arc::clone(g))
+            .source(source)
+            .message(7)
+            .build()
+            .expect("connected workload")
+            .run();
         Point {
             n: g.node_count(),
-            completion: r.broadcast.completion_round,
+            completion: r.completion_round,
             ack_round: r.ack_round,
-            max_message_bits: r.broadcast.stats.max_message_bits,
+            max_message_bits: r.stats.max_message_bits,
         }
     });
 

@@ -7,7 +7,8 @@ use crate::report::{fmt_bool, fmt_opt, Table};
 use crate::sweep::run_sweep;
 use crate::workloads::GraphFamily;
 use crate::ExperimentConfig;
-use rn_broadcast::runner;
+use rn_broadcast::session::{RunSpec, Scheme, Session};
+use std::sync::Arc;
 
 /// Measurement for one sweep point: the worst case over several source
 /// positions.
@@ -32,14 +33,20 @@ pub fn run(config: &ExperimentConfig) -> Table {
     // so sweep the compact family set and a handful of source positions.
     let points = run_sweep(&GraphFamily::CORE, config, |g, _default_source, w| {
         let n = g.node_count();
-        let coordinator = 0;
-        let sources = [0, n / 3, n / 2, n - 1];
+        // λ_arb labels are source-independent, so one session serves every
+        // source position against the same cached labeling.
+        let session = Session::builder(Scheme::LambdaArb, Arc::clone(g))
+            .coordinator(0)
+            .build()
+            .expect("connected workload");
+        let specs: Vec<RunSpec> = [0, n / 3, n / 2, n - 1]
+            .into_iter()
+            .map(|s| RunSpec::new(s, 7 + w.seed))
+            .collect();
         let mut all_ok = true;
         let mut worst_completion = Some(0u64);
         let mut worst_ck = Some(0u64);
-        for &s in &sources {
-            let r = runner::run_arbitrary_source(g, coordinator, s, 7 + w.seed)
-                .expect("connected workload");
+        for r in session.run_batch(&specs, 1).expect("sources in range") {
             let ok = r.completion_round.is_some() && r.common_knowledge_round.is_some();
             all_ok &= ok;
             worst_completion = match (worst_completion, r.completion_round) {
@@ -53,7 +60,7 @@ pub fn run(config: &ExperimentConfig) -> Table {
         }
         Point {
             n,
-            sources_tried: sources.len(),
+            sources_tried: specs.len(),
             all_succeeded: all_ok,
             worst_completion,
             worst_common_knowledge: worst_ck,
@@ -120,7 +127,10 @@ mod tests {
         let t = run(&cfg);
         for row in &t.rows {
             let per_n: f64 = row[5].parse().unwrap();
-            assert!(per_n < 20.0, "B_arb should stay within a small constant times n");
+            assert!(
+                per_n < 20.0,
+                "B_arb should stay within a small constant times n"
+            );
         }
     }
 }

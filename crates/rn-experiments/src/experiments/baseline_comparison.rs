@@ -11,7 +11,8 @@ use crate::report::{fmt_f64, fmt_opt, Table};
 use crate::sweep::run_sweep;
 use crate::workloads::GraphFamily;
 use crate::ExperimentConfig;
-use rn_broadcast::runner;
+use rn_broadcast::session::{Scheme, Session};
+use std::sync::Arc;
 
 /// Measurement for one sweep point.
 #[derive(Debug, Clone, Copy)]
@@ -31,9 +32,18 @@ pub struct Point {
 /// Runs the sweep and renders the table.
 pub fn run(config: &ExperimentConfig) -> Table {
     let points = run_sweep(&GraphFamily::CORE, config, |g, source, _w| {
-        let lambda = runner::run_broadcast(g, source, 7).expect("connected workload");
-        let ids = runner::run_unique_id_broadcast(g, source, 7).expect("connected workload");
-        let colors = runner::run_coloring_broadcast(g, source, 7).expect("connected workload");
+        // All three schemes share one graph allocation through the session.
+        let run = |scheme| {
+            Session::builder(scheme, Arc::clone(g))
+                .source(source)
+                .message(7)
+                .build()
+                .expect("connected workload")
+                .run()
+        };
+        let lambda = run(Scheme::Lambda);
+        let ids = run(Scheme::UniqueIds);
+        let colors = run(Scheme::SquareColoring);
         Point {
             n: g.node_count(),
             lambda_rounds: lambda.completion_round,

@@ -9,7 +9,8 @@ use crate::report::{fmt_bool, fmt_f64, fmt_opt, Table};
 use crate::sweep::run_sweep;
 use crate::workloads::GraphFamily;
 use crate::ExperimentConfig;
-use rn_broadcast::runner;
+use rn_broadcast::session::{Scheme, Session};
+use std::sync::Arc;
 
 /// Measurement for one sweep point.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +26,12 @@ pub struct Point {
 /// Runs the sweep and renders the table.
 pub fn run(config: &ExperimentConfig) -> Table {
     let points = run_sweep(&GraphFamily::ALL, config, |g, source, _w| {
-        let r = runner::run_broadcast(g, source, 7).expect("connected workload");
+        let r = Session::builder(Scheme::Lambda, Arc::clone(g))
+            .source(source)
+            .message(7)
+            .build()
+            .expect("connected workload")
+            .run();
         Point {
             n: g.node_count(),
             completion: r.completion_round,
@@ -56,7 +62,7 @@ pub fn run(config: &ExperimentConfig) -> Table {
             bound.to_string(),
             completion.map_or("-".to_string(), |c| fmt_f64(c as f64 / bound as f64)),
             p.result.transmissions.to_string(),
-            fmt_bool(completion.map_or(false, |c| c <= bound)),
+            fmt_bool(completion.is_some_and(|c| c <= bound)),
         ]);
     }
     table.push_note("every row must read `yes`: Theorem 2.9 guarantees completion within 2n-3");
@@ -89,6 +95,9 @@ mod tests {
             .iter()
             .find(|r| r[0] == "path")
             .expect("path family present");
-        assert_eq!(path_row[2], path_row[3], "path should meet the bound exactly");
+        assert_eq!(
+            path_row[2], path_row[3],
+            "path should meet the bound exactly"
+        );
     }
 }

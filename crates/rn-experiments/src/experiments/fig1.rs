@@ -73,7 +73,11 @@ pub fn run() -> Table {
         let transmits = sim.trace().transmit_rounds(v);
         let receives = sim.trace().receive_rounds(v);
         table.push_row(vec![
-            if v == source { format!("{v} (source)") } else { v.to_string() },
+            if v == source {
+                format!("{v} (source)")
+            } else {
+                v.to_string()
+            },
             scheme.labeling().get(v).to_string(),
             format_rounds(&transmits),
             format_rounds(&receives),

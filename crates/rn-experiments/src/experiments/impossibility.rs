@@ -21,7 +21,7 @@ use crate::report::{fmt_bool, Table};
 use rn_broadcast::algo_b::BNode;
 use rn_broadcast::delay_relay::DelayRelayNode;
 use rn_broadcast::messages::BMessage;
-use rn_broadcast::runner;
+use rn_broadcast::session::{Scheme, Session};
 use rn_graph::generators;
 use rn_labeling::{Label, Labeling};
 use rn_radio::trace::NodeEvent;
@@ -86,7 +86,11 @@ pub fn run() -> Table {
         let labeling = uniform_labeling(Label::two_bits(x1, x2));
         let nodes = BNode::network(&labeling, 0, MSG);
         attempts.push(attempt_with_nodes(
-            &format!("algorithm B, uniform label {}{}", u8::from(x1), u8::from(x2)),
+            &format!(
+                "algorithm B, uniform label {}{}",
+                u8::from(x1),
+                u8::from(x2)
+            ),
             nodes,
             BNode::is_informed,
         ));
@@ -114,7 +118,11 @@ pub fn run() -> Table {
 
     let mut table = Table::new(
         "E7: deterministic broadcast on the four-cycle — uniform labels fail, lambda succeeds",
-        &["algorithm", "antipodal node informed", "source neighbours symmetric"],
+        &[
+            "algorithm",
+            "antipodal node informed",
+            "source neighbours symmetric",
+        ],
     );
     for a in &attempts {
         table.push_row(vec![
@@ -126,7 +134,12 @@ pub fn run() -> Table {
 
     // Control: the 2-bit λ labeling completes.
     let g = generators::cycle(4);
-    let r = runner::run_broadcast(&g, 0, MSG).expect("cycle is connected");
+    let r = Session::builder(Scheme::Lambda, g)
+        .source(0)
+        .message(MSG)
+        .build()
+        .expect("cycle is connected")
+        .run();
     table.push_row(vec![
         "algorithm B with the 2-bit lambda labeling".to_string(),
         fmt_bool(r.completed()),

@@ -89,7 +89,10 @@ mod tests {
         let lambda_lens: Vec<usize> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         assert!(lambda_lens.iter().all(|&l| l == 2));
         let id_lens: Vec<usize> = t.rows.iter().map(|r| r[9].parse().unwrap()).collect();
-        assert!(id_lens.iter().any(|&l| l >= 6), "ids must grow with n: {id_lens:?}");
+        assert!(
+            id_lens.iter().any(|&l| l >= 6),
+            "ids must grow with n: {id_lens:?}"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 
 use crate::report::{fmt_bool, Table};
 use crate::ExperimentConfig;
-use rn_broadcast::runner;
+use rn_broadcast::session::{RunSpec, Scheme, Session};
 use rn_graph::generators;
+use std::sync::Arc;
 
 /// Runs the cycle and grid sweeps and renders one table per class.
 pub fn run(config: &ExperimentConfig) -> Vec<Table> {
@@ -18,15 +19,29 @@ pub fn run(config: &ExperimentConfig) -> Vec<Table> {
 fn cycles(config: &ExperimentConfig) -> Table {
     let mut table = Table::new(
         "E6a: one-bit labels on cycles (delay-relay algorithm), all source positions",
-        &["n", "label length", "worst completion round", "all sources informed"],
+        &[
+            "n",
+            "label length",
+            "worst completion round",
+            "all sources informed",
+        ],
     );
     for &n in &config.sizes {
         let n = n.max(4);
-        let g = generators::cycle(n);
+        let g = Arc::new(generators::cycle(n));
+        // The 1-bit labeling depends on the source, so each spec relabels —
+        // but the graph itself is shared across all n runs.
+        let session = Session::builder(Scheme::OneBitCycle, Arc::clone(&g))
+            .message(9)
+            .build()
+            .expect("cycle scheme applies");
+        let specs: Vec<RunSpec> = (0..n).map(|s| RunSpec::new(s, 9)).collect();
         let mut worst = 0u64;
         let mut all_ok = true;
-        for source in 0..n {
-            let r = runner::run_onebit_cycle(&g, source, 9).expect("cycle scheme applies");
+        for r in session
+            .run_batch(&specs, config.threads)
+            .expect("sources in range")
+        {
             match r.completion_round {
                 Some(c) => worst = worst.max(c),
                 None => all_ok = false,
@@ -46,16 +61,29 @@ fn cycles(config: &ExperimentConfig) -> Table {
 fn grids(config: &ExperimentConfig) -> Table {
     let mut table = Table::new(
         "E6b: one-bit labels on grids (delay-relay algorithm), all source positions",
-        &["rows x cols", "n", "label length", "worst completion round", "all sources informed"],
+        &[
+            "rows x cols",
+            "n",
+            "label length",
+            "worst completion round",
+            "all sources informed",
+        ],
     );
     for &n in &config.sizes {
         let rows = ((n as f64).sqrt().round() as usize).max(2);
         let cols = (n / rows).max(2);
-        let g = generators::grid(rows, cols);
+        let g = Arc::new(generators::grid(rows, cols));
+        let session = Session::builder(Scheme::OneBitGrid { rows, cols }, Arc::clone(&g))
+            .message(9)
+            .build()
+            .expect("grid scheme applies");
+        let specs: Vec<RunSpec> = (0..g.node_count()).map(|s| RunSpec::new(s, 9)).collect();
         let mut worst = 0u64;
         let mut all_ok = true;
-        for source in 0..g.node_count() {
-            let r = runner::run_onebit_grid(&g, rows, cols, source, 9).expect("grid scheme applies");
+        for r in session
+            .run_batch(&specs, config.threads)
+            .expect("sources in range")
+        {
             match r.completion_round {
                 Some(c) => worst = worst.max(c),
                 None => all_ok = false,

@@ -112,7 +112,11 @@ pub fn fmt_opt(x: Option<u64>) -> String {
 /// Convenience: format a boolean as `yes` / `NO` (loud when false, because a
 /// `false` in these reports means a theorem check failed).
 pub fn fmt_bool(b: bool) -> String {
-    if b { "yes".to_string() } else { "NO".to_string() }
+    if b {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use crate::workloads::{GraphFamily, Workload};
 use crate::ExperimentConfig;
+use std::sync::Arc;
 
 /// One sweep point together with its measurement.
 #[derive(Debug, Clone)]
@@ -21,8 +22,9 @@ pub struct SweepPoint<R> {
 
 /// Runs `measure` on every (family, size, seed) combination.
 ///
-/// The measurement closure receives the generated graph, the default source
-/// and the workload recipe.
+/// The measurement closure receives the generated graph (behind an [`Arc`],
+/// so session-based measurements can share it with zero copies), the default
+/// source and the workload recipe.
 pub fn run_sweep<R, F>(
     families: &[GraphFamily],
     config: &ExperimentConfig,
@@ -30,7 +32,7 @@ pub fn run_sweep<R, F>(
 ) -> Vec<SweepPoint<R>>
 where
     R: Send,
-    F: Fn(&rn_graph::Graph, usize, Workload) -> R + Sync,
+    F: Fn(&Arc<rn_graph::Graph>, usize, Workload) -> R + Sync,
 {
     let mut jobs = Vec::new();
     for &family in families {
@@ -42,6 +44,7 @@ where
     }
     rn_radio::batch::run_parallel(jobs, config.threads, |w| {
         let (g, source) = w.instantiate();
+        let g = Arc::new(g);
         let actual_n = g.node_count();
         let result = measure(&g, source, w);
         SweepPoint {

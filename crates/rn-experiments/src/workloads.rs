@@ -181,7 +181,11 @@ mod tests {
                 for seed in [1, 7] {
                     let g = family.generate(n, seed);
                     assert!(is_connected(&g), "{} n={n} seed={seed}", family.name());
-                    assert!(g.node_count() >= 4, "{} produced a tiny graph", family.name());
+                    assert!(
+                        g.node_count() >= 4,
+                        "{} produced a tiny graph",
+                        family.name()
+                    );
                 }
             }
         }
@@ -201,7 +205,7 @@ mod tests {
             let g = family.generate(64, 3);
             let n = g.node_count();
             assert!(
-                n >= 32 && n <= 96,
+                (32..=96).contains(&n),
                 "{} produced {n} nodes for a request of 64",
                 family.name()
             );

@@ -57,8 +57,8 @@ pub fn greedy_coloring_with_order(g: &Graph, order: ColoringOrder) -> Vec<usize>
                         }
                     }
                 }
-                for v in 0..n {
-                    if !seen[v] {
+                for (v, &was_seen) in seen.iter().enumerate() {
+                    if !was_seen {
                         order_vec.push(v);
                     }
                 }

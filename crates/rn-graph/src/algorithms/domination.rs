@@ -35,7 +35,10 @@ pub enum ReductionOrder {
 /// deduplicated; note that members of `set` appear only if they have a
 /// neighbour inside `set`.
 pub fn neighborhood_of_set(g: &Graph, set: &[NodeId]) -> Vec<NodeId> {
-    let mut out: Vec<NodeId> = set.iter().flat_map(|&v| g.neighbors(v).iter().copied()).collect();
+    let mut out: Vec<NodeId> = set
+        .iter()
+        .flat_map(|&v| g.neighbors(v).iter().copied())
+        .collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -74,8 +77,7 @@ pub fn is_minimal_dominating_set(g: &Graph, set: &[NodeId], targets: &[NodeId]) 
     // Every member must have a private neighbour among the targets.
     set.iter().all(|&member| {
         targets.iter().any(|&t| {
-            g.has_edge(member, t)
-                && g.neighbors(t).iter().filter(|&&w| in_set[w]).count() == 1
+            g.has_edge(member, t) && g.neighbors(t).iter().filter(|&&w| in_set[w]).count() == 1
         })
     })
 }
@@ -229,7 +231,7 @@ mod tests {
     #[test]
     fn minimality_check_accepts_and_rejects() {
         let g = generators::path(5); // 0-1-2-3-4
-        // {1,3} dominates {0,2,4} minimally.
+                                     // {1,3} dominates {0,2,4} minimally.
         assert!(is_minimal_dominating_set(&g, &[1, 3], &[0, 2, 4]));
         // {1,2,3} also dominates but is not minimal (2 has no private target).
         assert!(!is_minimal_dominating_set(&g, &[1, 2, 3], &[0, 2, 4]));
@@ -291,8 +293,7 @@ mod tests {
     #[test]
     fn minimal_subset_with_empty_targets_is_empty() {
         let g = generators::path(4);
-        let sub =
-            minimal_dominating_subset(&g, &[0, 1, 2], &[], ReductionOrder::Forward).unwrap();
+        let sub = minimal_dominating_subset(&g, &[0, 1, 2], &[], ReductionOrder::Forward).unwrap();
         assert!(sub.is_empty());
     }
 
@@ -301,10 +302,10 @@ mod tests {
         let g = generators::complete(6);
         let candidates: Vec<usize> = g.nodes().collect();
         let targets: Vec<usize> = g.nodes().collect();
-        let a = minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Forward)
-            .unwrap();
-        let b = minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Reverse)
-            .unwrap();
+        let a =
+            minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Forward).unwrap();
+        let b =
+            minimal_dominating_subset(&g, &candidates, &targets, ReductionOrder::Reverse).unwrap();
         assert!(is_dominating_set(&g, &a, &targets));
         assert!(is_dominating_set(&g, &b, &targets));
         // Domination is by adjacency (open neighbourhood), so covering every

@@ -63,9 +63,7 @@ pub fn leaf_count(g: &Graph) -> usize {
 /// Whether `g` is a simple cycle: connected, every node of degree exactly 2,
 /// and at least 3 nodes.
 pub fn is_cycle_graph(g: &Graph) -> bool {
-    g.node_count() >= 3
-        && g.nodes().all(|v| g.degree(v) == 2)
-        && is_connected(g)
+    g.node_count() >= 3 && g.nodes().all(|v| g.degree(v) == 2) && is_connected(g)
 }
 
 /// Whether `g` is a path graph: a tree with exactly two leaves (or a single

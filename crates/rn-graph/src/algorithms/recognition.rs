@@ -247,7 +247,8 @@ mod tests {
             // 1×n and n×1 are both reported as (1, n); otherwise dims may be
             // transposed because a grid and its transpose are isomorphic.
             let n_ok = dims.0 * dims.1 == r * c;
-            let shape_ok = dims == (r, c) || dims == (c, r) || (r.min(c) == 1 && dims.0.min(dims.1) == 1);
+            let shape_ok =
+                dims == (r, c) || dims == (c, r) || (r.min(c) == 1 && dims.0.min(dims.1) == 1);
             assert!(n_ok && shape_ok, "grid({r},{c}) recognised as {dims:?}");
         }
     }
@@ -276,11 +277,8 @@ mod tests {
         assert!(is_caterpillar(&generators::caterpillar(5, 2)));
         assert!(!is_caterpillar(&generators::cycle(5)));
         // A "spider" with three long legs is a tree but not a caterpillar.
-        let spider = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
-        )
-        .unwrap();
+        let spider =
+            Graph::from_edges(7, &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]).unwrap();
         assert!(!is_caterpillar(&spider));
     }
 }

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn display_not_connected() {
-        assert_eq!(GraphError::NotConnected.to_string(), "graph is not connected");
+        assert_eq!(
+            GraphError::NotConnected.to_string(),
+            "graph is not connected"
+        );
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub fn wheel(n: usize) -> Graph {
     let rim = n - 1;
     let mut b = GraphBuilder::new(n);
     for i in 0..rim {
-        b.add_edge(1 + i, 1 + (i + 1) % rim).expect("valid rim edge");
+        b.add_edge(1 + i, 1 + (i + 1) % rim)
+            .expect("valid rim edge");
         b.add_edge(0, 1 + i).expect("valid spoke edge");
     }
     b.build()
@@ -104,7 +105,8 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     for i in 0..k {
         for j in (i + 1)..k {
             b.add_edge(i, j).expect("left clique edge");
-            b.add_edge(k + bridge + i, k + bridge + j).expect("right clique edge");
+            b.add_edge(k + bridge + i, k + bridge + j)
+                .expect("right clique edge");
         }
     }
     // Bridge path from node k-1 through bridge nodes to node k+bridge.
@@ -113,7 +115,8 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
         b.add_edge(prev, k + t).expect("bridge edge");
         prev = k + t;
     }
-    b.add_edge(prev, k + bridge).expect("bridge to right clique");
+    b.add_edge(prev, k + bridge)
+        .expect("bridge to right clique");
     b.build()
 }
 

@@ -84,7 +84,9 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<UnitDiskInstance, G
 pub fn unit_disk_with_degree(n: usize, target_degree: f64, seed: u64) -> Result<Graph, GraphError> {
     if target_degree <= 0.0 || target_degree.is_nan() {
         return Err(GraphError::InvalidParameters {
-            reason: format!("unit_disk_with_degree requires a positive target degree, got {target_degree}"),
+            reason: format!(
+                "unit_disk_with_degree requires a positive target degree, got {target_degree}"
+            ),
         });
     }
     let radius = (target_degree / (std::f64::consts::PI * n.max(1) as f64))

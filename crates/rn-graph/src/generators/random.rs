@@ -124,7 +124,9 @@ pub fn random_regularish(n: usize, target_degree: usize, seed: u64) -> Result<Gr
     }
     if target_degree < 2 || target_degree >= n {
         return Err(GraphError::InvalidParameters {
-            reason: format!("random_regularish requires 2 <= target_degree < n, got {target_degree}"),
+            reason: format!(
+                "random_regularish requires 2 <= target_degree < n, got {target_degree}"
+            ),
         });
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -223,7 +225,7 @@ mod tests {
         assert!(is_connected(&g));
         assert_eq!(g.node_count(), 40);
         let avg = g.average_degree();
-        assert!(avg >= 4.0 && avg <= 8.0, "avg degree {avg}");
+        assert!((4.0..=8.0).contains(&avg), "avg degree {avg}");
     }
 
     #[test]

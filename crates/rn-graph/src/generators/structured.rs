@@ -13,7 +13,7 @@ use rand::SeedableRng;
 /// Panics if `dim == 0` or `dim > 20` (the latter to avoid accidental
 /// multi-million-node graphs).
 pub fn hypercube(dim: usize) -> Graph {
-    assert!(dim >= 1 && dim <= 20, "hypercube requires 1 <= dim <= 20");
+    assert!((1..=20).contains(&dim), "hypercube requires 1 <= dim <= 20");
     let n = 1usize << dim;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn series_parallel_deterministic_per_seed() {
-        assert_eq!(series_parallel(30, 5).unwrap(), series_parallel(30, 5).unwrap());
+        assert_eq!(
+            series_parallel(30, 5).unwrap(),
+            series_parallel(30, 5).unwrap()
+        );
     }
 
     #[test]

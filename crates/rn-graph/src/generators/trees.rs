@@ -49,7 +49,11 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// entry.
 pub fn prufer_to_tree(n: usize, prufer: &[usize]) -> Graph {
     assert!(n >= 2, "prufer_to_tree requires n >= 2");
-    assert_eq!(prufer.len(), n - 2, "Prüfer sequence must have length n - 2");
+    assert_eq!(
+        prufer.len(),
+        n - 2,
+        "Prüfer sequence must have length n - 2"
+    );
     assert!(
         prufer.iter().all(|&x| x < n),
         "Prüfer sequence entries must be < n"
@@ -107,7 +111,10 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 /// # Panics
 /// Panics if `legs == 0` or `leg_len == 0`.
 pub fn spider(legs: usize, leg_len: usize) -> Graph {
-    assert!(legs >= 1 && leg_len >= 1, "spider requires legs, leg_len >= 1");
+    assert!(
+        legs >= 1 && leg_len >= 1,
+        "spider requires legs, leg_len >= 1"
+    );
     let n = 1 + legs * leg_len;
     let mut b = GraphBuilder::new(n);
     let mut next = 1;

@@ -316,7 +316,10 @@ mod tests {
     #[test]
     fn builder_rejects_self_loop() {
         let mut b = GraphBuilder::new(3);
-        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
     }
 
     #[test]

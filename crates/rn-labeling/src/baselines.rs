@@ -175,7 +175,7 @@ mod tests {
             ColoringOrder::BfsFromZero,
         ] {
             let (l, k) = square_coloring_with_order(&g, order).unwrap();
-            assert!(k >= g.max_degree() + 1);
+            assert!(k > g.max_degree());
             assert_eq!(l.length(), id_bits(k));
         }
     }

@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(LabelingError::NotConnected.to_string().contains("connected"));
+        assert!(LabelingError::NotConnected
+            .to_string()
+            .contains("connected"));
         assert!(LabelingError::EmptyGraph.to_string().contains("non-empty"));
         let e = LabelingError::SourceOutOfRange {
             source: 9,

@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn constructors_agree() {
-        assert_eq!(Label::two_bits(true, false), Label::from_bits(&[true, false]));
+        assert_eq!(
+            Label::two_bits(true, false),
+            Label::from_bits(&[true, false])
+        );
         assert_eq!(
             Label::three_bits(false, true, true),
             Label::from_bits(&[false, true, true])

@@ -154,7 +154,9 @@ mod tests {
         let c = s.construction();
         for v in g.nodes() {
             if s.labeling().get(v).x2() {
-                let i = c.new_stage_of(v).expect("x2 nodes are newly informed at some stage");
+                let i = c
+                    .new_stage_of(v)
+                    .expect("x2 nodes are newly informed at some stage");
                 // v must be adjacent to some node in DOM_{i+1} ∩ DOM_i.
                 let dom_i = c.dom(i);
                 let dom_next = c.dom(i + 1);

@@ -112,7 +112,9 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         assert!(construct(&Graph::empty(0)).is_err());
-        assert!(construct_with_coordinator(&generators::path(4), 9, ReductionOrder::Forward).is_err());
+        assert!(
+            construct_with_coordinator(&generators::path(4), 9, ReductionOrder::Forward).is_err()
+        );
         let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         assert!(construct(&disconnected).is_err());
     }

@@ -59,7 +59,7 @@ pub fn cycle_onebit(g: &Graph, source: NodeId) -> Result<Labeling, LabelingError
     }
     let n = g.node_count();
     let mut bits = vec![false; n];
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         let delayed = g.neighbors(source)[0];
         bits[delayed] = true;
     }

@@ -121,7 +121,11 @@ mod tests {
     fn errors_propagate() {
         let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         for scheme in SchemeKind::ALL {
-            assert!(scheme.assign(&disconnected, 0).is_err(), "{}", scheme.name());
+            assert!(
+                scheme.assign(&disconnected, 0).is_err(),
+                "{}",
+                scheme.name()
+            );
         }
     }
 }

@@ -55,11 +55,7 @@ impl SequenceConstruction {
     /// `order` selects how the minimal dominating subset is reduced; every
     /// order yields a valid construction (the paper allows any minimal
     /// subset), and the choice only matters for the ablation experiment.
-    pub fn build(
-        g: &Graph,
-        source: NodeId,
-        order: ReductionOrder,
-    ) -> Result<Self, LabelingError> {
+    pub fn build(g: &Graph, source: NodeId, order: ReductionOrder) -> Result<Self, LabelingError> {
         let n = g.node_count();
         if n == 0 {
             return Err(LabelingError::EmptyGraph);
@@ -114,7 +110,8 @@ impl SequenceConstruction {
                 .collect();
 
             // DOM_i = minimal subset of DOM_{i-1} ∪ NEW_{i-1} dominating FRONTIER_i.
-            let mut candidates: Vec<NodeId> = prev.dom.iter().chain(prev.new.iter()).copied().collect();
+            let mut candidates: Vec<NodeId> =
+                prev.dom.iter().chain(prev.new.iter()).copied().collect();
             candidates.sort_unstable();
             candidates.dedup();
             let dom = minimal_dominating_subset(g, &candidates, &frontier, order)
@@ -147,10 +144,7 @@ impl SequenceConstruction {
             );
         }
 
-        Ok(SequenceConstruction {
-            source,
-            stages,
-        })
+        Ok(SequenceConstruction { source, stages })
     }
 
     /// The source node the construction was built for.

@@ -1,14 +1,18 @@
 //! Parallel execution of many independent simulation jobs.
 //!
-//! Experiment sweeps run thousands of independent simulations (one per graph
-//! size × family × seed). Each simulation is single-threaded and
-//! deterministic; the sweep itself is embarrassingly parallel, so we fan the
-//! jobs out over a small pool of crossbeam scoped threads. Results are
-//! returned in job order, so parallel and sequential sweeps produce
-//! byte-identical reports.
+//! Experiment sweeps and `Session::run_batch` (in `rn-broadcast`) run many
+//! independent simulations — one per graph size × family × seed, or one per
+//! run spec. Each simulation is single-threaded and deterministic; the batch
+//! itself is embarrassingly parallel, so we fan the jobs out over a small
+//! pool of scoped threads. Results are returned in job order, so parallel and
+//! sequential batches produce byte-identical reports.
+//!
+//! This executor lives here, below both `rn-broadcast` and `rn-experiments`
+//! in the crate graph, so the session API and the sweep harness share one
+//! thread-pool implementation without a dependency cycle.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `worker` on every job, using up to `threads` worker threads, and
 /// returns the results in the same order as the input jobs.
@@ -33,33 +37,33 @@ where
     let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..job_count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let worker_ref = &worker;
-    let slots_ref = &slots;
-    let results_ref = &results;
-    let next_ref = &next;
 
     let thread_count = threads.min(job_count);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..thread_count {
-            scope.spawn(move |_| loop {
-                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= job_count {
                     break;
                 }
-                let job = slots_ref[idx]
+                let job = slots[idx]
                     .lock()
+                    .expect("job mutex not poisoned")
                     .take()
                     .expect("each job is taken exactly once");
-                let result = worker_ref(job);
-                *results_ref[idx].lock() = Some(result);
+                let result = worker(job);
+                *results[idx].lock().expect("result mutex not poisoned") = Some(result);
             });
         }
-    })
-    .expect("simulation worker threads do not panic");
+    });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every job produced a result"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex not poisoned")
+                .expect("every job produced a result")
+        })
         .collect()
 }
 

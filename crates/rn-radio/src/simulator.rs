@@ -17,6 +17,7 @@
 use crate::node::{Action, RadioNode};
 use crate::trace::{NodeEvent, RoundRecord, Trace};
 use rn_graph::{Graph, NodeId};
+use std::sync::Arc;
 
 /// When the simulation should stop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,8 +52,13 @@ pub struct RunOutcome {
 }
 
 /// The synchronous radio-network simulator.
+///
+/// The graph is held behind an [`Arc`], so many simulators — for example the
+/// repeated runs of one `Session`, or the parallel jobs of a batch — can
+/// share a single topology without per-run copies. Plain [`Graph`] values are
+/// still accepted everywhere via `impl Into<Arc<Graph>>`.
 pub struct Simulator<N: RadioNode> {
-    graph: Graph,
+    graph: Arc<Graph>,
     nodes: Vec<N>,
     trace: Trace<N::Msg>,
     round: u64,
@@ -62,9 +68,13 @@ pub struct Simulator<N: RadioNode> {
 impl<N: RadioNode> Simulator<N> {
     /// Creates a simulator for `graph` with one protocol instance per node.
     ///
+    /// Accepts an owned [`Graph`] or a shared `Arc<Graph>`; passing an `Arc`
+    /// lets repeated runs on the same topology avoid cloning it.
+    ///
     /// # Panics
     /// Panics if `nodes.len() != graph.node_count()`.
-    pub fn new(graph: Graph, nodes: Vec<N>) -> Self {
+    pub fn new(graph: impl Into<Arc<Graph>>, nodes: Vec<N>) -> Self {
+        let graph = graph.into();
         assert_eq!(
             nodes.len(),
             graph.node_count(),
@@ -123,7 +133,8 @@ impl<N: RadioNode> Simulator<N> {
 
         // Phase 2: delivery. A listener hears a message iff exactly one
         // neighbour transmitted.
-        let mut events: Vec<NodeEvent<N::Msg>> = Vec::with_capacity(if self.record_trace { n } else { 0 });
+        let mut events: Vec<NodeEvent<N::Msg>> =
+            Vec::with_capacity(if self.record_trace { n } else { 0 });
         for v in 0..n {
             match &actions[v] {
                 Action::Transmit(m) => {
@@ -348,9 +359,24 @@ mod tests {
         // hear nothing (collision without detection).
         let g = generators::path(3);
         let nodes = vec![
-            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
-            Simultaneous { transmit_first: false, done: false, heard: None, listened_rounds: 0 },
-            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous {
+                transmit_first: true,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
+            Simultaneous {
+                transmit_first: false,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
+            Simultaneous {
+                transmit_first: true,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
         ];
         let mut sim = Simulator::new(g, nodes);
         sim.step_round();
@@ -359,7 +385,9 @@ mod tests {
         // Trace records a collision with 2 transmitting neighbours.
         assert_eq!(sim.trace().rounds[0].collision_nodes(), vec![1]);
         match &sim.trace().rounds[0].events[1] {
-            NodeEvent::Collision { transmitting_neighbors } => {
+            NodeEvent::Collision {
+                transmitting_neighbors,
+            } => {
                 assert_eq!(*transmitting_neighbors, 2)
             }
             other => panic!("expected collision, got {other:?}"),
@@ -372,14 +400,29 @@ mod tests {
         // deliver exactly the same observation (None).
         let g = generators::path(3);
         let nodes = vec![
-            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
-            Simultaneous { transmit_first: false, done: false, heard: None, listened_rounds: 0 },
-            Simultaneous { transmit_first: true, done: false, heard: None, listened_rounds: 0 },
+            Simultaneous {
+                transmit_first: true,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
+            Simultaneous {
+                transmit_first: false,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
+            Simultaneous {
+                transmit_first: true,
+                done: false,
+                heard: None,
+                listened_rounds: 0,
+            },
         ];
         let mut sim = Simulator::new(g, nodes);
         sim.step_round(); // collision at node 1
         sim.step_round(); // silence everywhere
-        // Both rounds look identical to node 1 (None twice).
+                          // Both rounds look identical to node 1 (None twice).
         assert_eq!(sim.nodes()[1].listened_rounds, 2);
         assert_eq!(sim.nodes()[1].heard, None);
     }

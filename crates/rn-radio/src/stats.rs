@@ -83,7 +83,10 @@ mod tests {
                     round: 1,
                     events: vec![
                         NodeEvent::Transmitted(9),
-                        NodeEvent::Heard { from: 0, message: 9 },
+                        NodeEvent::Heard {
+                            from: 0,
+                            message: 9,
+                        },
                         NodeEvent::Silence,
                     ],
                 },
@@ -92,7 +95,9 @@ mod tests {
                     events: vec![
                         NodeEvent::Transmitted(255),
                         NodeEvent::Transmitted(1),
-                        NodeEvent::Collision { transmitting_neighbors: 2 },
+                        NodeEvent::Collision {
+                            transmitting_neighbors: 2,
+                        },
                     ],
                 },
                 RoundRecord {

@@ -168,7 +168,10 @@ mod tests {
                     round: 1,
                     events: vec![
                         NodeEvent::Transmitted(9),
-                        NodeEvent::Heard { from: 0, message: 9 },
+                        NodeEvent::Heard {
+                            from: 0,
+                            message: 9,
+                        },
                         NodeEvent::Silence,
                     ],
                 },

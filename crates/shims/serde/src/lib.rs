@@ -1,0 +1,24 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! crate stands in for the real `serde`. It provides the `Serialize` /
+//! `Deserialize` trait names (as inert markers) and, with the `derive`
+//! feature, no-op derive macros, which is all the workspace uses: the data
+//! types are annotated so downstream users with the real serde can serialize
+//! them, but nothing in-tree calls `serialize`/`deserialize`.
+//!
+//! To restore full serde support, replace the path dependencies on this crate
+//! with `serde = { version = "1", features = ["derive"] }`.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`. The no-op derive does not implement
+/// it; it exists so `use serde::Serialize` resolves for both the trait and the
+/// derive macro name.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real `serde_derive` cannot be vendored. The workspace only uses serde
+//! for `#[derive(Serialize, Deserialize)]` markers on plain data types and
+//! never calls `serialize`/`deserialize`, so these derives simply accept the
+//! input and emit no code. Swap the `serde`/`serde_derive` path dependencies
+//! for the real crates.io versions to restore full serialization support.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -4,17 +4,18 @@
 //! broadcast **many consecutive firmware/configuration messages**, and must
 //! know when each one has reached everyone before sending the next.
 //!
-//! The monitor assigns the 3-bit λ_ack labels once; afterwards the devices —
-//! which have only a few bits of configuration memory and no topology
-//! knowledge — repeatedly run the acknowledged broadcast B_ack.
+//! The monitor assigns the 3-bit λ_ack labels once — building the session
+//! constructs the labeling a single time — and afterwards the devices, which
+//! have only a few bits of configuration memory and no topology knowledge,
+//! repeatedly run the acknowledged broadcast B_ack: one `run_with_message`
+//! per update against the same cached labeling and shared graph.
 //!
 //! ```text
 //! cargo run --example iot_monitoring
 //! ```
 
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{Scheme, Session};
 use radio_labeling::graph::{algorithms, generators, Graph};
-use radio_labeling::labeling::lambda_ack;
 
 /// Builds the deployment: a warehouse floor modelled as a grid of shelving
 /// aisles plus a few long-range links back to the gateway.
@@ -37,27 +38,34 @@ fn main() {
         network.max_degree(),
         algorithms::diameter(&network)
     );
+    let n = network.node_count() as u64;
 
-    // One-time labeling by the central monitor.
-    let scheme = lambda_ack::construct(&network, gateway).expect("deployment is connected");
+    // One-time labeling by the central monitor: build the session once.
+    let session = Session::builder(Scheme::LambdaAck, network)
+        .source(gateway)
+        .build()
+        .expect("deployment is connected");
+    let labeling = session.labeling();
+    let ack_initiator = session
+        .graph()
+        .nodes()
+        .find(|&v| labeling.get(v).x3())
+        .expect("lambda_ack marks one initiator");
     println!(
         "monitor assigned {}-bit labels ({} distinct values); acknowledgement initiator is device {}",
-        scheme.labeling().length(),
-        scheme.labeling().distinct_count(),
-        scheme.z()
+        labeling.length(),
+        labeling.distinct_count(),
+        ack_initiator
     );
 
     // The gateway pushes a sequence of configuration messages; each one is
-    // only sent after the previous one was acknowledged.
+    // only sent after the previous one was acknowledged. Every push reuses
+    // the cached labeling — no per-update scheme reconstruction.
     let updates: Vec<u64> = (1..=5).map(|i| 0x1000 + i).collect();
     let mut total_rounds = 0u64;
     for (i, &update) in updates.iter().enumerate() {
-        let result = runner::run_acknowledged_broadcast(&network, gateway, update)
-            .expect("broadcast runs");
-        let completion = result
-            .broadcast
-            .completion_round
-            .expect("B_ack informs every device");
+        let result = session.run_with_message(update).expect("broadcast runs");
+        let completion = result.completion_round.expect("B_ack informs every device");
         let ack = result.ack_round.expect("the gateway hears the ack");
         total_rounds += ack;
         println!(
@@ -66,11 +74,10 @@ fn main() {
             update,
             i + 1,
             updates.len(),
-            result.broadcast.stats.transmissions,
-            result.broadcast.stats.max_message_bits,
+            result.stats.transmissions,
+            result.stats.max_message_bits,
         );
     }
-    let n = network.node_count() as u64;
     println!(
         "\npushed {} updates in {} radio rounds total; per-update worst-case bound is 2n-3 + n-1 = {}",
         updates.len(),

@@ -1,25 +1,31 @@
 //! Quickstart: label a radio network with the paper's 2-bit scheme λ and run
-//! the universal broadcast algorithm B on it.
+//! the universal broadcast algorithm B on it, through the unified session
+//! API.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{Scheme, Session};
 use radio_labeling::graph::{dot, generators};
-use radio_labeling::labeling::lambda;
 
 fn main() {
     // A 4x5 grid radio network with the source in a corner.
     let network = generators::grid(4, 5);
     let source = 0;
     let message = 0xBEEF;
+    let n = network.node_count();
 
-    // 1. The central monitor labels the network (2 bits per node).
-    let scheme = lambda::construct(&network, source).expect("the grid is connected");
+    // 1. The central monitor labels the network (2 bits per node). Building
+    //    the session constructs the labeling once; every run reuses it.
+    let session = Session::builder(Scheme::Lambda, network)
+        .source(source)
+        .message(message)
+        .build()
+        .expect("the grid is connected");
     println!("labels assigned by lambda (node: label):");
-    for v in network.nodes() {
-        print!("  {v}:{}", scheme.labeling().get(v));
+    for v in session.graph().nodes() {
+        print!("  {v}:{}", session.labeling().get(v));
         if (v + 1) % 5 == 0 {
             println!();
         }
@@ -27,13 +33,12 @@ fn main() {
     println!();
     println!(
         "scheme length = {} bits, {} distinct labels\n",
-        scheme.labeling().length(),
-        scheme.labeling().distinct_count()
+        session.labeling().length(),
+        session.labeling().distinct_count()
     );
 
     // 2. The nodes — which know nothing about the topology — run algorithm B.
-    let result = runner::run_broadcast(&network, source, message).expect("broadcast runs");
-    let n = network.node_count();
+    let result = session.run();
     println!(
         "broadcast completed in round {} (Theorem 2.9 bound: 2n-3 = {})",
         result.completion_round.expect("algorithm B completes"),
@@ -58,6 +63,6 @@ fn main() {
     println!("\nGraphviz DOT of the labeled network:\n");
     println!(
         "{}",
-        dot::to_dot(&network, Some(&scheme.labeling().as_strings()))
+        dot::to_dot(session.graph(), Some(&session.labeling().as_strings()))
     );
 }

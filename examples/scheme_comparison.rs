@@ -2,17 +2,18 @@
 //! schemes stack up against the folklore baselines of §1.1, on the same
 //! topology and source.
 //!
+//! Every scheme runs through the same [`Session`] API; the network is built
+//! once and shared by all sessions.
+//!
 //! ```text
 //! cargo run --example scheme_comparison
 //! ```
 
-use radio_labeling::broadcast::runner::{
-    run_broadcast, run_coloring_broadcast, run_unique_id_broadcast, BroadcastResult,
-};
-use radio_labeling::broadcast::runner::run_acknowledged_broadcast;
+use radio_labeling::broadcast::session::{RunReport, Scheme, Session};
 use radio_labeling::graph::generators;
+use std::sync::Arc;
 
-fn describe(name: &str, r: &BroadcastResult) {
+fn describe(name: &str, r: &RunReport) {
     println!(
         "  {name:<16} label bits: {:>2}   distinct labels: {:>3}   completion round: {:>5}   \
          transmissions: {:>5}   largest message: {:>2} bits",
@@ -28,7 +29,7 @@ fn describe(name: &str, r: &BroadcastResult) {
 fn main() {
     // A barbell network: two dense clusters joined by a thin bridge — the
     // kind of topology where collisions at the bridge hurt naive flooding.
-    let network = generators::barbell(12, 4);
+    let network = Arc::new(generators::barbell(12, 4));
     let source = 0;
     println!(
         "network: barbell with {} nodes, {} edges, max degree {}\n",
@@ -37,22 +38,30 @@ fn main() {
         network.max_degree()
     );
 
-    let lambda = run_broadcast(&network, source, 7).expect("connected");
-    let ids = run_unique_id_broadcast(&network, source, 7).expect("connected");
-    let colors = run_coloring_broadcast(&network, source, 7).expect("connected");
+    let run = |scheme| {
+        Session::builder(scheme, Arc::clone(&network))
+            .source(source)
+            .message(7)
+            .build()
+            .expect("connected")
+            .run()
+    };
+    let lambda = run(Scheme::Lambda);
+    let ids = run(Scheme::UniqueIds);
+    let colors = run(Scheme::SquareColoring);
 
     println!("plain broadcast:");
     describe("lambda (2-bit)", &lambda);
     describe("unique ids", &ids);
     describe("square coloring", &colors);
 
-    let ack = run_acknowledged_broadcast(&network, source, 7).expect("connected");
+    let ack = run(Scheme::LambdaAck);
     println!("\nacknowledged broadcast (lambda_ack, 3-bit labels):");
-    describe("lambda_ack", &ack.broadcast);
+    describe("lambda_ack", &ack);
     println!(
         "  source learned of completion in round {} (broadcast finished in round {})",
         ack.ack_round.expect("ack arrives"),
-        ack.broadcast.completion_round.expect("completes"),
+        ack.completion_round.expect("completes"),
     );
 
     let n = network.node_count();

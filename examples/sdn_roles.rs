@@ -5,15 +5,18 @@
 //!
 //! The example compares the number of distinct roles needed by the paper's
 //! scheme against the identifier-based baseline, and then demonstrates the
-//! unknown-source algorithm B_arb from several different origins.
+//! unknown-source algorithm B_arb from several different origins — all
+//! through one session whose cached λ_arb labeling serves every origin, with
+//! the independent runs fanned out over worker threads by `run_batch`.
 //!
 //! ```text
 //! cargo run --example sdn_roles
 //! ```
 
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{RunSpec, Scheme, Session};
 use radio_labeling::graph::generators;
-use radio_labeling::labeling::{baselines, lambda_arb};
+use radio_labeling::labeling::baselines;
+use radio_labeling::radio::batch;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -27,12 +30,16 @@ fn main() {
     );
 
     // Role assignment by the controller: λ_arb needs no knowledge of the
-    // future traffic source.
-    let scheme = lambda_arb::construct(&fabric).expect("fabric is connected");
+    // future traffic source, so one session serves every origin.
+    let coordinator = 0;
+    let session = Session::builder(Scheme::LambdaArb, fabric)
+        .coordinator(coordinator)
+        .build()
+        .expect("fabric is connected");
     let mut role_census: BTreeMap<String, usize> = BTreeMap::new();
-    for v in fabric.nodes() {
+    for v in session.graph().nodes() {
         *role_census
-            .entry(scheme.labeling().get(v).to_string())
+            .entry(session.labeling().get(v).to_string())
             .or_default() += 1;
     }
     println!("\nroles assigned by lambda_arb (role -> number of switches):");
@@ -42,11 +49,11 @@ fn main() {
     println!(
         "=> {} distinct roles of {} bits each; coordinator switch is {}",
         role_census.len(),
-        scheme.labeling().length(),
-        scheme.r()
+        session.labeling().length(),
+        coordinator
     );
 
-    let ids = baselines::unique_ids(&fabric).expect("fabric is connected");
+    let ids = baselines::unique_ids(session.graph()).expect("fabric is connected");
     println!(
         "baseline with unique identifiers would need {} distinct roles of {} bits each",
         ids.distinct_count(),
@@ -54,16 +61,21 @@ fn main() {
     );
 
     // Broadcast from several different origins with the same role assignment.
+    // The origins are independent runs, so fan them out in parallel.
     println!("\nbroadcast from different origins (labels never change):");
-    for origin in [3, 17, 29, 39] {
-        let result = runner::run_arbitrary_source(&fabric, scheme.r(), origin, 0xACE0 + origin as u64)
-            .expect("fabric is connected");
+    let specs: Vec<RunSpec> = [3usize, 17, 29, 39]
+        .into_iter()
+        .map(|origin| RunSpec::new(origin, 0xACE0 + origin as u64))
+        .collect();
+    let reports = session
+        .run_batch(&specs, batch::default_threads())
+        .expect("origins are in range");
+    for report in reports {
         println!(
-            "  origin {origin:>2}: every switch informed by round {}, knows completion by round {}",
-            result
-                .completion_round
-                .expect("B_arb completes"),
-            result
+            "  origin {:>2}: every switch informed by round {}, knows completion by round {}",
+            report.source,
+            report.completion_round.expect("B_arb completes"),
+            report
                 .common_knowledge_round
                 .expect("B_arb reaches common knowledge"),
         );

@@ -1,7 +1,62 @@
-//! Facade crate re-exporting the workspace crates under one name.
+//! # radio-labeling
 //!
-//! Downstream users can depend on `radio-labeling` alone and reach every
-//! sub-crate through the re-exports below.
+//! A reproduction and systems build-out of *"Constant-Length Labeling Schemes
+//! for Deterministic Radio Broadcast"* (Ellen, Gorain, Miller, Pelc; SPAA
+//! 2019): constant-length node labels — 2 or 3 bits, assigned once by a
+//! topology-aware central monitor — make deterministic broadcast possible in
+//! arbitrary radio networks whose nodes know nothing else about the topology.
+//!
+//! This facade crate re-exports the workspace crates under one name:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `rn-graph` | graph storage, generators, BFS/domination/colouring algorithms |
+//! | [`radio`] | `rn-radio` | the synchronous collision-model simulator, traces, statistics, and the parallel batch executor |
+//! | [`labeling`] | `rn-labeling` | the λ / λ_ack / λ_arb schemes, folklore baselines, 1-bit schemes |
+//! | [`broadcast`] | `rn-broadcast` | the universal algorithms (B, B_ack, B_arb, …) and the **session API** |
+//! | [`experiments`] | `rn-experiments` | the experiment harness reproducing the paper's tables |
+//!
+//! ## Quickstart: the session API
+//!
+//! All execution goes through [`broadcast::session::Session`]: pick a
+//! [`broadcast::session::Scheme`], configure a builder, build once (this
+//! constructs the labeling — the expensive step), then run as many times as
+//! needed. Every run returns the same [`broadcast::session::RunReport`].
+//!
+//! ```
+//! use radio_labeling::broadcast::session::{RunSpec, Scheme, Session};
+//! use radio_labeling::graph::generators;
+//! use std::sync::Arc;
+//!
+//! // A 4x5 grid network, shared (not cloned) by every run.
+//! let network = Arc::new(generators::grid(4, 5));
+//!
+//! // Label once with the paper's 2-bit scheme λ, then broadcast.
+//! let session = Session::builder(Scheme::Lambda, Arc::clone(&network))
+//!     .source(0)
+//!     .message(0xBEEF)
+//!     .build()
+//!     .expect("grid is connected");
+//! let report = session.run();
+//! assert!(report.completed());
+//! assert!(report.completion_round.unwrap() <= 2 * 20 - 3); // Theorem 2.9
+//!
+//! // Repeated runs reuse the cached labeling: only the simulation repeats.
+//! let next = session.run_with_message(0xCAFE).unwrap();
+//! assert_eq!(next.completion_round, report.completion_round);
+//!
+//! // The unknown-source scheme λ_arb serves every origin from one labeling,
+//! // and independent runs fan out over worker threads.
+//! let arb = Session::builder(Scheme::LambdaArb, network).build().unwrap();
+//! let specs: Vec<RunSpec> = (0..20).map(|s| RunSpec::new(s, 7)).collect();
+//! let reports = arb.run_batch(&specs, 4).unwrap();
+//! assert!(reports.iter().all(|r| r.common_knowledge_round.is_some()));
+//! ```
+//!
+//! The legacy one-shot entry points (`broadcast::runner::run_broadcast` and
+//! friends) are deprecated thin wrappers over sessions, kept for source
+//! compatibility; `tests/session_equivalence.rs` pins down that they produce
+//! identical results.
 
 pub use rn_broadcast as broadcast;
 pub use rn_experiments as experiments;

@@ -4,11 +4,22 @@
 
 use radio_labeling::broadcast::algo_b::BNode;
 use radio_labeling::broadcast::common_round::run_common_round;
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{RunReport, RunSpec, Scheme, Session};
 use radio_labeling::broadcast::verify;
 use radio_labeling::graph::{algorithms, generators, Graph};
 use radio_labeling::labeling::{lambda, lambda_ack, lambda_arb};
 use radio_labeling::radio::{Simulator, StopCondition};
+
+/// Builds a single-use session and runs it: the new-API equivalent of the
+/// old one-shot runners, used wherever a workload is only exercised once.
+fn run_once(scheme: Scheme, g: Graph, source: usize, message: u64) -> RunReport {
+    Session::builder(scheme, g)
+        .source(source)
+        .message(message)
+        .build()
+        .unwrap()
+        .run()
+}
 
 /// The workload menagerie used by the end-to-end checks.
 fn workloads() -> Vec<(&'static str, Graph, usize)> {
@@ -30,11 +41,31 @@ fn workloads() -> Vec<(&'static str, Graph, usize)> {
         ("barbell", generators::barbell(7, 3), 0),
         ("lollipop", generators::lollipop(8, 8), 15),
         ("theta", generators::theta(4, 3).unwrap(), 0),
-        ("series-parallel", generators::series_parallel(35, 3).unwrap(), 4),
-        ("gnp-sparse", generators::gnp_connected(45, 0.07, 5).unwrap(), 9),
-        ("gnp-dense", generators::gnp_connected(30, 0.4, 6).unwrap(), 0),
-        ("bipartite", generators::random_bipartite_connected(12, 15, 0.2, 7).unwrap(), 0),
-        ("regularish", generators::random_regularish(36, 5, 8).unwrap(), 17),
+        (
+            "series-parallel",
+            generators::series_parallel(35, 3).unwrap(),
+            4,
+        ),
+        (
+            "gnp-sparse",
+            generators::gnp_connected(45, 0.07, 5).unwrap(),
+            9,
+        ),
+        (
+            "gnp-dense",
+            generators::gnp_connected(30, 0.4, 6).unwrap(),
+            0,
+        ),
+        (
+            "bipartite",
+            generators::random_bipartite_connected(12, 15, 0.2, 7).unwrap(),
+            0,
+        ),
+        (
+            "regularish",
+            generators::random_regularish(36, 5, 8).unwrap(),
+            17,
+        ),
     ]
 }
 
@@ -42,7 +73,7 @@ fn workloads() -> Vec<(&'static str, Graph, usize)> {
 fn theorem_2_9_broadcast_bound_holds_everywhere() {
     for (name, g, source) in workloads() {
         let n = g.node_count();
-        let result = runner::run_broadcast(&g, source, 99).unwrap();
+        let result = run_once(Scheme::Lambda, g, source, 99);
         assert!(
             result.completed(),
             "{name}: broadcast did not complete within the cap"
@@ -64,8 +95,8 @@ fn theorem_2_9_broadcast_bound_holds_everywhere() {
 fn theorem_3_9_acknowledgement_window_holds_everywhere() {
     for (name, g, source) in workloads() {
         let n = g.node_count();
-        let result = runner::run_acknowledged_broadcast(&g, source, 7).unwrap();
-        verify::check_theorem_3_9(result.broadcast.completion_round, result.ack_round, n)
+        let result = run_once(Scheme::LambdaAck, g, source, 7);
+        verify::check_theorem_3_9(result.completion_round, result.ack_round, n)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
@@ -122,15 +153,26 @@ fn arbitrary_source_algorithm_works_from_every_corner() {
         ("gnp-14", generators::gnp_connected(14, 0.25, 3).unwrap()),
     ];
     for (name, g) in cases {
-        for source in 0..g.node_count() {
-            let r = runner::run_arbitrary_source(&g, 0, source, 1234).unwrap();
+        // One session per graph: the source-independent lambda_arb labeling
+        // is constructed once and shared by every source position, and the
+        // independent runs fan out over worker threads.
+        let session = Session::builder(Scheme::LambdaArb, g)
+            .coordinator(0)
+            .build()
+            .unwrap();
+        let specs: Vec<RunSpec> = (0..session.graph().node_count())
+            .map(|source| RunSpec::new(source, 1234))
+            .collect();
+        for r in session.run_batch(&specs, 4).unwrap() {
             assert!(
                 r.completion_round.is_some(),
-                "{name}: source {source} failed to broadcast"
+                "{name}: source {} failed to broadcast",
+                r.source
             );
             assert!(
                 r.common_knowledge_round.is_some(),
-                "{name}: source {source} failed to reach common knowledge"
+                "{name}: source {} failed to reach common knowledge",
+                r.source
             );
         }
     }
@@ -150,9 +192,18 @@ fn common_round_construction_holds_everywhere() {
 #[test]
 fn baselines_also_complete_but_with_longer_labels() {
     for (name, g, source) in workloads().into_iter().take(10) {
-        let lambda_result = runner::run_broadcast(&g, source, 5).unwrap();
-        let id_result = runner::run_unique_id_broadcast(&g, source, 5).unwrap();
-        let color_result = runner::run_coloring_broadcast(&g, source, 5).unwrap();
+        let g = std::sync::Arc::new(g);
+        let run = |scheme| {
+            Session::builder(scheme, std::sync::Arc::clone(&g))
+                .source(source)
+                .message(5)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let lambda_result = run(Scheme::Lambda);
+        let id_result = run(Scheme::UniqueIds);
+        let color_result = run(Scheme::SquareColoring);
         assert!(id_result.completed(), "{name}: id baseline failed");
         assert!(color_result.completed(), "{name}: coloring baseline failed");
         assert!(
@@ -168,7 +219,9 @@ fn disconnected_graphs_are_rejected_up_front() {
     assert!(lambda::construct(&disconnected, 0).is_err());
     assert!(lambda_ack::construct(&disconnected, 0).is_err());
     assert!(lambda_arb::construct(&disconnected).is_err());
-    assert!(runner::run_broadcast(&disconnected, 0, 1).is_err());
+    assert!(Session::builder(Scheme::Lambda, disconnected)
+        .build()
+        .is_err());
 }
 
 #[test]
@@ -177,9 +230,10 @@ fn informed_wavefront_respects_bfs_distance() {
     // it is informed no earlier than round d (each round informs at most one
     // more BFS layer). This is a physical sanity check on the simulator.
     for (name, g, source) in workloads() {
-        let result = runner::run_broadcast(&g, source, 5).unwrap();
         let dist = algorithms::bfs_distances(&g, source);
-        for v in g.nodes() {
+        let nodes: Vec<usize> = g.nodes().collect();
+        let result = run_once(Scheme::Lambda, g, source, 5);
+        for v in nodes {
             if v == source {
                 continue;
             }

@@ -51,5 +51,8 @@ fn parallel_and_sequential_experiment_runs_agree() {
     let seq = run_by_id("e4", &cfg).unwrap();
     cfg.threads = 4;
     let par = run_by_id("e4", &cfg).unwrap();
-    assert_eq!(seq, par, "sweep results must not depend on the thread count");
+    assert_eq!(
+        seq, par,
+        "sweep results must not depend on the thread count"
+    );
 }

@@ -4,7 +4,7 @@
 //! being vacuously satisfied.
 
 use radio_labeling::broadcast::algo_b::BNode;
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{Scheme, Session};
 use radio_labeling::broadcast::verify;
 use radio_labeling::graph::generators;
 use radio_labeling::labeling::{lambda, Label, Labeling};
@@ -53,7 +53,9 @@ fn shuffled_lambda_labels_break_the_guarantee_and_are_detected() {
     // Make sure we actually changed something.
     assert_ne!(
         labels,
-        (0..24).map(|v| correct.labeling().get(v)).collect::<Vec<_>>()
+        (0..24)
+            .map(|v| correct.labeling().get(v))
+            .collect::<Vec<_>>()
     );
     let corrupted = Labeling::new(labels, "shuffled");
     let informed = run_b_with_labeling(&g, &corrupted, 0, 200);
@@ -107,20 +109,24 @@ fn dropping_the_x2_bit_breaks_long_paths() {
     assert!(verify::completion_round(&informed_no_x1).is_none());
     // Removing x2 may or may not matter depending on the graph; on a path it
     // is harmless — assert only that the oracle agrees with whatever happened.
-    match verify::completion_round(&informed_stripped) {
-        Some(c) => assert!(c <= 2 * 30 - 3),
-        None => {}
+    if let Some(c) = verify::completion_round(&informed_stripped) {
+        assert!(c <= 2 * 30 - 3)
     }
 }
 
 #[test]
 fn runner_error_paths_are_exercised() {
-    let disconnected =
-        radio_labeling::graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-    assert!(runner::run_broadcast(&disconnected, 0, MSG).is_err());
-    let g = generators::path(5);
-    assert!(runner::run_broadcast(&g, 99, MSG).is_err());
-    assert!(runner::run_arbitrary_source(&g, 99, 0, MSG).is_err());
-    assert!(runner::run_arbitrary_source(&g, 0, 99, MSG).is_err());
-    assert!(runner::run_onebit_grid(&g, 1, 5, 9, MSG).is_err());
+    let disconnected = radio_labeling::graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    assert!(Session::builder(Scheme::Lambda, disconnected)
+        .build()
+        .is_err());
+    let g = std::sync::Arc::new(generators::path(5));
+    let build = |scheme| Session::builder(scheme, std::sync::Arc::clone(&g));
+    assert!(build(Scheme::Lambda).source(99).build().is_err());
+    assert!(build(Scheme::LambdaArb).coordinator(99).build().is_err());
+    assert!(build(Scheme::LambdaArb).source(99).build().is_err());
+    assert!(build(Scheme::OneBitGrid { rows: 1, cols: 5 })
+        .source(9)
+        .build()
+        .is_err());
 }

@@ -3,17 +3,23 @@
 //! range, from every possible source position, must complete — and the
 //! schemes must refuse graphs outside their class.
 
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{RunSpec, Scheme, Session};
 use radio_labeling::graph::generators;
 use radio_labeling::labeling::onebit;
 use radio_labeling::labeling::LabelingError;
+use std::sync::Arc;
 
 #[test]
 fn cycles_every_size_and_source() {
     for n in 3..=40 {
-        let g = generators::cycle(n);
+        let g = Arc::new(generators::cycle(n));
+        let session = Session::builder(Scheme::OneBitCycle, Arc::clone(&g))
+            .message(7)
+            .build()
+            .unwrap_or_else(|e| panic!("cycle {n}: {e}"));
         for source in 0..n {
-            let r = runner::run_onebit_cycle(&g, source, 7)
+            let r = session
+                .run_with(RunSpec::new(source, 7))
                 .unwrap_or_else(|e| panic!("cycle {n}, source {source}: {e}"));
             assert!(
                 r.completed(),
@@ -46,9 +52,14 @@ fn grids_every_shape_and_source() {
         (5, 5),
         (6, 4),
     ] {
-        let g = generators::grid(rows, cols);
+        let g = Arc::new(generators::grid(rows, cols));
+        let session = Session::builder(Scheme::OneBitGrid { rows, cols }, Arc::clone(&g))
+            .message(7)
+            .build()
+            .unwrap_or_else(|e| panic!("grid {rows}x{cols}: {e}"));
         for source in 0..g.node_count() {
-            let r = runner::run_onebit_grid(&g, rows, cols, source, 7)
+            let r = session
+                .run_with(RunSpec::new(source, 7))
                 .unwrap_or_else(|e| panic!("grid {rows}x{cols}, source {source}: {e}"));
             assert!(
                 r.completed(),

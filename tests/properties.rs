@@ -3,10 +3,21 @@
 //! proptest hunt for counterexamples.
 
 use proptest::prelude::*;
-use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{RunReport, Scheme, Session};
 use radio_labeling::broadcast::verify;
 use radio_labeling::graph::{algorithms, generators, Graph};
 use radio_labeling::labeling::{lambda, lambda_ack, lambda_arb, SequenceConstruction};
+
+/// Builds a single-use session and runs it: the new-API equivalent of the
+/// old one-shot runners.
+fn run_once(scheme: Scheme, g: Graph, source: usize, message: u64) -> RunReport {
+    Session::builder(scheme, g)
+        .source(source)
+        .message(message)
+        .build()
+        .unwrap()
+        .run()
+}
 
 /// Strategy: a random connected graph of 2..=48 nodes (mixing trees, sparse
 /// and dense G(n, p) samples) plus a valid source index.
@@ -28,7 +39,7 @@ proptest! {
     #[test]
     fn broadcast_always_completes_within_2n_minus_3((g, source) in connected_graph_and_source()) {
         let n = g.node_count();
-        let result = runner::run_broadcast(&g, source, 7).unwrap();
+        let result = run_once(Scheme::Lambda, g, source, 7);
         prop_assert!(result.completed());
         prop_assert!(verify::check_theorem_2_9(result.completion_round, n).is_ok());
     }
@@ -36,9 +47,9 @@ proptest! {
     #[test]
     fn acknowledgement_always_arrives_in_window((g, source) in connected_graph_and_source()) {
         let n = g.node_count();
-        let result = runner::run_acknowledged_broadcast(&g, source, 7).unwrap();
+        let result = run_once(Scheme::LambdaAck, g, source, 7);
         prop_assert!(verify::check_theorem_3_9(
-            result.broadcast.completion_round,
+            result.completion_round,
             result.ack_round,
             n
         )
@@ -107,7 +118,8 @@ proptest! {
     fn no_node_transmits_before_being_informed((g, source) in connected_graph_and_source()) {
         // Physical sanity: in the trace of algorithm B, any node that
         // transmits µ either is the source or has already received µ.
-        let result = runner::run_broadcast(&g, source, 7).unwrap();
+        let dist = algorithms::bfs_distances(&g, source);
+        let result = run_once(Scheme::Lambda, g.clone(), source, 7);
         for v in g.nodes() {
             if v == source {
                 continue;
@@ -116,7 +128,7 @@ proptest! {
             prop_assert!(informed.is_some());
             // A node informed in round r is at BFS distance <= (r+1)/2 from
             // the source: information travels at most one hop per odd round.
-            let d = algorithms::bfs_distances(&g, source)[v].unwrap() as u64;
+            let d = dist[v].unwrap() as u64;
             prop_assert!(informed.unwrap() >= d);
         }
     }
@@ -125,7 +137,10 @@ proptest! {
     fn arbitrary_source_completes_for_random_source((g, source) in connected_graph_and_source()) {
         // Keep instances small: B_arb runs three phases.
         prop_assume!(g.node_count() <= 24);
-        let r = runner::run_arbitrary_source(&g, 0, source, 7).unwrap();
+        let session = Session::builder(Scheme::LambdaArb, g).coordinator(0).build().unwrap();
+        let r = session
+            .run_with(radio_labeling::broadcast::session::RunSpec::new(source, 7))
+            .unwrap();
         prop_assert!(r.completion_round.is_some());
         prop_assert!(r.common_knowledge_round.is_some());
         prop_assert!(r.common_knowledge_round >= r.completion_round);
@@ -134,9 +149,20 @@ proptest! {
     #[test]
     fn baselines_complete_on_random_graphs((g, source) in connected_graph_and_source()) {
         prop_assume!(g.node_count() <= 32);
-        let ids = runner::run_unique_id_broadcast(&g, source, 7).unwrap();
+        let g = std::sync::Arc::new(g);
+        let ids = Session::builder(Scheme::UniqueIds, std::sync::Arc::clone(&g))
+            .source(source)
+            .message(7)
+            .build()
+            .unwrap()
+            .run();
         prop_assert!(ids.completed());
-        let colors = runner::run_coloring_broadcast(&g, source, 7).unwrap();
+        let colors = Session::builder(Scheme::SquareColoring, g)
+            .source(source)
+            .message(7)
+            .build()
+            .unwrap()
+            .run();
         prop_assert!(colors.completed());
     }
 }

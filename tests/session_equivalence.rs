@@ -1,0 +1,236 @@
+//! Equivalence suite for the session redesign: the unified `Session` API must
+//! reproduce the results of the legacy one-shot runners — same completion,
+//! acknowledgement and common-knowledge rounds, same informed rounds, same
+//! communication statistics — for every scheme across the canonical workload
+//! families, and repeated session runs must reuse the cached labeling.
+//!
+//! The legacy functions are deprecated delegates, so these tests also pin
+//! down that the delegation preserves every field of the historical result
+//! structs.
+
+#![allow(deprecated)]
+
+use radio_labeling::broadcast::runner;
+use radio_labeling::broadcast::session::{
+    RoundCapPolicy, RunSpec, Scheme, Session, StopPolicy, TracePolicy,
+};
+use radio_labeling::graph::{generators, Graph};
+use radio_labeling::labeling::Labeling;
+use std::sync::Arc;
+
+const MSG: u64 = 42;
+
+/// The workloads the redesign is validated on: Path, Star, Grid, GnpSparse
+/// (plus a cycle for the 1-bit scheme).
+fn workloads() -> Vec<(&'static str, Graph, usize)> {
+    vec![
+        ("path-16", generators::path(16), 0),
+        ("path-16-mid", generators::path(16), 8),
+        ("star-12", generators::star(12), 0),
+        ("star-12-leaf", generators::star(12), 5),
+        ("grid-4x5", generators::grid(4, 5), 7),
+        (
+            "gnp-sparse-24",
+            generators::gnp_connected(24, 0.12, 9).unwrap(),
+            3,
+        ),
+    ]
+}
+
+fn session_run(scheme: Scheme, g: &Graph, source: usize) -> radio_labeling::broadcast::RunReport {
+    Session::builder(scheme, g.clone())
+        .source(source)
+        .message(MSG)
+        .build()
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn lambda_sessions_reproduce_run_broadcast() {
+    for (name, g, source) in workloads() {
+        let old = runner::run_broadcast(&g, source, MSG).unwrap();
+        let new = session_run(Scheme::Lambda, &g, source);
+        assert_eq!(old.scheme, new.scheme, "{name}");
+        assert_eq!(old.node_count, new.node_count, "{name}");
+        assert_eq!(old.label_length, new.label_length, "{name}");
+        assert_eq!(old.distinct_labels, new.distinct_labels, "{name}");
+        assert_eq!(old.informed_rounds, new.informed_rounds, "{name}");
+        assert_eq!(old.completion_round, new.completion_round, "{name}");
+        assert_eq!(old.stats, new.stats, "{name}");
+    }
+}
+
+#[test]
+fn lambda_ack_sessions_reproduce_run_acknowledged_broadcast() {
+    for (name, g, source) in workloads() {
+        let old = runner::run_acknowledged_broadcast(&g, source, MSG).unwrap();
+        let new = session_run(Scheme::LambdaAck, &g, source);
+        assert_eq!(old.broadcast.scheme, new.scheme, "{name}");
+        assert_eq!(old.broadcast.informed_rounds, new.informed_rounds, "{name}");
+        assert_eq!(
+            old.broadcast.completion_round, new.completion_round,
+            "{name}"
+        );
+        assert_eq!(old.ack_round, new.ack_round, "{name}");
+        assert_eq!(old.broadcast.stats, new.stats, "{name}");
+    }
+}
+
+#[test]
+fn lambda_arb_sessions_reproduce_run_arbitrary_source() {
+    for (name, g, source) in workloads() {
+        let old = runner::run_arbitrary_source(&g, 0, source, MSG).unwrap();
+        let new = Session::builder(Scheme::LambdaArb, g.clone())
+            .coordinator(0)
+            .source(source)
+            .message(MSG)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(old.coordinator, new.coordinator.unwrap(), "{name}");
+        assert_eq!(old.source, new.source, "{name}");
+        assert_eq!(old.completion_round, new.completion_round, "{name}");
+        assert_eq!(
+            old.common_knowledge_round, new.common_knowledge_round,
+            "{name}"
+        );
+        assert_eq!(old.label_length, new.label_length, "{name}");
+        assert_eq!(old.stats, new.stats, "{name}");
+    }
+}
+
+#[test]
+fn baseline_sessions_reproduce_the_baseline_runners() {
+    for (name, g, source) in workloads() {
+        let old_ids = runner::run_unique_id_broadcast(&g, source, MSG).unwrap();
+        let new_ids = session_run(Scheme::UniqueIds, &g, source);
+        assert_eq!(old_ids.scheme, new_ids.scheme, "{name}");
+        assert_eq!(old_ids.informed_rounds, new_ids.informed_rounds, "{name}");
+        assert_eq!(old_ids.completion_round, new_ids.completion_round, "{name}");
+        assert_eq!(old_ids.stats, new_ids.stats, "{name}");
+
+        let old_col = runner::run_coloring_broadcast(&g, source, MSG).unwrap();
+        let new_col = session_run(Scheme::SquareColoring, &g, source);
+        assert_eq!(old_col.scheme, new_col.scheme, "{name}");
+        assert_eq!(old_col.informed_rounds, new_col.informed_rounds, "{name}");
+        assert_eq!(old_col.completion_round, new_col.completion_round, "{name}");
+        assert_eq!(old_col.stats, new_col.stats, "{name}");
+    }
+}
+
+#[test]
+fn onebit_sessions_reproduce_the_onebit_runners() {
+    let c = generators::cycle(14);
+    let old = runner::run_onebit_cycle(&c, 4, MSG).unwrap();
+    let new = Session::builder(Scheme::OneBitCycle, c)
+        .source(4)
+        .message(MSG)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(old.scheme, new.scheme);
+    assert_eq!(old.informed_rounds, new.informed_rounds);
+    assert_eq!(old.completion_round, new.completion_round);
+    assert_eq!(old.stats, new.stats);
+
+    let g = generators::grid(3, 5);
+    let old = runner::run_onebit_grid(&g, 3, 5, 7, MSG).unwrap();
+    let new = Session::builder(Scheme::OneBitGrid { rows: 3, cols: 5 }, g)
+        .source(7)
+        .message(MSG)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(old.scheme, new.scheme);
+    assert_eq!(old.informed_rounds, new.informed_rounds);
+    assert_eq!(old.completion_round, new.completion_round);
+    assert_eq!(old.stats, new.stats);
+}
+
+#[test]
+fn consecutive_runs_reuse_the_cached_labeling() {
+    let g = generators::gnp_connected(30, 0.12, 5).unwrap();
+    let session = Session::builder(Scheme::Lambda, g)
+        .source(3)
+        .message(MSG)
+        .build()
+        .unwrap();
+    // The labeling is owned by the session: the same allocation is observed
+    // before and after running, and both runs agree exactly.
+    let labeling_ptr = session.labeling() as *const Labeling;
+    let first = session.run();
+    let mid_ptr = session.labeling() as *const Labeling;
+    let second = session.run();
+    assert!(std::ptr::eq(labeling_ptr, mid_ptr));
+    assert!(std::ptr::eq(labeling_ptr, session.labeling()));
+    assert_eq!(first.informed_rounds, second.informed_rounds);
+    assert_eq!(first.completion_round, second.completion_round);
+    assert_eq!(first.stats, second.stats);
+}
+
+#[test]
+fn batch_runs_match_sequential_runs_for_every_thread_count() {
+    let g = Arc::new(generators::gnp_connected(20, 0.18, 11).unwrap());
+    let session = Session::builder(Scheme::LambdaArb, Arc::clone(&g))
+        .build()
+        .unwrap();
+    let specs: Vec<RunSpec> = (0..g.node_count())
+        .map(|s| RunSpec::new(s, MSG + s as u64))
+        .collect();
+    let sequential = session.run_batch(&specs, 1).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = session.run_batch(&specs, threads).unwrap();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.source, s.source, "threads={threads}");
+            assert_eq!(p.completion_round, s.completion_round, "threads={threads}");
+            assert_eq!(
+                p.common_knowledge_round, s.common_knowledge_round,
+                "threads={threads}"
+            );
+            assert_eq!(p.informed_rounds, s.informed_rounds, "threads={threads}");
+            assert_eq!(p.stats, s.stats, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn trace_policy_disabled_preserves_round_measurements() {
+    for (name, g, source) in workloads() {
+        let recorded = session_run(Scheme::Lambda, &g, source);
+        let disabled = Session::builder(Scheme::Lambda, g)
+            .source(source)
+            .message(MSG)
+            .trace(TracePolicy::Disabled)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(recorded.informed_rounds, disabled.informed_rounds, "{name}");
+        assert_eq!(
+            recorded.completion_round, disabled.completion_round,
+            "{name}"
+        );
+        assert_eq!(recorded.rounds_executed, disabled.rounds_executed, "{name}");
+        assert_eq!(
+            disabled.stats.transmissions, 0,
+            "{name}: stats need a trace"
+        );
+    }
+}
+
+#[test]
+fn explicit_policies_compose_with_every_scheme() {
+    let g = Arc::new(generators::grid(4, 4));
+    for scheme in Scheme::GENERAL {
+        let r = Session::builder(scheme, Arc::clone(&g))
+            .message(MSG)
+            .stop(StopPolicy::RunToCap)
+            .round_cap(RoundCapPolicy::Fixed(4096))
+            .trace(TracePolicy::Disabled)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.completed(), "{} under explicit policies", scheme.name());
+    }
+}

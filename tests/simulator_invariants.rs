@@ -35,7 +35,7 @@ impl Chatter {
 impl RadioNode for Chatter {
     type Msg = u64;
     fn step(&mut self) -> Action<u64> {
-        if self.rng.next_u32() % 3 == 0 {
+        if self.rng.next_u32().is_multiple_of(3) {
             Action::Transmit(self.id)
         } else {
             Action::Listen
