@@ -1,0 +1,220 @@
+//! Round-throughput benchmark for the simulator engines, with a JSON
+//! emitter so the perf trajectory is recorded across PRs.
+//!
+//! Measures rounds/second of Algorithm B (λ labels) on sparse-transmission
+//! workloads, n = 10 000 with tracing off, on both the default
+//! transmitter-centric engine and the retained listener-centric reference
+//! engine (`Engine::ListenerCentric` — the pre-change delivery algorithm,
+//! verbatim), and writes the results including the speedup ratio to
+//! `BENCH_simulator.json` at the workspace root.
+//!
+//! Workloads, in increasing average degree: a path, a uniform random tree,
+//! and G(n, p) graphs of average degree 8 and 32. Every run executes `2n`
+//! rounds — the active broadcast wave plus the quiet tail — because the
+//! paper's protocols spend most of a long execution in rounds with very few
+//! (often zero) transmitters, which is precisely where the two engines
+//! differ: the listener-centric engine scans every listener's whole
+//! neighbourhood even in a silent round (O(Σ deg) per round), while the
+//! transmitter-centric engine walks only the transmitters' CSR rows. On
+//! degree-2 paths that scan is nearly free, so per-node protocol driving
+//! bounds the achievable speedup (Amdahl); on the degree-32 workload the
+//! scan dominates and the speedup exceeds 5×.
+//!
+//! Modes:
+//! * default — full run: n = 10 000, 2n rounds per sample, 3 samples;
+//! * `--quick` (or `BENCH_QUICK=1`) — CI smoke: n = 2 000, 1 sample;
+//! * `--test` — one tiny iteration, no JSON (cargo's bench-test mode).
+//!
+//! The custom harness (not criterion) exists because the emitter needs to
+//! run after all measurements and write one consolidated file.
+
+use rn_broadcast::algo_b::BNode;
+use rn_graph::{generators, Graph};
+use rn_labeling::lambda;
+use rn_radio::{Engine, Simulator};
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Config {
+    n: usize,
+    samples: usize,
+    quick: bool,
+    test_mode: bool,
+}
+
+struct Measurement {
+    workload: &'static str,
+    n: usize,
+    avg_degree: f64,
+    rounds_per_sample: u64,
+    fast_rounds_per_sec: f64,
+    reference_rounds_per_sec: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.fast_rounds_per_sec / self.reference_rounds_per_sec
+    }
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let quick = test_mode
+        || args.iter().any(|a| a == "--quick")
+        || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let n = if test_mode {
+        200
+    } else if quick {
+        2_000
+    } else {
+        10_000
+    };
+    Config {
+        n,
+        samples: if quick { 1 } else { 3 },
+        quick,
+        test_mode,
+    }
+}
+
+/// Median rounds/second over `samples` runs of 2n rounds of Algorithm B
+/// with the given engine, tracing off.
+fn measure(
+    graph: &Arc<Graph>,
+    labeling: &rn_labeling::Labeling,
+    engine: Engine,
+    rounds: u64,
+    samples: usize,
+) -> f64 {
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| {
+            let nodes = BNode::network(labeling, 0, 7);
+            let mut sim = Simulator::new(Arc::clone(graph), nodes)
+                .without_trace()
+                .with_engine(engine);
+            let start = Instant::now();
+            sim.run_rounds(rounds);
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(sim.current_round());
+            rounds as f64 / secs
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+fn run_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
+    let graph = Arc::new(graph);
+    let labeling = lambda::construct(&graph, 0)
+        .expect("workload is connected")
+        .into_labeling();
+    let rounds = 2 * graph.node_count() as u64;
+    let fast = measure(
+        &graph,
+        &labeling,
+        Engine::TransmitterCentric,
+        rounds,
+        cfg.samples,
+    );
+    let reference = measure(
+        &graph,
+        &labeling,
+        Engine::ListenerCentric,
+        rounds,
+        cfg.samples,
+    );
+    let m = Measurement {
+        workload: name,
+        n: graph.node_count(),
+        avg_degree: graph.average_degree(),
+        rounds_per_sample: rounds,
+        fast_rounds_per_sec: fast,
+        reference_rounds_per_sec: reference,
+    };
+    println!(
+        "round_throughput/{name}/n={} (avg deg {:.1}): transmitter-centric {:.0} rounds/s, \
+         listener-centric {:.0} rounds/s, speedup {:.2}x",
+        m.n,
+        m.avg_degree,
+        m.fast_rounds_per_sec,
+        m.reference_rounds_per_sec,
+        m.speedup()
+    );
+    m
+}
+
+fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std::path::PathBuf> {
+    let timestamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut entries = String::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"avg_degree\": {:.2}, \
+             \"scheme\": \"lambda\", \"tracing\": false, \"rounds_per_sample\": {}, \
+             \"transmitter_centric_rounds_per_sec\": {:.1}, \
+             \"listener_centric_rounds_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}",
+            m.workload,
+            m.n,
+            m.avg_degree,
+            m.rounds_per_sample,
+            m.fast_rounds_per_sec,
+            m.reference_rounds_per_sec,
+            m.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_round_throughput\",\n  \
+         \"timestamp_unix\": {timestamp},\n  \"quick\": {},\n  \
+         \"workloads\": [\n{entries}\n  ]\n}}\n",
+        cfg.quick
+    );
+    let out = std::env::var("BENCH_OUT")
+        .map(Into::into)
+        .unwrap_or_else(|_| {
+            // crates/rn-bench -> workspace root
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_simulator.json")
+        });
+    std::fs::write(&out, json)?;
+    Ok(out.canonicalize().unwrap_or(out))
+}
+
+fn main() {
+    let cfg = config();
+    let n = cfg.n;
+    let measurements = vec![
+        run_workload("path", generators::path(n), &cfg),
+        run_workload("random-tree", generators::random_tree(n, 7), &cfg),
+        run_workload(
+            "gnp-avg-deg-8",
+            generators::gnp_connected(n, 8.0 / n as f64, 1).unwrap(),
+            &cfg,
+        ),
+        run_workload(
+            "gnp-avg-deg-32",
+            generators::gnp_connected(n, 32.0 / n as f64, 1).unwrap(),
+            &cfg,
+        ),
+    ];
+    if cfg.test_mode {
+        println!("test mode: skipping BENCH_simulator.json");
+        return;
+    }
+    match emit_json(&measurements, &cfg) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_simulator.json: {e}"),
+    }
+    let best = measurements
+        .iter()
+        .map(Measurement::speedup)
+        .fold(0.0_f64, f64::max);
+    println!("best speedup over the listener-centric engine: {best:.2}x");
+}

@@ -19,7 +19,12 @@
 //! * every run returns the same [`RunReport`], a superset of the three legacy
 //!   result structs;
 //! * [`Session::run_batch`] fans independent runs out over the scoped worker
-//!   threads of [`rn_radio::batch`], returning reports in spec order.
+//!   threads of [`rn_radio::batch`], returning reports in spec order;
+//! * every run borrows its simulator's per-round working buffers
+//!   ([`rn_radio::RoundScratch`]) from a pool on the session, so repeat and
+//!   batch runs amortize per-round memory exactly like they amortize the
+//!   labeling — and [`SessionBuilder::engine`] can replay any workload on the
+//!   retained listener-centric reference engine for equivalence checking.
 //!
 //! ```
 //! use rn_broadcast::session::{Scheme, Session};
@@ -50,8 +55,8 @@ use crate::messages::{BMessage, SourceMessage, TaggedPayload};
 use crate::verify;
 use rn_graph::{Graph, NodeId};
 use rn_labeling::{baselines, lambda, lambda_ack, lambda_arb, onebit, Labeling, LabelingError};
-use rn_radio::{ExecutionStats, RadioNode, Simulator, StopCondition};
-use std::sync::Arc;
+use rn_radio::{Engine, ExecutionStats, RadioNode, RoundScratch, Simulator, StopCondition};
+use std::sync::{Arc, Mutex};
 
 /// Which labeling scheme / broadcast algorithm pair a session executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,7 +188,7 @@ impl RunSpec {
 
 /// The unified result of one session run: a superset of the legacy
 /// `BroadcastResult` / `AckBroadcastResult` / `ArbBroadcastResult`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Name of the labeling scheme used.
     pub scheme: &'static str,
@@ -239,6 +244,7 @@ pub struct SessionBuilder {
     stop: StopPolicy,
     trace: TracePolicy,
     round_cap: RoundCapPolicy,
+    engine: Engine,
 }
 
 impl SessionBuilder {
@@ -253,6 +259,7 @@ impl SessionBuilder {
             stop: StopPolicy::default(),
             trace: TracePolicy::default(),
             round_cap: RoundCapPolicy::default(),
+            engine: Engine::default(),
         }
     }
 
@@ -292,6 +299,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the simulator delivery engine (default
+    /// [`Engine::TransmitterCentric`]). [`Engine::ListenerCentric`] replays
+    /// runs on the retained reference implementation; the equivalence suite
+    /// uses it to pin down that both engines produce identical reports.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Constructs the labeling and the per-node protocol templates.
     ///
     /// This is the expensive step (BFS layering, sequence construction,
@@ -324,7 +340,9 @@ impl SessionBuilder {
             stop: self.stop,
             trace: self.trace,
             round_cap: self.round_cap,
+            engine: self.engine,
             prepared,
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 }
@@ -342,7 +360,14 @@ pub struct Session {
     stop: StopPolicy,
     trace: TracePolicy,
     round_cap: RoundCapPolicy,
+    engine: Engine,
     prepared: Prepared,
+    /// Recycled per-round simulator buffers: every run borrows a scratch
+    /// from here and returns it afterwards, so repeat and batch runs
+    /// amortize per-round working memory the same way they amortize the
+    /// labeling. Grows to at most the number of concurrently running
+    /// simulations (the batch thread count).
+    scratch_pool: Mutex<Vec<RoundScratch>>,
 }
 
 impl Session {
@@ -479,7 +504,7 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     BNode::network(labeling, source, message)
                 });
-                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record, source).run(
                     stop,
                     BNode::is_informed,
                     |_, _| false,
@@ -492,7 +517,7 @@ impl Session {
                     BackNode::network(labeling, source, message)
                 });
                 let mut ack_round = None;
-                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record, source).run(
                     stop,
                     BackNode::is_informed,
                     |sim, round| {
@@ -514,7 +539,7 @@ impl Session {
                 });
                 let mut completion = None;
                 let mut common_knowledge = None;
-                let run = Execution::new(&self.graph, nodes, record, true, source).run(
+                let run = Execution::new(self, nodes, record, true, source).run(
                     stop,
                     |node: &ArbNode| node.learned_message().is_some(),
                     |sim, round| {
@@ -545,7 +570,7 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     SlottedNode::network(labeling, source, message)
                 });
-                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record, source).run(
                     stop,
                     SlottedNode::is_informed,
                     |sim, _| sim.nodes().iter().all(SlottedNode::is_informed),
@@ -557,7 +582,7 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     DelayRelayNode::network(labeling, source, message)
                 });
-                let run = Execution::new(&self.graph, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record, source).run(
                     stop,
                     DelayRelayNode::is_informed,
                     |_, _| false,
@@ -694,7 +719,7 @@ fn clone_or_rebuild<N: Clone>(
 /// One simulation in flight: wires the online informed-round tracking and the
 /// per-scheme observation hook into `Simulator::run_until`.
 struct Execution<'g, N: RadioNode> {
-    graph: &'g Arc<Graph>,
+    session: &'g Session,
     nodes: Vec<N>,
     record: bool,
     /// Whether to track informed rounds from node state after each round.
@@ -715,14 +740,14 @@ struct Finished<N: RadioNode> {
 
 impl<'g, N: RadioNode> Execution<'g, N> {
     fn new(
-        graph: &'g Arc<Graph>,
+        session: &'g Session,
         nodes: Vec<N>,
         record: bool,
         track_online: bool,
         source: NodeId,
     ) -> Self {
         Execution {
-            graph,
+            session,
             nodes,
             record,
             track_online,
@@ -734,18 +759,31 @@ impl<'g, N: RadioNode> Execution<'g, N> {
     /// informed nodes and `observe` (receiving the simulator and the current
     /// round) updates scheme-specific measurements; returning `true` from
     /// `observe` stops the run early.
+    ///
+    /// The simulator's per-round scratch is borrowed from the session's pool
+    /// before the run and returned afterwards, so repeated and batched runs
+    /// reuse the same working arrays instead of reallocating them per run.
     fn run(
         self,
         stop: StopCondition,
         informed: impl Fn(&N) -> bool,
         mut observe: impl FnMut(&Simulator<N>, u64) -> bool,
     ) -> Finished<N> {
-        let mut sim = Simulator::new(Arc::clone(self.graph), self.nodes);
+        let scratch = self
+            .session
+            .scratch_pool
+            .lock()
+            .expect("scratch pool not poisoned")
+            .pop()
+            .unwrap_or_default();
+        let mut sim = Simulator::new(Arc::clone(&self.session.graph), self.nodes)
+            .with_engine(self.session.engine)
+            .with_scratch(scratch);
         if !self.record {
             sim = sim.without_trace();
         }
         let mut online = if self.track_online {
-            let mut online = vec![None; self.graph.node_count()];
+            let mut online = vec![None; self.session.graph.node_count()];
             online[self.source] = Some(0);
             online
         } else {
@@ -763,6 +801,11 @@ impl<'g, N: RadioNode> Execution<'g, N> {
             }
             observe(s, round)
         });
+        self.session
+            .scratch_pool
+            .lock()
+            .expect("scratch pool not poisoned")
+            .push(sim.take_scratch());
         Finished {
             sim,
             online_informed: online,
@@ -1032,6 +1075,50 @@ mod tests {
         let r = session.run();
         assert!(r.rounds_executed <= 3);
         assert!(!r.completed(), "a 20-path cannot finish in 3 rounds");
+    }
+
+    #[test]
+    fn reference_engine_reports_match_the_default_engine() {
+        let g = Arc::new(generators::gnp_connected(20, 0.18, 11).unwrap());
+        for scheme in Scheme::GENERAL {
+            let fast = Session::builder(scheme, Arc::clone(&g))
+                .source(3)
+                .message(8)
+                .build()
+                .unwrap();
+            let reference = Session::builder(scheme, Arc::clone(&g))
+                .source(3)
+                .message(8)
+                .engine(Engine::ListenerCentric)
+                .build()
+                .unwrap();
+            assert_eq!(fast.run(), reference.run(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers_across_runs() {
+        let g = generators::grid(4, 4);
+        let session = Session::builder(Scheme::Lambda, g).build().unwrap();
+        assert!(session.scratch_pool.lock().unwrap().is_empty());
+        session.run();
+        assert_eq!(
+            session.scratch_pool.lock().unwrap().len(),
+            1,
+            "a sequential run parks exactly one scratch"
+        );
+        session.run();
+        session.run();
+        assert_eq!(session.scratch_pool.lock().unwrap().len(), 1);
+
+        let specs: Vec<RunSpec> = (0..16).map(|s| RunSpec::new(s, 2)).collect();
+        let threads = 4;
+        session.run_batch(&specs, threads).unwrap();
+        let pooled = session.scratch_pool.lock().unwrap().len();
+        assert!(
+            (1..=threads).contains(&pooled),
+            "pool bounded by concurrency, got {pooled}"
+        );
     }
 
     #[test]

@@ -31,12 +31,14 @@
 pub mod batch;
 pub mod message;
 pub mod node;
+pub mod scratch;
 pub mod simulator;
 pub mod stats;
 pub mod trace;
 
 pub use message::RadioMessage;
 pub use node::{Action, RadioNode};
-pub use simulator::{RunOutcome, Simulator, StopCondition};
+pub use scratch::RoundScratch;
+pub use simulator::{Engine, RunOutcome, Simulator, StopCondition};
 pub use stats::ExecutionStats;
 pub use trace::{RoundRecord, Trace};

@@ -22,11 +22,13 @@ pub enum Action<M> {
 
 impl<M> Action<M> {
     /// Whether this action is a transmission.
+    #[inline]
     pub fn is_transmit(&self) -> bool {
         matches!(self, Action::Transmit(_))
     }
 
     /// The transmitted message, if any.
+    #[inline]
     pub fn message(&self) -> Option<&M> {
         match self {
             Action::Transmit(m) => Some(m),

@@ -13,11 +13,75 @@
 //! The simulator records a full [`Trace`] for the harness and supports
 //! flexible stop conditions so experiments can run "until all nodes are
 //! informed", "for exactly k rounds", or "until the trace goes quiet".
+//!
+//! # Engine design: transmitter-centric delivery over CSR rows
+//!
+//! The paper's protocols produce long executions in which most rounds have
+//! very few transmitters (often one, frequently zero in quiet tails), so the
+//! default engine resolves delivery from the transmitters outward rather
+//! than by scanning every listener's neighbourhood:
+//!
+//! 1. **Decide** — every node takes its [`RadioNode::step`]; transmitters
+//!    are collected in the same pass (no separate counting sweep), each
+//!    recorded sparsely as a generation mark plus its message moved into a
+//!    reused buffer. Listening nodes write **nothing**, so the pass's memory
+//!    traffic is proportional to the number of transmitters, not to `n`.
+//! 2. **Mark** — for each transmitter `t`, walk its contiguous CSR neighbour
+//!    slice ([`Graph::neighbors`]) and bump the neighbour's
+//!    `(hit_count, last_sender)` entry in the [`RoundScratch`]. This is the
+//!    only part of the round that touches the adjacency structure, and it
+//!    costs O(Σ deg(t) over transmitters) — not O(Σ deg(v) over listeners).
+//! 3. **Observe** — one linear pass over the nodes delivers observations:
+//!    a listener with `hit_count == 1` receives the unique sender's message
+//!    *by reference* (no clone; the trace, if recording, makes the only
+//!    copy), any other listener observes `None`, and the collision trace
+//!    event reads its neighbour count straight out of `hit_count` — the
+//!    delivery pass already computed it.
+//!
+//! Steady-state rounds perform **zero heap allocations** with tracing off:
+//! the transmitted-message buffer, the transmitter list and the per-listener
+//! arrays all live in the [`RoundScratch`] / simulator and are reused every
+//! round, and clearing is free because scratch entries are validated by a
+//! per-round generation stamp instead of being zeroed (see
+//! [`crate::scratch`]).
+//!
+//! Invariants the engine relies on:
+//!
+//! * `scratch.generation` strictly increases across rounds (and across
+//!   simulations sharing a recycled scratch), so a stale
+//!   `hit_count`/`last_sender` entry can never alias a current one;
+//! * the scratch's per-node arrays cover at least `graph.node_count()`
+//!   entries (enforced whenever a scratch is installed);
+//! * `last_sender[v]` is the unique transmitting neighbour whenever
+//!   `hit_count[v] == 1`, because each marking pass writes it on the first
+//!   hit of the round — and neighbour slices are sorted, so it equals the
+//!   first transmitting neighbour in node order, matching the reference
+//!   engine's `Heard::from` exactly.
+//!
+//! The original listener-centric delivery is retained, verbatim, as
+//! [`Simulator::step_round_reference`] behind [`Engine::ListenerCentric`]:
+//! it is the executable specification the equivalence suite checks the fast
+//! engine against, round for round and event for event.
 
 use crate::node::{Action, RadioNode};
+use crate::scratch::RoundScratch;
 use crate::trace::{NodeEvent, RoundRecord, Trace};
 use rn_graph::{Graph, NodeId};
 use std::sync::Arc;
+
+/// Which delivery engine [`Simulator::step_round`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The transmitter-centric, allocation-free engine (the default): only
+    /// transmitters' CSR neighbour slices are walked each round.
+    #[default]
+    TransmitterCentric,
+    /// The original listener-centric engine, retained as an executable
+    /// reference implementation: every listener scans its neighbour list.
+    /// Slower by design; exists so equivalence tests (and sceptical users)
+    /// can replay any workload on both engines and compare traces.
+    ListenerCentric,
+}
 
 /// When the simulation should stop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +127,14 @@ pub struct Simulator<N: RadioNode> {
     trace: Trace<N::Msg>,
     round: u64,
     record_trace: bool,
+    engine: Engine,
+    /// Reusable numeric working arrays (see [`crate::scratch`]).
+    scratch: RoundScratch,
+    /// Reused per-round buffer of the transmitted messages, in transmitter
+    /// order; cleared (capacity kept) and refilled by every decide pass.
+    /// Listeners never touch it — the round's memory traffic is proportional
+    /// to the number of transmitters, not to `n`.
+    tx_messages: Vec<N::Msg>,
 }
 
 impl<N: RadioNode> Simulator<N> {
@@ -86,6 +158,13 @@ impl<N: RadioNode> Simulator<N> {
             trace: Trace::new(),
             round: 0,
             record_trace: true,
+            engine: Engine::default(),
+            // Deliberately empty: it grows on the first round, and Session
+            // runs replace it with a pooled scratch before stepping — an
+            // eagerly sized scratch here would be allocated just to be
+            // thrown away on every pooled run.
+            scratch: RoundScratch::new(),
+            tx_messages: Vec::new(),
         }
     }
 
@@ -93,6 +172,31 @@ impl<N: RadioNode> Simulator<N> {
     pub fn without_trace(mut self) -> Self {
         self.record_trace = false;
         self
+    }
+
+    /// Selects the delivery engine (default [`Engine::TransmitterCentric`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Installs a recycled [`RoundScratch`], replacing the simulator's own.
+    ///
+    /// The scratch is grown to cover this graph if needed; its generation
+    /// counter carries over, which is exactly what keeps stale entries from
+    /// previous simulations unreadable. Batch drivers use this together with
+    /// [`take_scratch`](Self::take_scratch) to amortize per-round buffers
+    /// across many runs.
+    pub fn with_scratch(mut self, mut scratch: RoundScratch) -> Self {
+        scratch.ensure_nodes(self.graph.node_count());
+        self.scratch = scratch;
+        self
+    }
+
+    /// Removes and returns the scratch for recycling into another simulator,
+    /// leaving this one with an empty scratch that would regrow on demand.
+    pub fn take_scratch(&mut self) -> RoundScratch {
+        std::mem::take(&mut self.scratch)
     }
 
     /// The graph being simulated.
@@ -123,6 +227,114 @@ impl<N: RadioNode> Simulator<N> {
 
     /// Executes a single round and returns the number of transmitters.
     pub fn step_round(&mut self) -> usize {
+        match self.engine {
+            Engine::TransmitterCentric => self.step_round_transmitter_centric(),
+            Engine::ListenerCentric => self.step_round_reference(),
+        }
+    }
+
+    /// One round of the default transmitter-centric engine (see the module
+    /// docs for the three-phase design and its invariants).
+    fn step_round_transmitter_centric(&mut self) -> usize {
+        self.round += 1;
+        let n = self.graph.node_count();
+        let scratch = &mut self.scratch;
+        scratch.ensure_nodes(n);
+        scratch.generation += 1;
+        let generation = scratch.generation;
+
+        // Phase 1: every node decides. Transmitters are recorded sparsely —
+        // node id, generation mark, and the message moved into the reused
+        // message buffer; a listening node writes nothing at all.
+        self.tx_messages.clear();
+        scratch.transmitters.clear();
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            match node.step() {
+                Action::Transmit(m) => {
+                    scratch.tx_stamp[v] = generation;
+                    scratch.tx_index[v] = self.tx_messages.len() as u32;
+                    scratch.transmitters.push(v);
+                    self.tx_messages.push(m);
+                }
+                Action::Listen => {}
+            }
+        }
+
+        // Phase 2: mark. Only the transmitters' CSR neighbour slices are
+        // walked; each neighbour's (hit_count, last_sender) entry is claimed
+        // for this round by stamping it with the current generation.
+        for &t in &scratch.transmitters {
+            for &w in self.graph.neighbors(t) {
+                if scratch.stamp[w] == generation {
+                    scratch.hit_count[w] += 1;
+                } else {
+                    scratch.stamp[w] = generation;
+                    scratch.hit_count[w] = 1;
+                    scratch.last_sender[w] = t;
+                }
+            }
+        }
+
+        // Phase 3: observe. A listener hears a message iff exactly one
+        // neighbour transmitted; the message travels by reference, and the
+        // trace (when recording) makes the only clone.
+        let mut events: Vec<NodeEvent<N::Msg>> =
+            Vec::with_capacity(if self.record_trace { n } else { 0 });
+        let tx_stamp = &scratch.tx_stamp[..n];
+        let stamp = &scratch.stamp[..n];
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            if tx_stamp[v] == generation {
+                if self.record_trace {
+                    let m = &self.tx_messages[scratch.tx_index[v] as usize];
+                    events.push(NodeEvent::Transmitted(m.clone()));
+                }
+            } else if stamp[v] == generation {
+                if scratch.hit_count[v] == 1 {
+                    let w = scratch.last_sender[v];
+                    let msg = &self.tx_messages[scratch.tx_index[w] as usize];
+                    node.receive(Some(msg));
+                    if self.record_trace {
+                        events.push(NodeEvent::Heard {
+                            from: w,
+                            message: msg.clone(),
+                        });
+                    }
+                } else {
+                    // Collision: indistinguishable from silence for the
+                    // node; the count is already in the scratch.
+                    node.receive(None);
+                    if self.record_trace {
+                        events.push(NodeEvent::Collision {
+                            transmitting_neighbors: scratch.hit_count[v] as usize,
+                        });
+                    }
+                }
+            } else {
+                node.receive(None);
+                if self.record_trace {
+                    events.push(NodeEvent::Silence);
+                }
+            }
+        }
+
+        if self.record_trace {
+            self.trace.rounds.push(RoundRecord {
+                round: self.round,
+                events,
+            });
+        }
+        scratch.transmitters.len()
+    }
+
+    /// Executes a single round with the retained listener-centric reference
+    /// engine, regardless of the configured [`Engine`].
+    ///
+    /// This is the original delivery algorithm, kept verbatim: it allocates
+    /// fresh action and transmit-flag vectors every round and resolves each
+    /// listener by scanning its own neighbour list. It exists as the
+    /// executable specification that `tests/engine_equivalence.rs` replays
+    /// workloads against; production paths never call it.
+    pub fn step_round_reference(&mut self) -> usize {
         self.round += 1;
         let n = self.graph.node_count();
 
@@ -491,6 +703,68 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(nodes.len(), 2);
         assert_eq!(nodes[1].heard, Some(42));
+    }
+
+    #[test]
+    fn engines_agree_on_collision_heavy_round() {
+        // Star: all 4 leaves transmit at the centre simultaneously.
+        let g = generators::star(5);
+        let make_nodes = || {
+            (0..5)
+                .map(|v| Simultaneous {
+                    transmit_first: v != 0,
+                    done: false,
+                    heard: None,
+                    listened_rounds: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut fast = Simulator::new(g.clone(), make_nodes());
+        let mut reference = Simulator::new(g, make_nodes()).with_engine(Engine::ListenerCentric);
+        let tx_fast = fast.step_round();
+        let tx_ref = reference.step_round();
+        assert_eq!(tx_fast, tx_ref);
+        assert_eq!(fast.trace().rounds, reference.trace().rounds);
+        match &fast.trace().rounds[0].events[0] {
+            NodeEvent::Collision {
+                transmitting_neighbors,
+            } => assert_eq!(*transmitting_neighbors, 4),
+            other => panic!("expected collision at the centre, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_produces_identical_runs() {
+        // Run on a larger graph first, then recycle the (bigger, stale)
+        // scratch into a smaller simulation: generation stamping must keep
+        // the stale entries invisible.
+        let big = generators::star(9);
+        let mut first = one_shot_sim(big);
+        first.run_rounds(4);
+        let scratch = first.take_scratch();
+        assert!(scratch.capacity() >= 9);
+
+        let small = generators::path(3);
+        let nodes: Vec<OneShot> = (0..3).map(|v| OneShot::new(v == 0)).collect();
+        let mut recycled = Simulator::new(small.clone(), nodes).with_scratch(scratch);
+        recycled.run_rounds(2);
+
+        let mut fresh = one_shot_sim(small);
+        fresh.run_rounds(2);
+        assert_eq!(recycled.trace().rounds, fresh.trace().rounds);
+        assert_eq!(recycled.nodes()[1].heard, fresh.nodes()[1].heard);
+    }
+
+    #[test]
+    fn take_scratch_leaves_a_usable_simulator() {
+        let g = generators::path(4);
+        let mut sim = one_shot_sim(g);
+        sim.step_round();
+        let _scratch = sim.take_scratch();
+        // The replacement scratch regrows on demand.
+        sim.step_round();
+        assert_eq!(sim.current_round(), 2);
+        assert_eq!(sim.nodes()[1].heard, Some(42));
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Equivalence suite for the transmitter-centric simulator engine.
+//!
+//! The fast engine rewrote delivery from "every listener scans its
+//! neighbourhood" to "every transmitter pushes along its CSR row"; the old
+//! algorithm is retained verbatim as `Simulator::step_round_reference`
+//! (selected with `Engine::ListenerCentric`). These tests replay seeded
+//! topologies under all seven `Scheme`s — and under an adversarial
+//! pseudo-random protocol at the raw simulator level — and assert the two
+//! engines produce **identical** traces, node observations and `RunReport`s,
+//! field for field.
+
+use radio_labeling::broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
+use radio_labeling::graph::{generators, Graph};
+use radio_labeling::radio::{Action, Engine, RadioNode, Simulator, StopCondition};
+use std::sync::Arc;
+
+/// Seeded workload families: name, graph, and the sources to broadcast from.
+fn workloads() -> Vec<(String, Graph, Vec<usize>)> {
+    let mut w: Vec<(String, Graph, Vec<usize>)> = vec![
+        ("path-17".into(), generators::path(17), vec![0, 8, 16]),
+        ("star-13".into(), generators::star(13), vec![0, 5]),
+        ("grid-4x5".into(), generators::grid(4, 5), vec![0, 7]),
+        (
+            "tree-31".into(),
+            generators::balanced_binary_tree(31),
+            vec![0, 30],
+        ),
+        (
+            "random-tree-24".into(),
+            generators::random_tree(24, 5),
+            vec![0, 11],
+        ),
+        ("barbell-5-2".into(), generators::barbell(5, 2), vec![0, 6]),
+    ];
+    for seed in [1u64, 2, 3] {
+        w.push((
+            format!("gnp-30-seed{seed}"),
+            generators::gnp_connected(30, 0.15, seed).unwrap(),
+            vec![0, 13],
+        ));
+    }
+    w
+}
+
+/// Runs one spec on both engines and asserts the reports are identical.
+fn assert_engines_agree(scheme: Scheme, graph: &Arc<Graph>, source: usize, label: &str) {
+    let build = |engine: Engine| {
+        Session::builder(scheme, Arc::clone(graph))
+            .source(source)
+            .message(17)
+            .engine(engine)
+            .build()
+            .unwrap()
+    };
+    let fast = build(Engine::TransmitterCentric);
+    let reference = build(Engine::ListenerCentric);
+
+    let a: RunReport = fast.run();
+    let b: RunReport = reference.run();
+    assert_eq!(a, b, "{label}: {} from {source}", scheme.name());
+    assert!(
+        a.completed(),
+        "{label}: {} from {source} should complete",
+        scheme.name()
+    );
+
+    // A second message through the cached labeling must agree too.
+    let a2 = fast.run_with_message(99).unwrap();
+    let b2 = reference.run_with_message(99).unwrap();
+    assert_eq!(a2, b2, "{label}: {} rerun", scheme.name());
+}
+
+#[test]
+fn all_general_schemes_agree_on_every_workload() {
+    for (label, graph, sources) in workloads() {
+        let graph = Arc::new(graph);
+        for scheme in Scheme::GENERAL {
+            for &source in &sources {
+                assert_engines_agree(scheme, &graph, source, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn onebit_schemes_agree_on_their_classes() {
+    for n in [8usize, 13, 20] {
+        let cycle = Arc::new(generators::cycle(n));
+        assert_engines_agree(Scheme::OneBitCycle, &cycle, n / 2, &format!("cycle-{n}"));
+    }
+    for (rows, cols) in [(3usize, 5usize), (4, 4)] {
+        let grid = Arc::new(generators::grid(rows, cols));
+        assert_engines_agree(
+            Scheme::OneBitGrid { rows, cols },
+            &grid,
+            rows * cols - 1,
+            &format!("grid-{rows}x{cols}"),
+        );
+    }
+}
+
+#[test]
+fn engines_agree_with_tracing_disabled() {
+    let g = Arc::new(generators::gnp_connected(26, 0.16, 9).unwrap());
+    for scheme in Scheme::GENERAL {
+        let build = |engine: Engine| {
+            Session::builder(scheme, Arc::clone(&g))
+                .source(4)
+                .trace(TracePolicy::Disabled)
+                .engine(engine)
+                .build()
+                .unwrap()
+        };
+        assert_eq!(
+            build(Engine::TransmitterCentric).run(),
+            build(Engine::ListenerCentric).run(),
+            "{} without trace",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn batch_runs_agree_across_engines() {
+    let g = Arc::new(generators::gnp_connected(18, 0.2, 21).unwrap());
+    let specs: Vec<RunSpec> = (0..g.node_count())
+        .map(|s| RunSpec::new(s, 50 + s as u64))
+        .collect();
+    let build = |engine: Engine| {
+        Session::builder(Scheme::LambdaArb, Arc::clone(&g))
+            .engine(engine)
+            .build()
+            .unwrap()
+    };
+    let fast = build(Engine::TransmitterCentric)
+        .run_batch(&specs, 4)
+        .unwrap();
+    let reference = build(Engine::ListenerCentric).run_batch(&specs, 4).unwrap();
+    assert_eq!(fast, reference);
+}
+
+/// An adversarial protocol for raw-simulator equivalence: each node
+/// transmits on a pseudo-random schedule derived from its id and how many
+/// rounds it has seen, producing dense collision patterns no real scheme
+/// would. The per-node state advances on *observations* only (the simulator
+/// never leaks the round number), exactly like a real protocol.
+#[derive(Clone)]
+struct ChaosNode {
+    id: u64,
+    local_round: u64,
+    /// Fires roughly every `1/density` rounds.
+    density: u64,
+    observations: Vec<Option<u64>>,
+}
+
+impl ChaosNode {
+    fn network(n: usize, density: u64) -> Vec<ChaosNode> {
+        (0..n)
+            .map(|id| ChaosNode {
+                id: id as u64,
+                local_round: 0,
+                density,
+                observations: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// SplitMix64 — deterministic, seeded by (id, local_round).
+    fn hash(&self) -> u64 {
+        let mut z = self
+            .id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.local_round.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RadioNode for ChaosNode {
+    type Msg = u64;
+
+    fn step(&mut self) -> Action<u64> {
+        let fire = self.hash().is_multiple_of(self.density);
+        self.local_round += 1;
+        if fire {
+            Action::Transmit(self.id * 1000 + self.local_round)
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn receive(&mut self, heard: Option<&u64>) {
+        self.observations.push(heard.copied());
+    }
+}
+
+#[test]
+fn raw_traces_and_observations_identical_under_chaos() {
+    // density 2 ≈ half the nodes transmit every round (collision-saturated);
+    // density 16 ≈ sparse rounds (the fast engine's home turf).
+    for density in [2u64, 5, 16] {
+        for (label, graph, _) in workloads() {
+            let graph = Arc::new(graph);
+            let n = graph.node_count();
+            let mut fast = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, density));
+            let mut reference = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, density))
+                .with_engine(Engine::ListenerCentric);
+            let a = fast.run_until(StopCondition::AfterRounds(60), |_| false);
+            let b = reference.run_until(StopCondition::AfterRounds(60), |_| false);
+            assert_eq!(a, b, "{label} d={density}: outcomes differ");
+            assert_eq!(
+                fast.trace().rounds,
+                reference.trace().rounds,
+                "{label} d={density}: traces differ"
+            );
+            for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+                assert_eq!(
+                    x.observations, y.observations,
+                    "{label} d={density}: node {v} observations differ"
+                );
+            }
+        }
+    }
+}
