@@ -8,8 +8,12 @@
 //! verbatim), and writes the results including the speedup ratio to
 //! `BENCH_simulator.json` at the workspace root.
 //!
-//! Workloads, in increasing average degree: a path, a uniform random tree,
-//! and G(n, p) graphs of average degree 8 and 32. Every run executes `2n`
+//! Workloads: the original ladder — a path, a uniform random tree, and
+//! G(n, p) graphs of average degree 8 and 32 — plus one case per family the
+//! topology registry added (torus, hypercube, caterpillar, lollipop,
+//! star-of-cliques, clustered G(n, p), unit-disk, degree-capped), drawn
+//! through `TopologyFamily::generate` so the benches measure exactly the
+//! instances the scenario sweeps run on. Every run executes `2n`
 //! rounds — the active broadcast wave plus the quiet tail — because the
 //! paper's protocols spend most of a long execution in rounds with very few
 //! (often zero) transmitters, which is precisely where the two engines
@@ -29,6 +33,7 @@
 //! run after all measurements and write one consolidated file.
 
 use rn_broadcast::algo_b::BNode;
+use rn_graph::generators::TopologyFamily;
 use rn_graph::{generators, Graph};
 use rn_labeling::lambda;
 use rn_radio::{Engine, Simulator};
@@ -187,10 +192,36 @@ fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std:
     Ok(out.canonicalize().unwrap_or(out))
 }
 
+/// One registry family per bench case; every instance comes through the
+/// same `generate` entry point the sweeps use.
+const REGISTRY_CASES: [(&str, TopologyFamily); 8] = [
+    ("torus", TopologyFamily::Torus),
+    ("hypercube", TopologyFamily::Hypercube),
+    ("caterpillar", TopologyFamily::Caterpillar { legs: 2 }),
+    ("lollipop", TopologyFamily::Lollipop),
+    (
+        "star-of-cliques",
+        TopologyFamily::StarOfCliques { clique_size: 8 },
+    ),
+    (
+        "clustered-gnp",
+        TopologyFamily::ClusteredGnp {
+            clusters: 6,
+            p_in: 0.6,
+            p_out: 0.01,
+        },
+    ),
+    ("unit-disk", TopologyFamily::UnitDisk { avg_degree: 8.0 }),
+    (
+        "degree-capped",
+        TopologyFamily::DegreeCapped { max_degree: 4 },
+    ),
+];
+
 fn main() {
     let cfg = config();
     let n = cfg.n;
-    let measurements = vec![
+    let mut measurements = vec![
         run_workload("path", generators::path(n), &cfg),
         run_workload("random-tree", generators::random_tree(n, 7), &cfg),
         run_workload(
@@ -204,6 +235,17 @@ fn main() {
             &cfg,
         ),
     ];
+    // The dense quadratic-ish generators (clustered gnp, unit disk) are the
+    // slow part at n = 10k; the registry cases therefore run at a smaller n
+    // so a full bench pass stays in minutes. The engines see every family's
+    // *shape*, which is what these cases exist to cover.
+    let reg_n = if cfg.test_mode { 200 } else { n / 4 };
+    for (name, family) in REGISTRY_CASES {
+        let g = family
+            .generate(reg_n, 7)
+            .expect("registry presets generate at bench sizes");
+        measurements.push(run_workload(name, g, &cfg));
+    }
     if cfg.test_mode {
         println!("test mode: skipping BENCH_simulator.json");
         return;

@@ -1,13 +1,13 @@
 //! Legacy one-shot runners, kept as thin deprecated wrappers around the
-//! unified [`Session`](crate::session::Session) API.
+//! unified [`Session`] API.
 //!
 //! Each function builds a single-use session with the default policies (which
 //! reproduce the historical behaviour exactly — same stop conditions, same
 //! round caps, same trace-derived statistics) and converts the unified
-//! [`RunReport`](crate::session::RunReport) back into the historical result
-//! struct. New code should construct a session directly: it shares the graph
-//! instead of cloning it, reuses the constructed labeling across runs, and
-//! can fan batches out over worker threads.
+//! [`RunReport`] back into the historical result struct. New code should
+//! construct a session directly: it shares the graph instead of cloning it,
+//! reuses the constructed labeling across runs, and can fan batches out over
+//! worker threads.
 
 use crate::messages::SourceMessage;
 use crate::session::{RunReport, Scheme, Session};
@@ -125,6 +125,10 @@ fn run_session(
 }
 
 /// Runs Algorithm B on a λ-labeled copy of `g`.
+///
+/// Superseded by [`Session`] with [`Scheme::Lambda`]: a session shares the
+/// graph via `Arc` and reuses the constructed labeling across runs, where
+/// this wrapper clones and relabels on every call.
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::Lambda` instead; it reuses the labeling and graph across runs"
@@ -138,6 +142,9 @@ pub fn run_broadcast(
 }
 
 /// Runs Algorithm B_ack on a λ_ack-labeled copy of `g`.
+///
+/// Superseded by [`Session`] with [`Scheme::LambdaAck`]; the unified
+/// [`RunReport`] carries `ack_round` directly.
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::LambdaAck` instead; it reuses the labeling and graph across runs"
@@ -152,6 +159,11 @@ pub fn run_acknowledged_broadcast(
 
 /// Runs Algorithm B_arb on a λ_arb-labeled copy of `g`, with the labeling
 /// computed without knowledge of `source`.
+///
+/// Superseded by [`Session`] with [`Scheme::LambdaArb`]: λ_arb's labeling is
+/// source-independent, so one session serves every source position through
+/// [`Session::run_with`] / [`Session::run_batch`] without relabeling —
+/// exactly the workload this wrapper rebuilds from scratch per call.
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::LambdaArb` instead; one session serves every source position"
@@ -179,6 +191,8 @@ pub fn run_arbitrary_source(
 }
 
 /// Runs the unique-identifier round-robin baseline on `g`.
+///
+/// Superseded by [`Session`] with [`Scheme::UniqueIds`].
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::UniqueIds` instead"
@@ -192,6 +206,8 @@ pub fn run_unique_id_broadcast(
 }
 
 /// Runs the square-colouring slotted baseline on `g`.
+///
+/// Superseded by [`Session`] with [`Scheme::SquareColoring`].
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::SquareColoring` instead"
@@ -205,6 +221,8 @@ pub fn run_coloring_broadcast(
 }
 
 /// Runs the 1-bit delay-relay algorithm on a cycle.
+///
+/// Superseded by [`Session`] with [`Scheme::OneBitCycle`].
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::OneBitCycle` instead"
@@ -218,6 +236,8 @@ pub fn run_onebit_cycle(
 }
 
 /// Runs the 1-bit delay-relay algorithm on a canonically numbered grid.
+///
+/// Superseded by [`Session`] with [`Scheme::OneBitGrid`].
 #[deprecated(
     since = "0.1.0",
     note = "build a `session::Session` with `Scheme::OneBitGrid` instead"

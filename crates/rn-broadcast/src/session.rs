@@ -59,6 +59,22 @@ use rn_radio::{Engine, ExecutionStats, RadioNode, RoundScratch, Simulator, StopC
 use std::sync::{Arc, Mutex};
 
 /// Which labeling scheme / broadcast algorithm pair a session executes.
+///
+/// Each variant pairs one of the paper's labelings with its universal
+/// algorithm; [`Scheme::name`] gives the stable string the reports use and
+/// [`Scheme::parse`] turns that string back into a scheme (the sweep CLI's
+/// entry point).
+///
+/// ```
+/// use rn_broadcast::session::Scheme;
+///
+/// assert_eq!(Scheme::parse("lambda_ack").unwrap(), Scheme::LambdaAck);
+/// assert_eq!(Scheme::parse("onebit_grid:3x5").unwrap(),
+///            Scheme::OneBitGrid { rows: 3, cols: 5 });
+/// for scheme in Scheme::GENERAL {
+///     assert_eq!(Scheme::parse(scheme.name()).unwrap(), scheme);
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
     /// The paper's 2-bit scheme λ driving Algorithm B (Theorem 2.9).
@@ -122,7 +138,62 @@ impl Scheme {
             Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => false,
         }
     }
+
+    /// Parses a scheme from its [`name`](Self::name). `onebit_grid` takes its
+    /// dimensions as a `:RxC` suffix (`onebit_grid:4x5`); every other scheme
+    /// is just its name. This is the inverse of `name` and the string form
+    /// the sweep CLI accepts.
+    pub fn parse(s: &str) -> Result<Scheme, ParseSchemeError> {
+        let err = || ParseSchemeError {
+            input: s.to_string(),
+        };
+        if let Some(dims) = s.strip_prefix(onebit::GRID_SCHEME_NAME) {
+            let dims = dims.strip_prefix(':').ok_or_else(err)?;
+            let (rows, cols) = dims.split_once('x').ok_or_else(err)?;
+            return Ok(Scheme::OneBitGrid {
+                rows: rows.parse().map_err(|_| err())?,
+                cols: cols.parse().map_err(|_| err())?,
+            });
+        }
+        match s {
+            lambda::SCHEME_NAME => Ok(Scheme::Lambda),
+            lambda_ack::SCHEME_NAME => Ok(Scheme::LambdaAck),
+            lambda_arb::SCHEME_NAME => Ok(Scheme::LambdaArb),
+            onebit::CYCLE_SCHEME_NAME => Ok(Scheme::OneBitCycle),
+            baselines::UNIQUE_IDS_NAME => Ok(Scheme::UniqueIds),
+            baselines::SQUARE_COLORING_NAME => Ok(Scheme::SquareColoring),
+            _ => Err(err()),
+        }
+    }
 }
+
+impl std::str::FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::parse(s)
+    }
+}
+
+/// The input of [`Scheme::parse`] named no known scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheme {:?}; expected one of lambda, lambda_ack, lambda_arb, \
+             onebit_cycle, onebit_grid:RxC, unique_ids, square_coloring",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
 
 /// When a run stops, beyond the scheme-specific completion predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -234,6 +305,22 @@ impl RunReport {
 /// Defaults: source 0, coordinator 0 (λ_arb only), message 1, and the `Auto`
 /// stop, `Recorded` trace and `Auto` round-cap policies — which together
 /// reproduce the behaviour of the legacy `run_*` functions exactly.
+///
+/// ```
+/// use rn_broadcast::session::{RoundCapPolicy, Scheme, Session, TracePolicy};
+/// use rn_graph::generators;
+///
+/// let session = Session::builder(Scheme::LambdaAck, generators::cycle(11))
+///     .source(3)
+///     .message(5)
+///     .trace(TracePolicy::Disabled)       // skip trace recording
+///     .round_cap(RoundCapPolicy::Fixed(200))
+///     .build()?;
+/// let report = session.run();
+/// assert!(report.completed());
+/// assert!(report.ack_round > report.completion_round);
+/// # Ok::<(), rn_labeling::LabelingError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     scheme: Scheme,
@@ -440,6 +527,21 @@ impl Session {
     /// `threads` worker threads ([`rn_radio::batch::run_parallel`]). Reports
     /// come back in spec order, so batch runs are deterministic regardless of
     /// the thread count. `threads <= 1` runs inline.
+    ///
+    /// ```
+    /// use rn_broadcast::session::{RunSpec, Scheme, Session};
+    /// use rn_graph::generators;
+    ///
+    /// // λ_arb: one labeling serves every source, so a batch over all
+    /// // sources reuses the cached labeling in every worker.
+    /// let g = generators::gnp_connected(12, 0.3, 1)?;
+    /// let session = Session::builder(Scheme::LambdaArb, g).build()?;
+    /// let specs: Vec<RunSpec> = (0..12).map(|s| RunSpec::new(s, 7)).collect();
+    /// let reports = session.run_batch(&specs, 4)?;
+    /// assert_eq!(reports.len(), 12);
+    /// assert!(reports.iter().all(|r| r.completed()));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn run_batch(
         &self,
         specs: &[RunSpec],
@@ -1119,6 +1221,34 @@ mod tests {
             (1..=threads).contains(&pooled),
             "pool bounded by concurrency, got {pooled}"
         );
+    }
+
+    #[test]
+    fn scheme_parse_round_trips_every_name() {
+        for scheme in Scheme::GENERAL {
+            assert_eq!(Scheme::parse(scheme.name()).unwrap(), scheme);
+        }
+        assert_eq!(Scheme::parse("onebit_cycle").unwrap(), Scheme::OneBitCycle);
+        assert_eq!(
+            Scheme::parse("onebit_grid:4x5").unwrap(),
+            Scheme::OneBitGrid { rows: 4, cols: 5 }
+        );
+        assert_eq!("lambda".parse::<Scheme>().unwrap(), Scheme::Lambda);
+    }
+
+    #[test]
+    fn scheme_parse_rejects_unknown_and_malformed() {
+        for bad in [
+            "",
+            "lambda2",
+            "onebit_grid",
+            "onebit_grid:4",
+            "onebit_grid:axb",
+        ] {
+            let err = Scheme::parse(bad).unwrap_err();
+            assert_eq!(err.input, bad);
+            assert!(err.to_string().contains("unknown scheme"));
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! `sweep` — run a named topology/scheme sweep and emit machine-readable
+//! reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep --list                       # list the named sweeps
+//! sweep smoke                        # run a sweep, print the summary table
+//! sweep radio --json report.json     # also write the full JSON report
+//! sweep families --csv records.csv   # also write the per-run CSV
+//! sweep scaling --quick              # shrink sizes/seeds for a fast pass
+//! sweep smoke --threads 2            # cap the worker threads
+//! ```
+//!
+//! Reports are deterministic: the same sweep name and code version produce
+//! byte-identical JSON/CSV, regardless of `--threads`.
+
+use rn_experiments::emit;
+use rn_experiments::scenario::{self, SweepSpec};
+
+struct Args {
+    name: Option<String>,
+    json: Option<String>,
+    csv: Option<String>,
+    quick: bool,
+    threads: Option<usize>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        name: None,
+        json: None,
+        csv: None,
+        quick: false,
+        threads: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            "--list" => args.list = true,
+            "--quick" => args.quick = true,
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json requires a path")?);
+            }
+            "--csv" => {
+                args.csv = Some(it.next().ok_or("--csv requires a path")?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a count")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            name => {
+                if args.name.is_some() {
+                    return Err("only one sweep name may be given".into());
+                }
+                args.name = Some(name.to_string());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "sweep — run a named topology/scheme sweep\n\
+         \n\
+         USAGE:\n\
+         \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N]\n\
+         \tsweep --list\n\
+         \n\
+         OPTIONS:\n\
+         \t--json PATH   write the full report (spec, records, histograms, summary) as JSON\n\
+         \t--csv PATH    write the per-run records as CSV\n\
+         \t--quick       shrink sizes and seeds for a fast smoke pass\n\
+         \t--threads N   worker threads (default: one per core, capped)\n\
+         \t--list        list the named sweeps"
+    );
+}
+
+fn list_sweeps() {
+    println!("available sweeps:");
+    for (name, purpose) in scenario::SWEEP_NAMES {
+        println!("  {name:<12} {purpose}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        list_sweeps();
+        return;
+    }
+    let Some(name) = args.name else {
+        eprintln!("error: no sweep name given (try --list)");
+        std::process::exit(2);
+    };
+    let Some(mut spec): Option<SweepSpec> = scenario::named(&name) else {
+        eprintln!("error: unknown sweep {name:?}");
+        list_sweeps();
+        std::process::exit(2);
+    };
+    if args.quick {
+        spec = spec.quick();
+    }
+    if let Some(threads) = args.threads {
+        spec = spec.threads(threads);
+    }
+    eprintln!(
+        "sweep {name:?}: {} families x {} sizes x {} schemes x {} seeds = {} runs",
+        spec.families.len(),
+        spec.sizes.len(),
+        spec.schemes.len(),
+        spec.seeds.len(),
+        spec.run_count()
+    );
+    let report = match spec.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary_table());
+    if let Some(path) = args.json {
+        if let Err(e) = std::fs::write(&path, emit::to_json(&report)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.csv {
+        if let Err(e) = std::fs::write(&path, emit::to_csv(&report)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

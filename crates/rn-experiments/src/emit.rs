@@ -1,0 +1,281 @@
+//! Machine-readable report emission: JSON and CSV renderings of a
+//! [`SweepReport`].
+//!
+//! The build environment pins `serde` to an inert offline shim (see
+//! `crates/shims/serde`), so these emitters format the JSON by hand. The
+//! shape is stable and self-describing: a `spec` block that fully reproduces
+//! the sweep (families with parameters, sizes, schemes, seeds), the flat
+//! `records` array, the per-scheme `label_length_histograms`, and a
+//! `summary` array mirroring [`SweepReport::summary_table`]. CSV carries the
+//! records only — one row per executed run, ready for a dataframe.
+
+use crate::scenario::{SweepReport, SweepSpec};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `Option<u64>` as a JSON number or `null`.
+fn json_opt(x: Option<u64>) -> String {
+    x.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// Formats a float as JSON (finite values only; the report never produces
+/// NaN/infinity, but guard anyway since JSON cannot carry them).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn spec_json(spec: &SweepSpec) -> String {
+    let families: Vec<String> = spec
+        .families
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"name\": \"{}\", \"params\": \"{}\"}}",
+                json_escape(f.name()),
+                json_escape(&f.params())
+            )
+        })
+        .collect();
+    let schemes: Vec<String> = spec
+        .schemes
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s.name())))
+        .collect();
+    let sizes: Vec<String> = spec.sizes.iter().map(|n| n.to_string()).collect();
+    let seeds: Vec<String> = spec.seeds.iter().map(|s| s.to_string()).collect();
+    format!(
+        "{{\n    \"families\": [{}],\n    \"sizes\": [{}],\n    \"schemes\": [{}],\n    \
+         \"seeds\": [{}],\n    \"sources_per_point\": {},\n    \"record_traces\": {}\n  }}",
+        families.join(", "),
+        sizes.join(", "),
+        schemes.join(", "),
+        seeds.join(", "),
+        spec.sources_per_point,
+        spec.record_traces
+    )
+}
+
+/// Renders the full report as a pretty-printed JSON document.
+pub fn to_json(report: &SweepReport) -> String {
+    let mut records = String::new();
+    for (i, r) in report.records.iter().enumerate() {
+        if i > 0 {
+            records.push_str(",\n");
+        }
+        records.push_str(&format!(
+            "    {{\"family\": \"{}\", \"family_params\": \"{}\", \"n_requested\": {}, \
+             \"n\": {}, \"edges\": {}, \"max_degree\": {}, \"avg_degree\": {}, \
+             \"seed\": {}, \"scheme\": \"{}\", \"source\": {}, \"label_length\": {}, \
+             \"distinct_labels\": {}, \"completion_round\": {}, \"rounds_executed\": {}, \
+             \"transmissions\": {}, \"collisions\": {}, \"silent_rounds\": {}}}",
+            json_escape(r.family),
+            json_escape(&r.family_params),
+            r.n_requested,
+            r.n,
+            r.edges,
+            r.max_degree,
+            json_f64(r.avg_degree),
+            r.seed,
+            json_escape(r.scheme),
+            r.source,
+            r.label_length,
+            r.distinct_labels,
+            json_opt(r.completion_round),
+            r.rounds_executed,
+            r.transmissions,
+            r.collisions,
+            r.silent_rounds,
+        ));
+    }
+    let mut histograms = String::new();
+    for (i, (scheme, hist)) in report.label_length_histograms.iter().enumerate() {
+        if i > 0 {
+            histograms.push_str(",\n");
+        }
+        let entries: Vec<String> = hist
+            .iter()
+            .map(|(bits, count)| format!("\"{bits}\": {count}"))
+            .collect();
+        histograms.push_str(&format!(
+            "    \"{}\": {{{}}}",
+            json_escape(scheme),
+            entries.join(", ")
+        ));
+    }
+    let mut summaries = String::new();
+    for (i, s) in report.summaries().iter().enumerate() {
+        if i > 0 {
+            summaries.push_str(",\n");
+        }
+        let (mean, max) = s
+            .completion_rounds
+            .map_or(("null".to_string(), "null".to_string()), |c| {
+                (json_f64(c.mean), json_f64(c.max))
+            });
+        let coll = s
+            .collisions
+            .map_or("null".to_string(), |c| json_f64(c.mean));
+        summaries.push_str(&format!(
+            "    {{\"family\": \"{}\", \"scheme\": \"{}\", \"runs\": {}, \"completed\": {}, \
+             \"mean_completion_round\": {}, \"max_completion_round\": {}, \
+             \"mean_collisions\": {}, \"max_label_length\": {}}}",
+            json_escape(s.family),
+            json_escape(s.scheme),
+            s.runs,
+            s.completed,
+            mean,
+            max,
+            coll,
+            s.max_label_length,
+        ));
+    }
+    format!(
+        "{{\n  \"sweep\": \"{}\",\n  \"spec\": {},\n  \"records\": [\n{}\n  ],\n  \
+         \"label_length_histograms\": {{\n{}\n  }},\n  \"summary\": [\n{}\n  ]\n}}\n",
+        json_escape(&report.name),
+        spec_json(&report.spec),
+        records,
+        histograms,
+        summaries,
+    )
+}
+
+/// The CSV header matching [`to_csv`]'s rows.
+pub const CSV_HEADER: &str = "family,family_params,n_requested,n,edges,max_degree,avg_degree,\
+seed,scheme,source,label_length,distinct_labels,completion_round,rounds_executed,\
+transmissions,collisions,silent_rounds";
+
+/// Escapes one CSV field (quotes it when it contains a comma or quote).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders the report's records as CSV, one row per executed run.
+pub fn to_csv(report: &SweepReport) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in &report.records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(r.family),
+            csv_field(&r.family_params),
+            r.n_requested,
+            r.n,
+            r.edges,
+            r.max_degree,
+            r.avg_degree,
+            r.seed,
+            csv_field(r.scheme),
+            r.source,
+            r.label_length,
+            r.distinct_labels,
+            r.completion_round
+                .map_or_else(String::new, |c| c.to_string()),
+            r.rounds_executed,
+            r.transmissions,
+            r.collisions,
+            r.silent_rounds,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SweepSpec;
+    use rn_broadcast::session::Scheme;
+    use rn_graph::generators::TopologyFamily;
+
+    fn small_report() -> SweepReport {
+        SweepSpec::new("emit-test")
+            .families(&[
+                TopologyFamily::Grid,
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+            ])
+            .sizes(&[16])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1])
+            .threads(1)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_contains_every_section_and_balances_braces() {
+        let json = to_json(&small_report());
+        for key in [
+            "\"sweep\"",
+            "\"spec\"",
+            "\"records\"",
+            "\"label_length_histograms\"",
+            "\"summary\"",
+            "\"star_of_cliques\"",
+            "\"clique_size=4\"",
+            "\"completion_round\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        let opens = json.matches('[').count();
+        let closes = json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_record() {
+        let report = small_report();
+        let csv = to_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 1 + report.records.len());
+        let columns = CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "{line}");
+        }
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn incomplete_runs_serialise_as_null_and_empty() {
+        let mut report = small_report();
+        report.records[0].completion_round = None;
+        let json = to_json(&report);
+        assert!(json.contains("\"completion_round\": null"));
+        let csv = to_csv(&report);
+        // The empty completion_round field leaves two adjacent commas.
+        assert!(csv.lines().nth(1).unwrap().contains(",,"));
+    }
+}

@@ -1,25 +1,34 @@
 //! # rn-experiments
 //!
-//! The experiment harness that reproduces the paper's worked example
-//! (Figure 1) and empirically validates every theorem and comparison the
-//! paper states. Each experiment in the DESIGN.md index (E1–E10, plus the
-//! ablations) has its own module under [`experiments`], producing plain-text
-//! tables through [`report::Table`]; the `repro` binary runs them all.
+//! The experiment and scenario harness. Two layers:
+//!
+//! * **Paper experiments** — each experiment in the DESIGN.md index (E1–E10,
+//!   plus the ablations) has its own module under [`experiments`], producing
+//!   plain-text tables through [`report::Table`]; the `repro` binary runs
+//!   them all.
+//! * **Scenario sweeps** — declarative [`scenario::SweepSpec`]s cross
+//!   topology families × sizes × schemes × seeds through the
+//!   [`Session`](rn_broadcast::session::Session) API and emit
+//!   machine-readable JSON/CSV reports ([`emit`]); the `sweep` binary runs
+//!   the named sweeps.
 //!
 //! Everything is deterministic: workloads are generated from explicit seeds
 //! and parallel sweeps return results in job order, so two runs of `repro`
-//! produce byte-identical reports.
+//! or `sweep` produce byte-identical reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod experiments;
 pub mod report;
+pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod workloads;
 
 pub use report::Table;
+pub use scenario::{SweepRecord, SweepReport, SweepSpec};
 pub use workloads::{GraphFamily, Workload};
 
 /// Configuration shared by the sweep experiments.

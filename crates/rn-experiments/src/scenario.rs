@@ -1,0 +1,751 @@
+//! Declarative scenario sweeps: (families × sizes × schemes × seeds) through
+//! the [`Session`] API into machine-readable reports.
+//!
+//! A [`SweepSpec`] names the full cross product once; [`SweepSpec::run`]
+//! generates every instance through the [`TopologyFamily`] registry, drives
+//! the runs through [`Session::run_batch`], and collects one flat
+//! [`SweepRecord`] per execution — rounds to completion, collision and
+//! transmission counts, label lengths — into a [`SweepReport`] that renders
+//! as an aligned text table ([`SweepReport::summary_table`]) or serialises
+//! to JSON / CSV (see [`crate::emit`]).
+//!
+//! Determinism contract: instances come from explicit seeds, jobs fan out
+//! over [`rn_radio::batch::run_parallel`] which returns results in job
+//! order, and every record carries the family parameters that produced it —
+//! so a report is exactly reproducible from its own metadata, regardless of
+//! the thread count.
+//!
+//! The named sweeps ([`named`], [`sweep_names`]) are the repository's
+//! standard workloads; the `sweep` binary exposes them on the command line:
+//!
+//! ```text
+//! cargo run -p rn-experiments --bin sweep -- radio --json report.json
+//! ```
+
+use crate::stats::Summary;
+use crate::Table;
+use rn_broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
+use rn_graph::generators::TopologyFamily;
+use rn_graph::GraphError;
+use rn_labeling::LabelingError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A declarative sweep: the cross product of families × sizes × schemes ×
+/// seeds, plus execution knobs. Build one with [`SweepSpec::new`] and the
+/// with-style setters, or take a prebuilt one from [`named`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (used in report metadata and output file defaults).
+    pub name: String,
+    /// Topology families to instantiate.
+    pub families: Vec<TopologyFamily>,
+    /// Requested node counts (families round to achievable sizes).
+    pub sizes: Vec<usize>,
+    /// Labeling schemes to execute on every instance.
+    pub schemes: Vec<Scheme>,
+    /// Instance seeds (each seed is one instance of a randomised family).
+    pub seeds: Vec<u64>,
+    /// Broadcast sources per instance, spread evenly over the node range;
+    /// the runs of one instance go through [`Session::run_batch`].
+    pub sources_per_point: usize,
+    /// Worker threads for the sweep (`<= 1` runs inline).
+    pub threads: usize,
+    /// Whether to record execution traces. Traces cost memory and time but
+    /// provide the collision / transmission statistics; without them those
+    /// columns are zero.
+    pub record_traces: bool,
+}
+
+impl SweepSpec {
+    /// Creates a spec with one source per point, tracing on, and the batch
+    /// executor's default thread count.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            families: Vec::new(),
+            sizes: Vec::new(),
+            schemes: Vec::new(),
+            seeds: Vec::new(),
+            sources_per_point: 1,
+            threads: rn_radio::batch::default_threads(),
+            record_traces: true,
+        }
+    }
+
+    /// Sets the families.
+    pub fn families(mut self, families: &[TopologyFamily]) -> Self {
+        self.families = families.to_vec();
+        self
+    }
+
+    /// Sets the sizes.
+    pub fn sizes(mut self, sizes: &[usize]) -> Self {
+        self.sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the schemes.
+    pub fn schemes(mut self, schemes: &[Scheme]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Sets the seeds.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the number of sources per instance.
+    pub fn sources_per_point(mut self, sources: usize) -> Self {
+        self.sources_per_point = sources.max(1);
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables trace recording.
+    pub fn record_traces(mut self, record: bool) -> Self {
+        self.record_traces = record;
+        self
+    }
+
+    /// Shrinks the spec for a fast smoke run: sizes capped at 32, first two
+    /// seeds, one source per point. Families and schemes are untouched, so
+    /// coverage (the point of a smoke run) is preserved.
+    pub fn quick(mut self) -> Self {
+        self.sizes.retain(|&n| n <= 32);
+        if self.sizes.is_empty() {
+            self.sizes.push(16);
+        }
+        self.seeds.truncate(2);
+        if self.seeds.is_empty() {
+            self.seeds.push(1);
+        }
+        self.sources_per_point = 1;
+        self
+    }
+
+    /// Number of (family, size, seed) instance points.
+    pub fn instance_count(&self) -> usize {
+        self.families.len() * self.sizes.len() * self.seeds.len()
+    }
+
+    /// Total number of simulated executions the sweep will run.
+    pub fn run_count(&self) -> usize {
+        self.instance_count() * self.schemes.len() * self.sources_per_point
+    }
+
+    /// Runs the sweep. See the [module docs](self) for the determinism
+    /// contract.
+    ///
+    /// Returns an error if any instance cannot be generated or labeled —
+    /// that is a spec bug (e.g. a scheme restricted to cycles inside a
+    /// general sweep), not a measurement.
+    pub fn run(&self) -> Result<SweepReport, SweepError> {
+        let mut jobs = Vec::with_capacity(self.instance_count());
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &seed in &self.seeds {
+                    jobs.push((family, n, seed));
+                }
+            }
+        }
+        let schemes = self.schemes.clone();
+        let sources = self.sources_per_point;
+        let trace = if self.record_traces {
+            TracePolicy::Recorded
+        } else {
+            TracePolicy::Disabled
+        };
+        let results = rn_radio::batch::run_parallel(jobs, self.threads, |(family, n, seed)| {
+            run_point(family, n, seed, &schemes, sources, trace)
+        });
+        let mut records = Vec::with_capacity(self.run_count());
+        let mut histograms: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
+        for result in results {
+            let point = result?;
+            for (scheme_name, lengths) in point.label_lengths {
+                let hist = histograms.entry(scheme_name).or_default();
+                for len in lengths {
+                    *hist.entry(len).or_insert(0) += 1;
+                }
+            }
+            records.extend(point.records);
+        }
+        Ok(SweepReport {
+            name: self.name.clone(),
+            spec: self.clone(),
+            records,
+            label_length_histograms: histograms,
+        })
+    }
+}
+
+/// What went wrong while running a sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// Instance generation failed.
+    Generate {
+        /// Family that failed.
+        family: String,
+        /// Requested size.
+        n: usize,
+        /// Instance seed.
+        seed: u64,
+        /// Underlying graph error.
+        source: GraphError,
+    },
+    /// Session construction (labeling) failed.
+    Label {
+        /// Family of the instance.
+        family: String,
+        /// Scheme that failed to label it.
+        scheme: &'static str,
+        /// Actual node count of the instance.
+        n: usize,
+        /// Underlying labeling error.
+        source: LabelingError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Generate {
+                family,
+                n,
+                seed,
+                source,
+            } => write!(f, "generating {family} (n = {n}, seed = {seed}): {source}"),
+            SweepError::Label {
+                family,
+                scheme,
+                n,
+                source,
+            } => write!(f, "labeling {family} (n = {n}) with {scheme}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One executed run inside a sweep: the flat, serialisable row every report
+/// format (table, JSON, CSV) is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Registry name of the topology family.
+    pub family: &'static str,
+    /// Family parameters as a `key=value` string (empty if parameterless).
+    pub family_params: String,
+    /// Requested node count.
+    pub n_requested: usize,
+    /// Actual node count of the generated instance.
+    pub n: usize,
+    /// Edge count of the instance.
+    pub edges: usize,
+    /// Maximum degree Δ of the instance.
+    pub max_degree: usize,
+    /// Average degree of the instance.
+    pub avg_degree: f64,
+    /// Instance seed.
+    pub seed: u64,
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Broadcast source of this run.
+    pub source: usize,
+    /// Label length of the scheme on this instance (max bits).
+    pub label_length: usize,
+    /// Number of distinct labels used.
+    pub distinct_labels: usize,
+    /// Round by which every node was informed, if broadcast completed.
+    pub completion_round: Option<u64>,
+    /// Rounds the simulation executed (including the quiet tail).
+    pub rounds_executed: u64,
+    /// Total transmissions (0 when traces are disabled).
+    pub transmissions: usize,
+    /// Total (node, round) collision events (0 when traces are disabled).
+    pub collisions: usize,
+    /// Rounds in which nobody transmitted (0 when traces are disabled).
+    pub silent_rounds: u64,
+}
+
+impl SweepRecord {
+    fn from_report(
+        family: TopologyFamily,
+        n_requested: usize,
+        seed: u64,
+        graph: &rn_graph::Graph,
+        report: &RunReport,
+    ) -> Self {
+        SweepRecord {
+            family: family.name(),
+            family_params: family.params(),
+            n_requested,
+            n: report.node_count,
+            edges: graph.edge_count(),
+            max_degree: graph.max_degree(),
+            avg_degree: graph.average_degree(),
+            seed,
+            scheme: report.scheme,
+            source: report.source,
+            label_length: report.label_length,
+            distinct_labels: report.distinct_labels,
+            completion_round: report.completion_round,
+            rounds_executed: report.rounds_executed,
+            transmissions: report.stats.transmissions,
+            collisions: report.stats.collisions,
+            silent_rounds: report.stats.silent_rounds,
+        }
+    }
+
+    /// Whether this run informed every node.
+    pub fn completed(&self) -> bool {
+        self.completion_round.is_some()
+    }
+}
+
+/// The per-instance result bundle produced by one parallel job.
+struct PointResult {
+    records: Vec<SweepRecord>,
+    /// Per-node label bit-lengths, per scheme, for the histograms.
+    label_lengths: Vec<(&'static str, Vec<usize>)>,
+}
+
+/// Generates one instance and executes every scheme on it.
+fn run_point(
+    family: TopologyFamily,
+    n: usize,
+    seed: u64,
+    schemes: &[Scheme],
+    sources_per_point: usize,
+    trace: TracePolicy,
+) -> Result<PointResult, SweepError> {
+    let graph = family
+        .generate(n, seed)
+        .map_err(|source| SweepError::Generate {
+            family: family.name().to_string(),
+            n,
+            seed,
+            source,
+        })?;
+    let graph = Arc::new(graph);
+    let actual_n = graph.node_count();
+    // Sources spread evenly over the node range; the first is the family's
+    // natural hard case.
+    let mut source_nodes: Vec<usize> = (0..sources_per_point)
+        .map(|i| i * actual_n / sources_per_point)
+        .collect();
+    source_nodes.dedup();
+    let mut records = Vec::new();
+    let mut label_lengths = Vec::new();
+    for &scheme in schemes {
+        let label_err = |source: rn_labeling::LabelingError| SweepError::Label {
+            family: family.name().to_string(),
+            scheme: scheme.name(),
+            n: actual_n,
+            source,
+        };
+        // For source-dependent schemes every extra source means a fresh
+        // labeling; build a session per source so the histograms count
+        // every labeling actually executed. Source-independent schemes run
+        // all sources through one session's cached labeling.
+        let session_sources: &[usize] =
+            if scheme.labeling_depends_on_source() && source_nodes.len() > 1 {
+                &source_nodes
+            } else {
+                &source_nodes[..1]
+            };
+        for &session_source in session_sources {
+            let session = Session::builder(scheme, Arc::clone(&graph))
+                .source(session_source)
+                .trace(trace)
+                .build()
+                .map_err(label_err)?;
+            label_lengths.push((
+                scheme.name(),
+                session
+                    .labeling()
+                    .labels()
+                    .iter()
+                    .map(|l| l.len())
+                    .collect(),
+            ));
+            let specs: Vec<RunSpec> = if session_sources.len() > 1 {
+                vec![RunSpec::new(session_source, 7)]
+            } else {
+                source_nodes.iter().map(|&s| RunSpec::new(s, 7)).collect()
+            };
+            // The point itself is one parallel job, so the inner batch runs
+            // inline (threads = 1); parallelism lives at the instance level.
+            let reports = session.run_batch(&specs, 1).map_err(label_err)?;
+            for report in &reports {
+                records.push(SweepRecord::from_report(family, n, seed, &graph, report));
+            }
+        }
+    }
+    Ok(PointResult {
+        records,
+        label_lengths,
+    })
+}
+
+/// The collected output of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Name of the sweep.
+    pub name: String,
+    /// The spec that produced the report.
+    pub spec: SweepSpec,
+    /// One record per executed run, in deterministic job order.
+    pub records: Vec<SweepRecord>,
+    /// Per-scheme histogram of per-node label bit-lengths, accumulated over
+    /// every labeling the sweep constructed (one per instance for
+    /// source-independent schemes, one per instance-source pair for
+    /// source-dependent schemes): `scheme -> (label bits -> node count)`.
+    /// The paper's constant-length claim is visible here directly — λ never exceeds 2
+    /// bits no matter the family, while `unique_ids` grows with ⌈log₂ n⌉.
+    pub label_length_histograms: BTreeMap<&'static str, BTreeMap<usize, u64>>,
+}
+
+/// One row of [`SweepReport::summaries`]: a (family, scheme) aggregate.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Registry name of the family.
+    pub family: &'static str,
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Number of runs that informed every node.
+    pub completed: usize,
+    /// Summary of completion rounds over completed runs.
+    pub completion_rounds: Option<Summary>,
+    /// Summary of collision counts (all runs).
+    pub collisions: Option<Summary>,
+    /// Largest label length observed.
+    pub max_label_length: usize,
+}
+
+impl SweepReport {
+    /// Aggregates the records by (family, scheme), in first-seen order.
+    pub fn summaries(&self) -> Vec<SweepSummary> {
+        let mut order: Vec<(&'static str, &'static str)> = Vec::new();
+        let mut buckets: BTreeMap<(&'static str, &'static str), Vec<&SweepRecord>> =
+            BTreeMap::new();
+        for r in &self.records {
+            let key = (r.family, r.scheme);
+            if !buckets.contains_key(&key) {
+                order.push(key);
+            }
+            buckets.entry(key).or_default().push(r);
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let rs = &buckets[&key];
+                let completion: Vec<u64> = rs.iter().filter_map(|r| r.completion_round).collect();
+                let collisions: Vec<u64> = rs.iter().map(|r| r.collisions as u64).collect();
+                SweepSummary {
+                    family: key.0,
+                    scheme: key.1,
+                    runs: rs.len(),
+                    completed: completion.len(),
+                    completion_rounds: Summary::of_u64(&completion),
+                    collisions: Summary::of_u64(&collisions),
+                    max_label_length: rs.iter().map(|r| r.label_length).max().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the (family, scheme) aggregates as an aligned text table.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("sweep {:?}: {} runs", self.name, self.records.len()),
+            &[
+                "family",
+                "scheme",
+                "runs",
+                "ok",
+                "rounds(mean)",
+                "rounds(max)",
+                "collisions(mean)",
+                "max bits",
+            ],
+        );
+        for s in self.summaries() {
+            t.push_row(vec![
+                s.family.to_string(),
+                s.scheme.to_string(),
+                s.runs.to_string(),
+                s.completed.to_string(),
+                s.completion_rounds
+                    .map_or_else(|| "-".into(), |c| format!("{:.1}", c.mean)),
+                s.completion_rounds
+                    .map_or_else(|| "-".into(), |c| format!("{:.0}", c.max)),
+                s.collisions
+                    .map_or_else(|| "-".into(), |c| format!("{:.1}", c.mean)),
+                s.max_label_length.to_string(),
+            ]);
+        }
+        if !self.spec.record_traces {
+            t.push_note("traces disabled: collision and transmission counts are zero");
+        }
+        t
+    }
+}
+
+/// The registry of named sweeps, with a one-line purpose each. The `sweep`
+/// binary lists exactly these.
+pub const SWEEP_NAMES: [(&str, &str); 6] = [
+    (
+        "smoke",
+        "6 families, tiny sizes, lambda only — the CI end-to-end check",
+    ),
+    (
+        "families",
+        "every registry family at moderate sizes under lambda and lambda_ack",
+    ),
+    (
+        "radio",
+        "deployment-shaped topologies (unit-disk, clustered, tori, degree caps) under all paper schemes",
+    ),
+    (
+        "adversarial",
+        "collision-heavy shapes (star-of-cliques, lollipop, barbell, cliques)",
+    ),
+    (
+        "scaling",
+        "rounds-vs-n growth on six families up to n = 512, lambda only",
+    ),
+    (
+        "baselines",
+        "lambda against the unique-id and square-coloring baselines",
+    ),
+];
+
+/// Lists the available sweep names.
+pub fn sweep_names() -> Vec<&'static str> {
+    SWEEP_NAMES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Returns the named sweep, or `None` for an unknown name. See
+/// [`SWEEP_NAMES`] for the registry.
+pub fn named(name: &str) -> Option<SweepSpec> {
+    let spec = match name {
+        "smoke" => SweepSpec::new("smoke")
+            .families(&[
+                TopologyFamily::Path,
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::UnitDisk { avg_degree: 8.0 },
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+            ])
+            .sizes(&[16, 32])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1]),
+        "families" => SweepSpec::new("families")
+            .families(&TopologyFamily::PRESETS)
+            .sizes(&[24, 48])
+            .schemes(&[Scheme::Lambda, Scheme::LambdaAck])
+            .seeds(&[1, 2]),
+        "radio" => SweepSpec::new("radio")
+            .families(&[
+                TopologyFamily::UnitDisk { avg_degree: 8.0 },
+                TopologyFamily::ClusteredGnp {
+                    clusters: 6,
+                    p_in: 0.6,
+                    p_out: 0.01,
+                },
+                TopologyFamily::Torus,
+                TopologyFamily::Grid,
+                TopologyFamily::DegreeCapped { max_degree: 4 },
+                TopologyFamily::GnpAvgDegree { avg_degree: 8.0 },
+            ])
+            .sizes(&[32, 64, 128])
+            .schemes(&[Scheme::Lambda, Scheme::LambdaAck, Scheme::LambdaArb])
+            .seeds(&[1, 2, 3])
+            .sources_per_point(2),
+        "adversarial" => SweepSpec::new("adversarial")
+            .families(&[
+                TopologyFamily::StarOfCliques { clique_size: 8 },
+                TopologyFamily::Lollipop,
+                TopologyFamily::Barbell,
+                TopologyFamily::Complete,
+                TopologyFamily::Star,
+                TopologyFamily::Gnp { p: 0.3 },
+            ])
+            .sizes(&[32, 64])
+            .schemes(&[Scheme::Lambda, Scheme::LambdaAck])
+            .seeds(&[1, 2])
+            .sources_per_point(2),
+        "scaling" => SweepSpec::new("scaling")
+            .families(&[
+                TopologyFamily::Path,
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::GnpAvgDegree { avg_degree: 8.0 },
+                TopologyFamily::UnitDisk { avg_degree: 8.0 },
+            ])
+            .sizes(&[64, 128, 256, 512])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1, 2])
+            .record_traces(false),
+        "baselines" => SweepSpec::new("baselines")
+            .families(&[
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::UnitDisk { avg_degree: 8.0 },
+                TopologyFamily::ClusteredGnp {
+                    clusters: 4,
+                    p_in: 0.6,
+                    p_out: 0.02,
+                },
+                TopologyFamily::Caterpillar { legs: 2 },
+            ])
+            .sizes(&[16, 32])
+            .schemes(&[Scheme::Lambda, Scheme::UniqueIds, Scheme::SquareColoring])
+            .seeds(&[1, 2]),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new("test")
+            .families(&[TopologyFamily::Path, TopologyFamily::Grid])
+            .sizes(&[8])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1, 2])
+            .threads(1)
+    }
+
+    #[test]
+    fn sweep_covers_the_cross_product_and_completes() {
+        let report = tiny_spec().run().unwrap();
+        // 2 families x 1 size x 1 scheme x 2 seeds.
+        assert_eq!(report.records.len(), 4);
+        assert!(report.records.iter().all(|r| r.completed()));
+        assert!(report.records.iter().all(|r| r.label_length == 2));
+        assert!(report.records.iter().all(|r| r.transmissions > 0));
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let seq = tiny_spec().run().unwrap();
+        let par = tiny_spec().threads(4).run().unwrap();
+        assert_eq!(seq.records, par.records);
+    }
+
+    #[test]
+    fn histograms_show_the_constant_length_claim() {
+        let spec = SweepSpec::new("hist")
+            .families(&[TopologyFamily::Grid])
+            .sizes(&[16])
+            .schemes(&[Scheme::Lambda, Scheme::UniqueIds])
+            .seeds(&[1])
+            .threads(1);
+        let report = spec.run().unwrap();
+        let lambda = &report.label_length_histograms["lambda"];
+        assert!(lambda.keys().all(|&bits| bits <= 2));
+        assert_eq!(lambda.values().sum::<u64>(), 16);
+        let ids = &report.label_length_histograms["unique_ids"];
+        assert!(ids.keys().any(|&bits| bits > 2));
+    }
+
+    #[test]
+    fn multiple_sources_run_through_run_batch() {
+        let spec = SweepSpec::new("sources")
+            .families(&[TopologyFamily::Cycle])
+            .sizes(&[12])
+            .schemes(&[Scheme::LambdaArb])
+            .seeds(&[1])
+            .sources_per_point(3)
+            .threads(1);
+        let report = spec.run().unwrap();
+        assert_eq!(report.records.len(), 3);
+        let sources: Vec<usize> = report.records.iter().map(|r| r.source).collect();
+        assert_eq!(sources, vec![0, 4, 8]);
+        assert!(report.records.iter().all(|r| r.completed()));
+    }
+
+    #[test]
+    fn histograms_count_one_labeling_per_source_for_source_dependent_schemes() {
+        let spec = SweepSpec::new("hist-sources")
+            .families(&[TopologyFamily::Cycle])
+            .sizes(&[12])
+            .schemes(&[Scheme::Lambda, Scheme::LambdaArb])
+            .seeds(&[1])
+            .sources_per_point(3)
+            .threads(1);
+        let report = spec.run().unwrap();
+        // λ relabels per source: 3 labelings x 12 nodes. λ_arb serves every
+        // source from one labeling: 1 x 12 nodes.
+        let lambda: u64 = report.label_length_histograms["lambda"].values().sum();
+        assert_eq!(lambda, 36);
+        let arb: u64 = report.label_length_histograms["lambda_arb"].values().sum();
+        assert_eq!(arb, 12);
+        // Both schemes still produce one record per source.
+        assert_eq!(report.records.len(), 6);
+        assert!(report.records.iter().all(|r| r.completed()));
+    }
+
+    #[test]
+    fn disabled_traces_zero_the_collision_columns() {
+        let report = tiny_spec().record_traces(false).run().unwrap();
+        assert!(report.records.iter().all(|r| r.collisions == 0));
+        assert!(report.records.iter().all(|r| r.completed()));
+    }
+
+    #[test]
+    fn named_sweeps_resolve_and_quick_shrinks() {
+        for name in sweep_names() {
+            let spec = named(name).unwrap();
+            assert!(!spec.families.is_empty(), "{name}");
+            assert!(spec.families.len() >= 6, "{name} covers >= 6 families");
+            assert!(spec.run_count() > 0, "{name}");
+            let quick = spec.quick();
+            assert!(quick.sizes.iter().all(|&n| n <= 32), "{name}");
+            assert!(quick.seeds.len() <= 2, "{name}");
+        }
+        assert!(named("nope").is_none());
+    }
+
+    #[test]
+    fn summary_table_renders() {
+        let report = tiny_spec().run().unwrap();
+        let table = report.summary_table();
+        let text = table.render();
+        assert!(text.contains("path"));
+        assert!(text.contains("grid"));
+        assert!(text.contains("lambda"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn generation_errors_carry_context() {
+        let spec = SweepSpec::new("bad")
+            .families(&[TopologyFamily::Gnp { p: 7.0 }])
+            .sizes(&[8])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1])
+            .threads(1);
+        let err = spec.run().unwrap_err();
+        assert!(matches!(err, SweepError::Generate { .. }));
+        assert!(err.to_string().contains("gnp"));
+    }
+}

@@ -3,7 +3,13 @@
 //! A [`Workload`] is a named, seeded recipe producing a connected graph of a
 //! requested size together with a deterministic source choice, so every
 //! experiment (and every bench) draws its instances from the same place.
+//!
+//! Instance generation delegates to the unified [`TopologyFamily`] registry
+//! in `rn-graph` (the [`scenario`](crate::scenario) sweeps use the registry
+//! directly); this enum survives as the compact, `Eq`-able family list the
+//! paper-table experiments iterate over.
 
+use rn_graph::generators::TopologyFamily;
 use rn_graph::{generators, Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -88,51 +94,49 @@ impl GraphFamily {
         }
     }
 
+    /// The [`TopologyFamily`] this experiment family corresponds to in the
+    /// unified registry, or `None` for the one family (series-parallel) the
+    /// registry does not carry.
+    pub fn topology(&self) -> Option<TopologyFamily> {
+        match self {
+            GraphFamily::Path => Some(TopologyFamily::Path),
+            GraphFamily::Cycle => Some(TopologyFamily::Cycle),
+            GraphFamily::Star => Some(TopologyFamily::Star),
+            GraphFamily::Complete => Some(TopologyFamily::Complete),
+            GraphFamily::Grid => Some(TopologyFamily::Grid),
+            GraphFamily::Hypercube => Some(TopologyFamily::Hypercube),
+            GraphFamily::RandomTree => Some(TopologyFamily::RandomTree),
+            GraphFamily::GnpSparse => Some(TopologyFamily::GnpAvgDegree { avg_degree: 10.0 }),
+            GraphFamily::GnpDense => Some(TopologyFamily::Gnp { p: 0.3 }),
+            GraphFamily::SeriesParallel => None,
+            GraphFamily::Barbell => Some(TopologyFamily::Barbell),
+            GraphFamily::Caterpillar => Some(TopologyFamily::Caterpillar { legs: 2 }),
+            GraphFamily::UnitDisk => Some(TopologyFamily::UnitDisk { avg_degree: 8.0 }),
+        }
+    }
+
     /// Generates an instance with (close to) `n` nodes. Families with rigid
     /// shapes (grids, hypercubes, barbells, caterpillars) round `n` to the
     /// nearest achievable size, so always read the size off the returned
     /// graph rather than assuming `n`.
     ///
+    /// Generation goes through [`TopologyFamily::generate`], so experiment
+    /// workloads and scenario sweeps are backed by the same instances. One
+    /// deliberate rounding change versus the pre-registry generator:
+    /// caterpillars now round the spine *up* (`ceil(n/3)` spine nodes
+    /// instead of `floor(n/3)`), so caterpillar instances at `n` not
+    /// divisible by 3 are up to two nodes larger than older experiment
+    /// tables show.
+    ///
     /// # Panics
     /// Panics if `n < 4` (every family needs a handful of nodes).
     pub fn generate(&self, n: usize, seed: u64) -> Graph {
         assert!(n >= 4, "workloads require n >= 4");
-        match self {
-            GraphFamily::Path => generators::path(n),
-            GraphFamily::Cycle => generators::cycle(n),
-            GraphFamily::Star => generators::star(n),
-            GraphFamily::Complete => generators::complete(n),
-            GraphFamily::Grid => {
-                let rows = (n as f64).sqrt().round().max(2.0) as usize;
-                let cols = n.div_ceil(rows).max(2);
-                generators::grid(rows, cols)
-            }
-            GraphFamily::Hypercube => {
-                let dim = (usize::BITS - 1 - n.leading_zeros()).max(2) as usize;
-                generators::hypercube(dim)
-            }
-            GraphFamily::RandomTree => generators::random_tree(n, seed),
-            GraphFamily::GnpSparse => {
-                let p = (10.0 / n as f64).min(1.0);
-                generators::gnp_connected(n, p, seed).expect("valid gnp parameters")
-            }
-            GraphFamily::GnpDense => {
-                generators::gnp_connected(n, 0.3, seed).expect("valid gnp parameters")
-            }
-            GraphFamily::SeriesParallel => {
-                generators::series_parallel(n, seed).expect("valid series-parallel parameters")
-            }
-            GraphFamily::Barbell => {
-                let k = (n / 3).max(2);
-                generators::barbell(k, n.saturating_sub(2 * k))
-            }
-            GraphFamily::Caterpillar => {
-                let spine = (n / 3).max(1);
-                generators::caterpillar(spine, 2)
-            }
-            GraphFamily::UnitDisk => {
-                generators::unit_disk_with_degree(n, 8.0, seed).expect("valid unit-disk parameters")
-            }
+        match self.topology() {
+            Some(family) => family
+                .generate(n, seed)
+                .expect("registry families accept every n >= 4"),
+            None => generators::series_parallel(n, seed).expect("valid series-parallel parameters"),
         }
     }
 

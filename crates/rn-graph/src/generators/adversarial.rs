@@ -1,0 +1,105 @@
+//! Adversarial, collision-heavy families.
+//!
+//! These topologies are designed to stress the radio model's weak point:
+//! many neighbours of one node transmitting in the same round. In a
+//! star-of-cliques every clique floods its gateway, and all gateways collide
+//! at the hub; together with lollipops and barbells (bottleneck families in
+//! [`basic`](super::basic)) they form the adversarial half of the topology
+//! suite — the regimes where the paper's collision-free transmission
+//! scheduling (frontier/dominator selection) does real work.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+
+/// Star of cliques: a central hub node `0` with `cliques` disjoint cliques
+/// K_`clique_size` hanging off it, each attached to the hub through a single
+/// gateway node.
+///
+/// Node numbering: the hub is `0`; clique `c` occupies nodes
+/// `1 + c * clique_size .. 1 + (c + 1) * clique_size`, and its first node is
+/// the gateway adjacent to the hub. Total node count is
+/// `1 + cliques * clique_size`.
+///
+/// This is a worst case for naive flooding: the gateways are mutually
+/// non-adjacent neighbours of the hub (so any two transmitting together
+/// collide at the hub), and inside a clique every informed node is a
+/// neighbour of every uninformed one (so uncoordinated responses collide
+/// everywhere at once).
+///
+/// Returns an error if `cliques == 0` or `clique_size == 0`.
+pub fn star_of_cliques(cliques: usize, clique_size: usize) -> Result<Graph, GraphError> {
+    if cliques == 0 || clique_size == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!(
+                "star_of_cliques requires cliques >= 1 and clique_size >= 1, \
+                 got cliques = {cliques}, clique_size = {clique_size}"
+            ),
+        });
+    }
+    let n = 1 + cliques * clique_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = 1 + c * clique_size;
+        // The first node of each clique is the gateway to the hub.
+        b.add_edge(0, base).expect("gateway edge");
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                b.add_edge(base + i, base + j).expect("clique edge");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::is_connected;
+
+    #[test]
+    fn star_of_cliques_structure() {
+        let g = star_of_cliques(3, 4).unwrap();
+        assert_eq!(g.node_count(), 13);
+        // 3 gateway edges + 3 cliques of C(4,2) = 6 edges
+        assert_eq!(g.edge_count(), 3 + 3 * 6);
+        assert_eq!(g.degree(0), 3);
+        assert!(is_connected(&g));
+        // Gateways see the hub plus their clique.
+        assert_eq!(g.degree(1), 4);
+        // Non-gateway clique members see only their clique.
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn gateways_are_mutually_non_adjacent() {
+        let g = star_of_cliques(4, 3).unwrap();
+        let gateways: Vec<usize> = (0..4).map(|c| 1 + c * 3).collect();
+        for (i, &u) in gateways.iter().enumerate() {
+            for &v in &gateways[i + 1..] {
+                assert!(!g.has_edge(u, v), "gateways {u} and {v} must collide");
+            }
+        }
+    }
+
+    #[test]
+    fn single_clique_is_a_lollipop_head() {
+        let g = star_of_cliques(1, 5).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 1 + 10);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn size_one_cliques_make_a_star() {
+        let g = star_of_cliques(7, 1).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.degree(0), 7);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(star_of_cliques(0, 3).is_err());
+        assert!(star_of_cliques(3, 0).is_err());
+    }
+}

@@ -33,6 +33,18 @@ pub type NodeId = usize;
 /// The type is cheap to clone relative to the simulations run on it, and is
 /// deliberately immutable after construction: labeling schemes and broadcast
 /// simulations never mutate the topology.
+///
+/// ```
+/// use rn_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]); // rows are sorted
+/// assert!(g.has_edge(2, 3));
+/// assert_eq!(g.max_degree(), 2);
+/// # Ok::<(), rn_graph::GraphError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     /// All adjacency rows, concatenated in node order (each row sorted).
@@ -209,6 +221,23 @@ impl Graph {
 }
 
 /// Incremental, validating builder for [`Graph`].
+///
+/// Rejects self-loops, duplicate edges and out-of-range endpoints as they
+/// are added, so a successful [`build`](GraphBuilder::build) always yields a
+/// valid simple graph.
+///
+/// ```
+/// use rn_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// assert!(b.add_edge(1, 1).is_err());          // self-loop
+/// b.add_edge_idempotent(0, 1)?;                // duplicate: ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), rn_graph::GraphError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     adj: Vec<Vec<NodeId>>,

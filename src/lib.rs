@@ -14,7 +14,7 @@
 //! | [`radio`] | `rn-radio` | the synchronous collision-model simulator, traces, statistics, and the parallel batch executor |
 //! | [`labeling`] | `rn-labeling` | the λ / λ_ack / λ_arb schemes, folklore baselines, 1-bit schemes |
 //! | [`broadcast`] | `rn-broadcast` | the universal algorithms (B, B_ack, B_arb, …) and the **session API** |
-//! | [`experiments`] | `rn-experiments` | the experiment harness reproducing the paper's tables |
+//! | [`experiments`] | `rn-experiments` | the paper-table experiments (`repro`) and the scenario sweep harness (`sweep`) |
 //!
 //! ## Quickstart: the session API
 //!
@@ -57,6 +57,33 @@
 //! friends) are deprecated thin wrappers over sessions, kept for source
 //! compatibility; `tests/session_equivalence.rs` pins down that they produce
 //! identical results.
+//!
+//! ## Topologies and sweeps
+//!
+//! Workload instances come from the seeded
+//! [`graph::generators::TopologyFamily`] registry — one
+//! `generate(family, n, seed)` entry point, every result
+//! connectivity-checked and byte-reproducible per seed. The
+//! [`experiments::scenario`] module crosses families × sizes × schemes ×
+//! seeds into machine-readable reports (see `docs/ARCHITECTURE.md` and the
+//! README's topology gallery):
+//!
+//! ```
+//! use radio_labeling::broadcast::session::Scheme;
+//! use radio_labeling::experiments::SweepSpec;
+//! use radio_labeling::graph::generators::TopologyFamily;
+//!
+//! let report = SweepSpec::new("doc")
+//!     .families(&[TopologyFamily::Torus, TopologyFamily::StarOfCliques { clique_size: 4 }])
+//!     .sizes(&[16])
+//!     .schemes(&[Scheme::Lambda])
+//!     .seeds(&[1])
+//!     .threads(1)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.records.iter().all(|r| r.completed()));
+//! assert!(report.label_length_histograms["lambda"].keys().all(|&bits| bits <= 2));
+//! ```
 
 pub use rn_broadcast as broadcast;
 pub use rn_experiments as experiments;

@@ -1,0 +1,49 @@
+//! End-to-end smoke test for the scenario sweep subsystem: the named
+//! `smoke` sweep (the one CI runs through the `sweep` binary) must execute
+//! every family, complete broadcast everywhere, and emit well-formed
+//! JSON/CSV.
+
+use radio_labeling::experiments::emit;
+use radio_labeling::experiments::scenario;
+
+#[test]
+fn named_smoke_sweep_runs_end_to_end_and_emits_reports() {
+    let spec = scenario::named("smoke")
+        .expect("smoke sweep exists")
+        .quick();
+    assert!(spec.families.len() >= 6, "smoke must cover >= 6 families");
+    let report = spec.run().expect("smoke sweep runs cleanly");
+
+    // Every family appears, every run completes with λ's 2-bit labels.
+    let families: std::collections::BTreeSet<&str> =
+        report.records.iter().map(|r| r.family).collect();
+    assert_eq!(families.len(), spec.families.len());
+    assert!(report.records.iter().all(|r| r.completed()));
+    assert!(report.records.iter().all(|r| r.label_length == 2));
+    // Theorem 2.9: completion within 2n - 3 rounds on every topology.
+    for r in &report.records {
+        let bound = 2 * r.n as u64 - 3;
+        assert!(
+            r.completion_round.unwrap() <= bound,
+            "{}: completed in {} > 2n-3 = {bound}",
+            r.family,
+            r.completion_round.unwrap()
+        );
+    }
+
+    let json = emit::to_json(&report);
+    assert!(json.contains("\"sweep\": \"smoke\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    let csv = emit::to_csv(&report);
+    assert_eq!(csv.lines().count(), 1 + report.records.len());
+}
+
+#[test]
+fn sweep_reports_are_deterministic_across_thread_counts() {
+    let one = scenario::named("smoke").unwrap().quick().threads(1);
+    let four = scenario::named("smoke").unwrap().quick().threads(4);
+    let a = one.run().unwrap();
+    let b = four.run().unwrap();
+    assert_eq!(a.records, b.records);
+    assert_eq!(emit::to_json(&a), emit::to_json(&b));
+}
