@@ -33,10 +33,11 @@
 //! run after all measurements and write one consolidated file.
 
 use rn_broadcast::algo_b::BNode;
+use rn_broadcast::multi::MultiNode;
 use rn_graph::generators::TopologyFamily;
 use rn_graph::{generators, Graph};
-use rn_labeling::lambda;
-use rn_radio::{Engine, Simulator};
+use rn_labeling::{lambda, multi};
+use rn_radio::{Engine, RadioNode, Simulator};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -49,6 +50,7 @@ struct Config {
 
 struct Measurement {
     workload: &'static str,
+    scheme: &'static str,
     n: usize,
     avg_degree: f64,
     rounds_per_sample: u64,
@@ -83,19 +85,18 @@ fn config() -> Config {
     }
 }
 
-/// Median rounds/second over `samples` runs of 2n rounds of Algorithm B
-/// with the given engine, tracing off.
-fn measure(
+/// Median rounds/second over `samples` runs of `rounds` rounds of the
+/// protocol produced by `make_nodes`, with the given engine, tracing off.
+fn measure<N: RadioNode>(
     graph: &Arc<Graph>,
-    labeling: &rn_labeling::Labeling,
+    make_nodes: impl Fn() -> Vec<N>,
     engine: Engine,
     rounds: u64,
     samples: usize,
 ) -> f64 {
     let mut rates: Vec<f64> = (0..samples)
         .map(|_| {
-            let nodes = BNode::network(labeling, 0, 7);
-            let mut sim = Simulator::new(Arc::clone(graph), nodes)
+            let mut sim = Simulator::new(Arc::clone(graph), make_nodes())
                 .without_trace()
                 .with_engine(engine);
             let start = Instant::now();
@@ -109,28 +110,31 @@ fn measure(
     rates[rates.len() / 2]
 }
 
-fn run_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
-    let graph = Arc::new(graph);
-    let labeling = lambda::construct(&graph, 0)
-        .expect("workload is connected")
-        .into_labeling();
+fn bench_case<N: RadioNode>(
+    name: &'static str,
+    scheme: &'static str,
+    graph: Arc<Graph>,
+    make_nodes: impl Fn() -> Vec<N>,
+    cfg: &Config,
+) -> Measurement {
     let rounds = 2 * graph.node_count() as u64;
     let fast = measure(
         &graph,
-        &labeling,
+        &make_nodes,
         Engine::TransmitterCentric,
         rounds,
         cfg.samples,
     );
     let reference = measure(
         &graph,
-        &labeling,
+        &make_nodes,
         Engine::ListenerCentric,
         rounds,
         cfg.samples,
     );
     let m = Measurement {
         workload: name,
+        scheme,
         n: graph.node_count(),
         avg_degree: graph.average_degree(),
         rounds_per_sample: rounds,
@@ -138,8 +142,8 @@ fn run_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
         reference_rounds_per_sec: reference,
     };
     println!(
-        "round_throughput/{name}/n={} (avg deg {:.1}): transmitter-centric {:.0} rounds/s, \
-         listener-centric {:.0} rounds/s, speedup {:.2}x",
+        "round_throughput/{name}/n={} ({scheme}, avg deg {:.1}): transmitter-centric \
+         {:.0} rounds/s, listener-centric {:.0} rounds/s, speedup {:.2}x",
         m.n,
         m.avg_degree,
         m.fast_rounds_per_sec,
@@ -147,6 +151,39 @@ fn run_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
         m.speedup()
     );
     m
+}
+
+/// The standard single-source Algorithm B case under λ labels.
+fn run_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
+    let graph = Arc::new(graph);
+    let labeling = lambda::construct(&graph, 0)
+        .expect("workload is connected")
+        .into_labeling();
+    bench_case(
+        name,
+        "lambda",
+        Arc::clone(&graph),
+        move || BNode::network(&labeling, 0, 7),
+        cfg,
+    )
+}
+
+/// A k-source multi-broadcast case: collection plus bundle broadcast, so
+/// the engines also see the one-transmitter collection rounds and the
+/// Arc-shared bundle relays.
+fn run_multi_workload(name: &'static str, graph: Graph, k: usize, cfg: &Config) -> Measurement {
+    let graph = Arc::new(graph);
+    let n = graph.node_count();
+    let sources: Vec<usize> = (0..k.min(n)).map(|i| i * n / k.min(n)).collect();
+    let scheme = multi::construct(&graph, &sources).expect("workload is connected");
+    let payloads: Vec<u64> = (0..scheme.k() as u64).map(|j| 7 + j).collect();
+    bench_case(
+        name,
+        "multi_lambda",
+        Arc::clone(&graph),
+        move || MultiNode::network(&scheme, &payloads),
+        cfg,
+    )
 }
 
 fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std::path::PathBuf> {
@@ -161,13 +198,14 @@ fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std:
         }
         entries.push_str(&format!(
             "    {{\"workload\": \"{}\", \"n\": {}, \"avg_degree\": {:.2}, \
-             \"scheme\": \"lambda\", \"tracing\": false, \"rounds_per_sample\": {}, \
+             \"scheme\": \"{}\", \"tracing\": false, \"rounds_per_sample\": {}, \
              \"transmitter_centric_rounds_per_sec\": {:.1}, \
              \"listener_centric_rounds_per_sec\": {:.1}, \
              \"speedup\": {:.3}}}",
             m.workload,
             m.n,
             m.avg_degree,
+            m.scheme,
             m.rounds_per_sample,
             m.fast_rounds_per_sec,
             m.reference_rounds_per_sec,
@@ -246,6 +284,14 @@ fn main() {
             .expect("registry presets generate at bench sizes");
         measurements.push(run_workload(name, g, &cfg));
     }
+    // The k = 4 multi-broadcast case: the same gnp-avg-deg-8 shape, driven
+    // through collection + bundle broadcast instead of single-source B.
+    measurements.push(run_multi_workload(
+        "multi-k4-gnp-avg-deg-8",
+        generators::gnp_connected(reg_n, 8.0 / reg_n as f64, 1).unwrap(),
+        4,
+        &cfg,
+    ));
     if cfg.test_mode {
         println!("test mode: skipping BENCH_simulator.json");
         return;

@@ -16,6 +16,10 @@
 //!   broadcast has completed;
 //! * [`delay_relay`] — the 1-bit "delay relay" algorithm driving the special
 //!   graph-class schemes of `rn_labeling::onebit`;
+//! * [`multi`] — the k-source **multi-broadcast** protocol driving
+//!   `rn_labeling::multi`: a collision-free collection phase funnels every
+//!   source's message to a coordinator, which then runs Algorithm B on the
+//!   bundle of all k messages;
 //! * [`baselines`] — the slotted round-robin algorithms driven by the
 //!   unique-identifier and square-colouring baselines of §1.1;
 //! * [`verify`] — omniscient verification oracles used by tests and
@@ -45,11 +49,13 @@ pub mod baselines;
 pub mod common_round;
 pub mod delay_relay;
 pub mod messages;
+pub mod multi;
 pub mod runner;
 pub mod session;
 pub mod verify;
 
-pub use messages::{BMessage, Phase, TaggedMessage, TaggedPayload};
+pub use messages::{BMessage, MessageBundle, MultiMessage, Phase, TaggedMessage, TaggedPayload};
+pub use multi::MultiNode;
 #[allow(deprecated)]
 pub use runner::{run_acknowledged_broadcast, run_arbitrary_source, run_broadcast};
 pub use runner::{AckBroadcastResult, ArbBroadcastResult, BroadcastResult};

@@ -33,6 +33,54 @@ impl RadioMessage for BMessage {
     }
 }
 
+/// The assembled k-source payload set of a multi-broadcast run: pairs of
+/// (source index, payload µ_j), sorted by index. Shared behind an `Arc` so
+/// the broadcast phase relays it without copying the payload vector — a
+/// bundle clone is a reference-count bump, keeping the simulator's
+/// by-reference delivery cheap for arbitrarily large k.
+pub type MessageBundle = std::sync::Arc<Vec<(u32, SourceMessage)>>;
+
+/// Messages of the multi-broadcast algorithm (see `crate::multi`): the
+/// collection-phase relays, the broadcast-phase bundle, and the same
+/// constant-size "stay" word Algorithm B uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiMessage {
+    /// Collection phase: one source's message being funnelled one hop
+    /// toward the coordinator.
+    Relay {
+        /// Index of the originating source in the scheme's sorted source
+        /// list.
+        source_index: u32,
+        /// That source's message µ_j.
+        payload: SourceMessage,
+    },
+    /// Broadcast phase: the coordinator's bundle of all k messages,
+    /// relayed exactly like Algorithm B relays µ.
+    Bundle(MessageBundle),
+    /// The "stay" control word keeping a dominator transmitting (identical
+    /// role to [`BMessage::Stay`]).
+    Stay,
+}
+
+impl RadioMessage for MultiMessage {
+    fn bit_size(&self) -> usize {
+        // Two bits of type discriminator, then the payload(s).
+        match self {
+            MultiMessage::Relay {
+                source_index,
+                payload,
+            } => 2 + bits_for(u64::from(*source_index)) + bits_for(*payload),
+            MultiMessage::Bundle(bundle) => {
+                2 + bundle
+                    .iter()
+                    .map(|&(j, p)| bits_for(u64::from(j)) + bits_for(p))
+                    .sum::<usize>()
+            }
+            MultiMessage::Stay => 2,
+        }
+    }
+}
+
 /// Which of B_arb's three phases a message belongs to.
 ///
 /// Standalone B_ack always uses [`Phase::One`]. The phase field is an
@@ -137,6 +185,21 @@ mod tests {
         assert_eq!(BMessage::Data(1).bit_size(), 2);
         // The data size depends only on µ, not on any network quantity.
         assert_eq!(BMessage::Data(255).bit_size(), 9);
+    }
+
+    #[test]
+    fn multi_message_sizes() {
+        assert_eq!(MultiMessage::Stay.bit_size(), 2);
+        let relay = MultiMessage::Relay {
+            source_index: 1,
+            payload: 255,
+        };
+        assert_eq!(relay.bit_size(), 2 + 1 + 8);
+        let bundle = MultiMessage::Bundle(std::sync::Arc::new(vec![(0, 1), (1, 255)]));
+        assert_eq!(bundle.bit_size(), 2 + (1 + 1) + (1 + 8));
+        // Cloning a bundle is a reference-count bump, not a payload copy.
+        let b2 = bundle.clone();
+        assert_eq!(bundle, b2);
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! The k-source **multi-broadcast** protocol driving the
+//! [`rn_labeling::multi`] scheme: collision-free collection to a
+//! coordinator, then the paper's Algorithm B relaying the bundle of all k
+//! messages.
+//!
+//! Every node runs the same [`MultiNode`] state machine; its behaviour
+//! depends only on its advice (the 2-bit λ label plus its slice of the
+//! collection schedule) and the messages it has heard — no topology
+//! knowledge, no network size, no global clock beyond the round counter a
+//! node can maintain by itself (all nodes start in the same round, and the
+//! simulator drives every node every round).
+//!
+//! Execution timeline, for a scheme with collection length `T`:
+//!
+//! * **Rounds 1..=T (collection).** The schedule assigns exactly one
+//!   transmitter per round: the nodes of source j's BFS path toward the
+//!   coordinator relay `(j, µ_j)` hop by hop. A single global transmitter
+//!   means no collisions, so each hop is received with certainty — and
+//!   every *other* neighbour of the transmitter opportunistically absorbs
+//!   the payload too (free progress, never required for correctness).
+//! * **Round T+1 onward (broadcast).** The coordinator assembles the
+//!   [`MessageBundle`] of all k payloads and behaves exactly like Algorithm
+//!   B's source; all other nodes run Algorithm B's five rules verbatim with
+//!   "µ" = the bundle and "stay" = [`MultiMessage::Stay`]. Theorem 2.9
+//!   applied to `(G, coordinator)` bounds this phase by `2n − 3` rounds.
+//!
+//! A node is *fully informed* once it holds all k payloads
+//! ([`MultiNode::holds_all_messages`]) — via the bundle, or early via
+//! overheard relays. Per-message progress is exposed with
+//! [`MultiNode::has_message`] so the harness can report per-message
+//! completion rounds.
+
+use crate::messages::{MessageBundle, MultiMessage, SourceMessage};
+use rn_labeling::multi::MultiLambdaScheme;
+use rn_radio::{Action, RadioNode};
+use std::sync::Arc;
+
+/// The per-node state machine of the multi-broadcast algorithm.
+#[derive(Debug, Clone)]
+pub struct MultiNode {
+    // Advice.
+    x1: bool,
+    x2: bool,
+    /// This node's collection slots, chronological: `(round, source_index)`.
+    slots: Vec<(u64, u32)>,
+    /// The round after which this node (the coordinator only) starts the
+    /// broadcast phase; `None` everywhere else.
+    coordinator_start: Option<u64>,
+
+    // Dynamic state.
+    /// Local round counter (all nodes start together, so counting one's own
+    /// steps is legitimate node-local knowledge).
+    local_round: u64,
+    /// Next unfired entry of `slots`.
+    next_slot: usize,
+    /// Per-source payloads this node holds; entry `j` is `Some(µ_j)` once
+    /// message j has been received (or originated here).
+    received: Vec<Option<SourceMessage>>,
+    /// The bundle, once assembled (coordinator) or heard (everyone else):
+    /// the broadcast phase's "sourcemsg".
+    bundle: Option<MessageBundle>,
+    // Algorithm B state, mirroring `BNode` field for field.
+    informed_age: Option<u64>,
+    last_bundle_transmit_age: Option<u64>,
+    stay_age: Option<u64>,
+}
+
+impl MultiNode {
+    /// Builds the protocol instances for a whole network from the scheme
+    /// and the k source payloads (`payloads[j]` is the message of
+    /// `scheme.sources()[j]`).
+    ///
+    /// # Panics
+    /// Panics if `payloads.len() != scheme.k()`.
+    pub fn network(scheme: &MultiLambdaScheme, payloads: &[SourceMessage]) -> Vec<MultiNode> {
+        assert_eq!(
+            payloads.len(),
+            scheme.k(),
+            "need exactly one payload per source"
+        );
+        let n = scheme.labeling().node_count();
+        let mut nodes: Vec<MultiNode> = (0..n)
+            .map(|v| {
+                let label = scheme.labeling().get(v);
+                MultiNode {
+                    x1: label.x1(),
+                    x2: label.x2(),
+                    slots: Vec::new(),
+                    coordinator_start: (v == scheme.coordinator())
+                        .then(|| scheme.collection_rounds()),
+                    local_round: 0,
+                    next_slot: 0,
+                    received: vec![None; scheme.k()],
+                    bundle: None,
+                    informed_age: None,
+                    last_bundle_transmit_age: None,
+                    stay_age: None,
+                }
+            })
+            .collect();
+        for (j, &s) in scheme.sources().iter().enumerate() {
+            nodes[s].received[j] = Some(payloads[j]);
+        }
+        for slot in scheme.slots() {
+            nodes[slot.node]
+                .slots
+                .push((slot.round, slot.source_index as u32));
+        }
+        nodes
+    }
+
+    /// Whether this node holds message `j`.
+    pub fn has_message(&self, j: usize) -> bool {
+        self.received.get(j).is_some_and(Option::is_some)
+    }
+
+    /// Whether this node holds **all** k messages (the multi-broadcast
+    /// completion notion).
+    pub fn holds_all_messages(&self) -> bool {
+        self.received.iter().all(Option::is_some)
+    }
+
+    /// The payloads this node currently holds, indexed by source index.
+    pub fn payloads(&self) -> &[Option<SourceMessage>] {
+        &self.received
+    }
+
+    fn tick(&mut self) {
+        if let Some(a) = &mut self.informed_age {
+            *a += 1;
+        }
+        if let Some(a) = &mut self.last_bundle_transmit_age {
+            *a += 1;
+        }
+        if let Some(a) = &mut self.stay_age {
+            *a += 1;
+        }
+    }
+
+    /// Stores every payload of a bundle (idempotent).
+    fn absorb_bundle(&mut self, bundle: &MessageBundle) {
+        for &(j, p) in bundle.iter() {
+            let slot = &mut self.received[j as usize];
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+    }
+
+    fn transmit_bundle(&mut self) -> Action<MultiMessage> {
+        self.last_bundle_transmit_age = Some(0);
+        Action::Transmit(MultiMessage::Bundle(
+            self.bundle
+                .clone()
+                .expect("only bundle-holding nodes transmit it"),
+        ))
+    }
+}
+
+impl RadioNode for MultiNode {
+    type Msg = MultiMessage;
+
+    fn step(&mut self) -> Action<MultiMessage> {
+        self.tick();
+        self.local_round += 1;
+
+        // Collection phase: fire this node's scheduled relays. The schedule
+        // guarantees the payload arrived in an earlier round (the previous
+        // hop was the sole transmitter of its round).
+        if let Some(&(round, j)) = self.slots.get(self.next_slot) {
+            if round == self.local_round {
+                self.next_slot += 1;
+                let payload = self.received[j as usize]
+                    .expect("collection schedule delivers the payload before each relay");
+                return Action::Transmit(MultiMessage::Relay {
+                    source_index: j,
+                    payload,
+                });
+            }
+        }
+
+        // The coordinator opens the broadcast phase: assemble the bundle of
+        // all k messages and transmit it, exactly like B's source transmits
+        // µ in its first round.
+        if self.coordinator_start == Some(self.local_round - 1) {
+            let bundle: Vec<(u32, SourceMessage)> = self
+                .received
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    (
+                        j as u32,
+                        p.expect("collection funnelled every message to the coordinator"),
+                    )
+                })
+                .collect();
+            self.bundle = Some(Arc::new(bundle));
+            return self.transmit_bundle();
+        }
+
+        // Broadcast phase: Algorithm B's rules with µ = the bundle.
+        if self.bundle.is_none() {
+            return Action::Listen;
+        }
+        if self.informed_age == Some(2) {
+            if self.x1 {
+                return self.transmit_bundle();
+            }
+        } else if self.informed_age == Some(1) {
+            if self.x2 {
+                return Action::Transmit(MultiMessage::Stay);
+            }
+        } else if self.last_bundle_transmit_age == Some(2) && self.stay_age == Some(1) {
+            return self.transmit_bundle();
+        }
+        Action::Listen
+    }
+
+    fn receive(&mut self, heard: Option<&MultiMessage>) {
+        let Some(msg) = heard else { return };
+        match msg {
+            MultiMessage::Relay {
+                source_index,
+                payload,
+            } => {
+                // Opportunistic absorption; never touches the Algorithm B
+                // state (the broadcast phase has not started).
+                let slot = &mut self.received[*source_index as usize];
+                if slot.is_none() {
+                    *slot = Some(*payload);
+                }
+            }
+            MultiMessage::Bundle(bundle) => {
+                if self.bundle.is_none() {
+                    self.bundle = Some(Arc::clone(bundle));
+                    self.informed_age = Some(0);
+                }
+                self.absorb_bundle(bundle);
+            }
+            MultiMessage::Stay => {
+                if self.bundle.is_some() {
+                    self.stay_age = Some(0);
+                }
+                // A node without the bundle ignores "stay", like B's
+                // uninformed nodes.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+    use rn_labeling::multi;
+    use rn_radio::{Simulator, StopCondition};
+
+    fn run_multi(
+        g: rn_graph::Graph,
+        sources: &[usize],
+        payloads: &[SourceMessage],
+    ) -> (Simulator<MultiNode>, MultiLambdaScheme) {
+        let scheme = multi::construct(&g, sources).unwrap();
+        let nodes = MultiNode::network(&scheme, payloads);
+        let n = g.node_count() as u64;
+        let k = scheme.k() as u64;
+        let mut sim = Simulator::new(g, nodes);
+        sim.run_until(
+            StopCondition::QuietFor {
+                quiet: 3,
+                cap: 2 * (k + 2) * (n + 2) + 16,
+            },
+            |s| s.nodes().iter().all(MultiNode::holds_all_messages),
+        );
+        (sim, scheme)
+    }
+
+    #[test]
+    fn every_node_learns_every_message() {
+        for (g, sources) in [
+            (generators::path(12), vec![0usize, 11]),
+            (generators::grid(4, 5), vec![0, 7, 19]),
+            (generators::cycle(9), vec![1, 4, 7]),
+            (generators::star(8), vec![2, 5]),
+            (
+                generators::gnp_connected(30, 0.12, 5).unwrap(),
+                vec![0, 9, 17, 26],
+            ),
+        ] {
+            let payloads: Vec<u64> = (0..sources.len() as u64).map(|j| 100 + j).collect();
+            let (sim, scheme) = run_multi(g, &sources, &payloads);
+            for (v, node) in sim.nodes().iter().enumerate() {
+                assert!(
+                    node.holds_all_messages(),
+                    "node {v} missing a message (k = {})",
+                    scheme.k()
+                );
+                for (j, &p) in payloads.iter().enumerate() {
+                    assert_eq!(node.payloads()[j], Some(p), "node {v}, message {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collection_rounds_have_exactly_one_transmitter() {
+        let g = generators::gnp_connected(24, 0.15, 8).unwrap();
+        let scheme = multi::construct(&g, &[0, 7, 15, 23]).unwrap();
+        let nodes = MultiNode::network(&scheme, &[1, 2, 3, 4]);
+        let mut sim = Simulator::new(g, nodes);
+        for round in 1..=scheme.collection_rounds() {
+            let tx = sim.step_round();
+            assert_eq!(tx, 1, "collection round {round}");
+        }
+        // The next round is the coordinator's opening bundle transmission.
+        assert_eq!(sim.step_round(), 1);
+        let record = sim.trace().rounds.last().unwrap();
+        assert_eq!(record.transmitters(), vec![scheme.coordinator()]);
+    }
+
+    #[test]
+    fn broadcast_phase_obeys_the_theorem_2_9_bound() {
+        // Total time = collection + B's bound on (G, coordinator).
+        for seed in 0..4u64 {
+            let g = generators::gnp_connected(26, 0.14, seed).unwrap();
+            let n = g.node_count() as u64;
+            let sources = vec![0usize, 10, 20];
+            let (sim, scheme) = run_multi(g, &sources, &[7, 8, 9]);
+            assert!(sim.nodes().iter().all(MultiNode::holds_all_messages));
+            let bound = scheme.collection_rounds() + 2 * n - 3;
+            assert!(
+                sim.current_round() <= bound + 3, // + the quiet-tail rounds
+                "seed {seed}: {} rounds > bound {bound}",
+                sim.current_round()
+            );
+        }
+    }
+
+    #[test]
+    fn single_source_at_the_coordinator_degenerates_to_algorithm_b() {
+        use crate::algo_b::BNode;
+        use rn_labeling::lambda;
+        let g = generators::grid(4, 4);
+        let scheme = multi::construct_with_coordinator(&g, &[5], 5).unwrap();
+        assert_eq!(scheme.collection_rounds(), 0);
+        let nodes = MultiNode::network(&scheme, &[42]);
+        let mut sim = Simulator::new(g.clone(), nodes);
+        sim.run_until(StopCondition::QuietFor { quiet: 3, cap: 100 }, |_| false);
+
+        let plain = lambda::construct(&g, 5).unwrap();
+        let bnodes = BNode::network(plain.labeling(), 5, 42);
+        let mut bsim = Simulator::new(g, bnodes);
+        bsim.run_until(StopCondition::QuietFor { quiet: 3, cap: 100 }, |_| false);
+
+        // Same transmitters in every round: the bundle broadcast IS
+        // Algorithm B on the same labels.
+        assert_eq!(sim.trace().len(), bsim.trace().len());
+        for (a, b) in sim.trace().rounds.iter().zip(&bsim.trace().rounds) {
+            assert_eq!(a.transmitters(), b.transmitters(), "round {}", a.round);
+        }
+    }
+
+    #[test]
+    fn node_state_agrees_with_the_per_message_trace_query() {
+        // Cross-check the node-state accounting (what the session reports)
+        // against `Trace::first_receive_rounds_matching`: a node holds
+        // message j iff it is a source of j or the trace shows it hearing
+        // a relay of j or any bundle.
+        let g = generators::gnp_connected(22, 0.16, 11).unwrap();
+        let n = g.node_count();
+        let sources = vec![2usize, 9, 19];
+        let payloads = [31u64, 32, 33];
+        let (sim, scheme) = run_multi(g, &sources, &payloads);
+        for (j, &s) in scheme.sources().iter().enumerate() {
+            let heard_j = sim.trace().first_receive_rounds_matching(n, |m| match m {
+                MultiMessage::Relay { source_index, .. } => *source_index as usize == j,
+                MultiMessage::Bundle(_) => true,
+                MultiMessage::Stay => false,
+            });
+            for (v, node) in sim.nodes().iter().enumerate() {
+                let expected = v == s || heard_j[v].is_some();
+                assert_eq!(node.has_message(j), expected, "node {v}, message {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_on_collection_paths_absorb_messages_early() {
+        // Path with coordinator at one end: the relays pass through every
+        // interior node between source and coordinator.
+        let g = generators::path(10);
+        let scheme = multi::construct_with_coordinator(&g, &[9], 0).unwrap();
+        let nodes = MultiNode::network(&scheme, &[5]);
+        let mut sim = Simulator::new(g, nodes);
+        // After the first relay (round 1), node 8 already holds message 0,
+        // long before the bundle comes back from the coordinator.
+        sim.step_round();
+        assert!(sim.nodes()[8].has_message(0));
+        assert!(!sim.nodes()[0].has_message(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one payload per source")]
+    fn network_rejects_mismatched_payloads() {
+        let g = generators::path(5);
+        let scheme = multi::construct(&g, &[0, 4]).unwrap();
+        let _ = MultiNode::network(&scheme, &[1]);
+    }
+}

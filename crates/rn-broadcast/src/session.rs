@@ -52,9 +52,13 @@ use crate::algo_barb::ArbNode;
 use crate::baselines::SlottedNode;
 use crate::delay_relay::DelayRelayNode;
 use crate::messages::{BMessage, SourceMessage, TaggedPayload};
+use crate::multi::MultiNode;
 use crate::verify;
 use rn_graph::{Graph, NodeId};
-use rn_labeling::{baselines, lambda, lambda_ack, lambda_arb, onebit, Labeling, LabelingError};
+use rn_labeling::multi::MultiLambdaScheme;
+use rn_labeling::{
+    baselines, lambda, lambda_ack, lambda_arb, multi, onebit, Labeling, LabelingError,
+};
 use rn_radio::{Engine, ExecutionStats, RadioNode, RoundScratch, Simulator, StopCondition};
 use std::sync::{Arc, Mutex};
 
@@ -99,17 +103,37 @@ pub enum Scheme {
     UniqueIds,
     /// Baseline: colouring of the square of the graph, slotted.
     SquareColoring,
+    /// The k-source multi-broadcast scheme `multi_lambda`
+    /// ([`rn_labeling::multi`]): a collision-free collection phase funnels
+    /// every source's message to a coordinator, which then runs Algorithm B
+    /// on the bundle of all k messages under the λ labels of
+    /// `(G, coordinator)`.
+    ///
+    /// Sources come from [`SessionBuilder::sources`]; without an explicit
+    /// set, `k` sources are spread evenly over the node range. The run's
+    /// payloads are derived from the run message µ as `µ, µ+1, …, µ+k−1`
+    /// (one per source, in sorted source order). The labeling depends on
+    /// the source *set* fixed at build time, not on a per-run source, so
+    /// [`Session::run_with`] reuses the cache for every spec.
+    MultiLambda {
+        /// Number of sources to spread over the node range when
+        /// [`SessionBuilder::sources`] is not given explicitly.
+        k: usize,
+    },
 }
 
 impl Scheme {
     /// The schemes defined on every connected graph (excludes the restricted
-    /// 1-bit classes), in presentation order.
-    pub const GENERAL: [Scheme; 5] = [
+    /// 1-bit classes), in presentation order. `MultiLambda` appears with its
+    /// default parameterization (`k = 2`), like the parameterless spelling
+    /// [`parse`](Self::parse) accepts.
+    pub const GENERAL: [Scheme; 6] = [
         Scheme::Lambda,
         Scheme::LambdaAck,
         Scheme::LambdaArb,
         Scheme::UniqueIds,
         Scheme::SquareColoring,
+        Scheme::MultiLambda { k: 2 },
     ];
 
     /// Human-readable scheme name, matching the name recorded in labelings
@@ -123,26 +147,33 @@ impl Scheme {
             Scheme::OneBitGrid { .. } => onebit::GRID_SCHEME_NAME,
             Scheme::UniqueIds => baselines::UNIQUE_IDS_NAME,
             Scheme::SquareColoring => baselines::SQUARE_COLORING_NAME,
+            Scheme::MultiLambda { .. } => multi::SCHEME_NAME,
         }
     }
 
     /// Whether the labeling depends on the source position. Source-independent
-    /// schemes (λ_arb and the baselines) reuse one cached labeling for every
-    /// source in [`Session::run_with`] / [`Session::run_batch`].
+    /// schemes (λ_arb, the baselines, and `multi_lambda`, whose labeling is a
+    /// function of the source *set* fixed at build time) reuse one cached
+    /// labeling for every source in [`Session::run_with`] /
+    /// [`Session::run_batch`].
     pub fn labeling_depends_on_source(&self) -> bool {
         match self {
             Scheme::Lambda
             | Scheme::LambdaAck
             | Scheme::OneBitCycle
             | Scheme::OneBitGrid { .. } => true,
-            Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => false,
+            Scheme::LambdaArb
+            | Scheme::UniqueIds
+            | Scheme::SquareColoring
+            | Scheme::MultiLambda { .. } => false,
         }
     }
 
     /// Parses a scheme from its [`name`](Self::name). `onebit_grid` takes its
-    /// dimensions as a `:RxC` suffix (`onebit_grid:4x5`); every other scheme
-    /// is just its name. This is the inverse of `name` and the string form
-    /// the sweep CLI accepts.
+    /// dimensions as a `:RxC` suffix (`onebit_grid:4x5`), `multi_lambda` its
+    /// source count as a `:k` suffix (`multi_lambda:4`, bare `multi_lambda`
+    /// means `k = 2`); every other scheme is just its name. This is the
+    /// inverse of `name` and the string form the sweep CLI accepts.
     pub fn parse(s: &str) -> Result<Scheme, ParseSchemeError> {
         let err = || ParseSchemeError {
             input: s.to_string(),
@@ -154,6 +185,14 @@ impl Scheme {
                 rows: rows.parse().map_err(|_| err())?,
                 cols: cols.parse().map_err(|_| err())?,
             });
+        }
+        if let Some(rest) = s.strip_prefix(multi::SCHEME_NAME) {
+            let k = match rest.strip_prefix(':') {
+                Some(k) => k.parse().ok().filter(|&k| k >= 1).ok_or_else(err)?,
+                None if rest.is_empty() => 2,
+                None => return Err(err()),
+            };
+            return Ok(Scheme::MultiLambda { k });
         }
         match s {
             lambda::SCHEME_NAME => Ok(Scheme::Lambda),
@@ -187,7 +226,7 @@ impl std::fmt::Display for ParseSchemeError {
         write!(
             f,
             "unknown scheme {:?}; expected one of lambda, lambda_ack, lambda_arb, \
-             onebit_cycle, onebit_grid:RxC, unique_ids, square_coloring",
+             onebit_cycle, onebit_grid:RxC, unique_ids, square_coloring, multi_lambda:K",
             self.input
         )
     }
@@ -265,21 +304,35 @@ pub struct RunReport {
     pub scheme: &'static str,
     /// Number of nodes in the graph.
     pub node_count: usize,
-    /// The broadcasting source of this run.
+    /// The broadcasting source of this run (for a multi-broadcast run, the
+    /// first of [`sources`](Self::sources)).
     pub source: NodeId,
-    /// The coordinator `r` of the λ_arb labeling, if the scheme has one.
+    /// Every designated source of this run: `vec![source]` for the
+    /// single-source schemes, the full sorted k-source set for
+    /// [`Scheme::MultiLambda`].
+    pub sources: Vec<NodeId>,
+    /// The coordinator `r` of the λ_arb or `multi_lambda` labeling, if the
+    /// scheme has one.
     pub coordinator: Option<NodeId>,
-    /// The source message µ of this run.
+    /// The source message µ of this run (for a multi-broadcast run, the
+    /// base payload: source `j` broadcasts `µ + j`).
     pub message: SourceMessage,
     /// Length of the labeling (max label bits).
     pub label_length: usize,
     /// Number of distinct labels used.
     pub distinct_labels: usize,
     /// Round in which each node was first informed (0 for the source);
-    /// `None` if never informed within the round cap.
+    /// `None` if never informed within the round cap. For a multi-broadcast
+    /// run "informed" means *fully* informed: holding all k messages.
     pub informed_rounds: Vec<Option<u64>>,
-    /// Round by which every node was informed, if broadcast completed.
+    /// Round by which every node was informed, if broadcast completed (for
+    /// multi-broadcast: every node holds every message).
     pub completion_round: Option<u64>,
+    /// Multi-broadcast only: for each source (in [`sources`](Self::sources)
+    /// order), the round by which **every** node held that source's
+    /// message, or `None` if it never fully propagated. `None` for
+    /// single-source schemes.
+    pub message_completion_rounds: Option<Vec<(NodeId, Option<u64>)>>,
     /// Round in which the source first heard an "ack" (the Theorem 3.9
     /// quantity). Only λ_ack sessions produce acknowledgements.
     pub ack_round: Option<u64>,
@@ -326,7 +379,13 @@ pub struct SessionBuilder {
     scheme: Scheme,
     graph: Arc<Graph>,
     source: NodeId,
-    coordinator: NodeId,
+    /// Explicit multi-broadcast sources; empty means "derive from the
+    /// scheme's `k` by spreading over the node range".
+    sources: Vec<NodeId>,
+    /// `None` resolves to the scheme default at build time: 0 for λ_arb
+    /// (the historical default), the BFS-forest centre of the sources for
+    /// `multi_lambda`.
+    coordinator: Option<NodeId>,
     message: SourceMessage,
     stop: StopPolicy,
     trace: TracePolicy,
@@ -341,7 +400,8 @@ impl SessionBuilder {
             scheme,
             graph: graph.into(),
             source: 0,
-            coordinator: 0,
+            sources: Vec::new(),
+            coordinator: None,
             message: 1,
             stop: StopPolicy::default(),
             trace: TracePolicy::default(),
@@ -356,9 +416,22 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the λ_arb coordinator `r` (default 0; ignored by other schemes).
+    /// Sets the designated multi-broadcast sources ([`Scheme::MultiLambda`]
+    /// only; ignored by the single-source schemes). The set is sorted and
+    /// deduplicated; message `j` of every run belongs to the `j`-th source
+    /// in that order. Without an explicit set, `MultiLambda { k }` spreads
+    /// `k` sources evenly over the node range.
+    pub fn sources(mut self, sources: &[NodeId]) -> Self {
+        self.sources = sources.to_vec();
+        self
+    }
+
+    /// Sets the coordinator `r` of the λ_arb or `multi_lambda` labeling
+    /// (ignored by other schemes). Defaults: 0 for λ_arb; for
+    /// `multi_lambda`, the node minimising the maximum distance to any
+    /// source ([`rn_labeling::multi::choose_coordinator`]).
     pub fn coordinator(mut self, coordinator: NodeId) -> Self {
-        self.coordinator = coordinator;
+        self.coordinator = Some(coordinator);
         self
     }
 
@@ -405,24 +478,61 @@ impl SessionBuilder {
         if node_count == 0 {
             return Err(LabelingError::EmptyGraph);
         }
-        if self.source >= node_count {
-            return Err(LabelingError::SourceOutOfRange {
-                source: self.source,
-                node_count,
-            });
+        // Resolve the multi-broadcast source set (left empty for the
+        // single-source schemes): the explicit `.sources(..)` set if given,
+        // otherwise `k` sources spread evenly over the node range.
+        let sources: Vec<NodeId> = match self.scheme {
+            Scheme::MultiLambda { k } => {
+                if self.sources.is_empty() {
+                    if k == 0 {
+                        return Err(LabelingError::NoSources);
+                    }
+                    let k = k.min(node_count);
+                    let mut spread: Vec<NodeId> = (0..k).map(|i| i * node_count / k).collect();
+                    spread.dedup();
+                    spread
+                } else {
+                    let mut explicit = self.sources.clone();
+                    for &s in &explicit {
+                        if s >= node_count {
+                            return Err(LabelingError::SourceOutOfRange {
+                                source: s,
+                                node_count,
+                            });
+                        }
+                    }
+                    explicit.sort_unstable();
+                    explicit.dedup();
+                    explicit
+                }
+            }
+            _ => Vec::new(),
+        };
+        // The session's nominal source: the first designated source for
+        // multi-broadcast, the `.source(..)` setting otherwise.
+        let source = sources.first().copied().unwrap_or(self.source);
+        if source >= node_count {
+            return Err(LabelingError::SourceOutOfRange { source, node_count });
         }
+        let coordinator = match (self.scheme, self.coordinator) {
+            (_, Some(c)) => c,
+            (Scheme::MultiLambda { .. }, None) => multi::choose_coordinator(&self.graph, &sources)?,
+            (_, None) => 0,
+        };
         let prepared = prepare(
             self.scheme,
             &self.graph,
-            self.source,
-            self.coordinator,
+            source,
+            &sources,
+            coordinator,
             self.message,
         )?;
         Ok(Session {
             scheme: self.scheme,
             graph: self.graph,
-            source: self.source,
-            coordinator: self.coordinator,
+            source,
+            sources,
+            coordinator,
             message: self.message,
             stop: self.stop,
             trace: self.trace,
@@ -442,6 +552,9 @@ pub struct Session {
     scheme: Scheme,
     graph: Arc<Graph>,
     source: NodeId,
+    /// The resolved multi-broadcast source set (empty for single-source
+    /// schemes); sorted and deduplicated, message `j` belongs to entry `j`.
+    sources: Vec<NodeId>,
     coordinator: NodeId,
     message: SourceMessage,
     stop: StopPolicy,
@@ -476,6 +589,13 @@ impl Session {
     /// The session's default source.
     pub fn source(&self) -> NodeId {
         self.source
+    }
+
+    /// The resolved multi-broadcast source set: sorted, deduplicated, and
+    /// message `j` of every run belongs to entry `j`. Empty for the
+    /// single-source schemes.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
     }
 
     /// The cached labeling this session was built with. Stable across runs:
@@ -516,6 +636,7 @@ impl Session {
                 self.scheme,
                 &self.graph,
                 spec.source,
+                &self.sources,
                 self.coordinator,
                 spec.message,
             )?;
@@ -564,6 +685,9 @@ impl Session {
                 Scheme::LambdaAck => 6 * (n + 2) + 16,
                 Scheme::LambdaArb => 16 * (n + 2) + 16,
                 Scheme::UniqueIds | Scheme::SquareColoring => 16 * n * n + 64,
+                // Collection is bounded by k·(n − 1) one-hop rounds, the
+                // bundle broadcast by Theorem 2.9's 2n − 3.
+                Scheme::MultiLambda { .. } => 2 * (self.sources.len() as u64 + 2) * (n + 2) + 16,
             },
         };
         match self.stop {
@@ -571,7 +695,8 @@ impl Session {
                 Scheme::Lambda
                 | Scheme::LambdaAck
                 | Scheme::OneBitCycle
-                | Scheme::OneBitGrid { .. } => StopCondition::QuietFor { quiet: 3, cap },
+                | Scheme::OneBitGrid { .. }
+                | Scheme::MultiLambda { .. } => StopCondition::QuietFor { quiet: 3, cap },
                 Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => {
                     StopCondition::AfterRounds(cap)
                 }
@@ -589,12 +714,15 @@ impl Session {
             scheme: labeling.scheme(),
             node_count: self.graph.node_count(),
             source,
-            coordinator: matches!(self.scheme, Scheme::LambdaArb).then_some(self.coordinator),
+            sources: vec![source],
+            coordinator: matches!(self.scheme, Scheme::LambdaArb | Scheme::MultiLambda { .. })
+                .then_some(self.coordinator),
             message,
             label_length: labeling.length(),
             distinct_labels: labeling.distinct_count(),
             informed_rounds: Vec::new(),
             completion_round: None,
+            message_completion_rounds: None,
             ack_round: None,
             common_knowledge_round: None,
             rounds_executed: 0,
@@ -606,7 +734,7 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     BNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record).run(
                     stop,
                     BNode::is_informed,
                     |_, _| false,
@@ -619,7 +747,7 @@ impl Session {
                     BackNode::network(labeling, source, message)
                 });
                 let mut ack_round = None;
-                let run = Execution::new(self, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record).run(
                     stop,
                     BackNode::is_informed,
                     |sim, round| {
@@ -641,7 +769,7 @@ impl Session {
                 });
                 let mut completion = None;
                 let mut common_knowledge = None;
-                let run = Execution::new(self, nodes, record, true, source).run(
+                let run = Execution::new(self, nodes, record, true).run(
                     stop,
                     |node: &ArbNode| node.learned_message().is_some(),
                     |sim, round| {
@@ -672,7 +800,7 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     SlottedNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record).run(
                     stop,
                     SlottedNode::is_informed,
                     |sim, _| sim.nodes().iter().all(SlottedNode::is_informed),
@@ -684,13 +812,61 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     DelayRelayNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record, source).run(
+                let run = Execution::new(self, nodes, record, !record).run(
                     stop,
                     DelayRelayNode::is_informed,
                     |_, _| false,
                 );
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
+            }
+            PreparedKind::Multi {
+                scheme: mscheme,
+                template,
+            } => {
+                let k = mscheme.k();
+                report.source = mscheme.sources()[0];
+                report.sources = mscheme.sources().to_vec();
+                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
+                    MultiNode::network(mscheme, &multi_payloads(message, k))
+                });
+                // Per-message completion: the round by which every node
+                // holds message j. Seeded for the degenerate single-node
+                // case where a message is universal at round 0.
+                let mut msg_completion: Vec<Option<u64>> = (0..k)
+                    .map(|j| nodes.iter().all(|nd| nd.has_message(j)).then_some(0))
+                    .collect();
+                let run = Execution::new(self, nodes, record, true).run(
+                    stop,
+                    MultiNode::holds_all_messages,
+                    |sim, round| {
+                        let mut all_complete = true;
+                        for (j, slot) in msg_completion.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                if sim.nodes().iter().all(|nd| nd.has_message(j)) {
+                                    *slot = Some(round);
+                                } else {
+                                    all_complete = false;
+                                }
+                            }
+                        }
+                        all_complete
+                    },
+                );
+                // "Informed" for multi-broadcast means holding all k
+                // messages, which no payload pattern in the trace captures
+                // (relays, bundles and overhearing all contribute), so the
+                // rounds come from node state like B_arb's.
+                run.fill_from_nodes(&mut report);
+                report.completion_round = verify::completion_round(&report.informed_rounds);
+                report.message_completion_rounds = Some(
+                    mscheme
+                        .sources()
+                        .iter()
+                        .copied()
+                        .zip(msg_completion)
+                        .collect(),
+                );
             }
         }
         report
@@ -732,6 +908,12 @@ enum PreparedKind {
         labeling: Labeling,
         template: Vec<DelayRelayNode>,
     },
+    /// The `multi_lambda` scheme with the k-source multi-broadcast
+    /// algorithm; the scheme owns the labeling and the collection schedule.
+    Multi {
+        scheme: MultiLambdaScheme,
+        template: Vec<MultiNode>,
+    },
 }
 
 impl Prepared {
@@ -742,14 +924,23 @@ impl Prepared {
             | PreparedKind::AlgoBarb { labeling, .. }
             | PreparedKind::Slotted { labeling, .. }
             | PreparedKind::DelayRelay { labeling, .. } => labeling,
+            PreparedKind::Multi { scheme, .. } => scheme.labeling(),
         }
     }
+}
+
+/// The per-source payloads of a multi-broadcast run: source `j` (in sorted
+/// source order) broadcasts `µ + j`, so every message is distinct and the
+/// whole run is still parameterized by the single run-spec message µ.
+fn multi_payloads(message: SourceMessage, k: usize) -> Vec<SourceMessage> {
+    (0..k as u64).map(|j| message.wrapping_add(j)).collect()
 }
 
 fn prepare(
     scheme: Scheme,
     graph: &Graph,
     source: NodeId,
+    sources: &[NodeId],
     coordinator: NodeId,
     message: SourceMessage,
 ) -> Result<Prepared, LabelingError> {
@@ -794,6 +985,15 @@ fn prepare(
             let template = SlottedNode::network(&labeling, source, message);
             PreparedKind::Slotted { labeling, template }
         }
+        Scheme::MultiLambda { .. } => {
+            let mscheme = multi::construct_with_coordinator(graph, sources, coordinator)?;
+            let payloads = multi_payloads(message, mscheme.k());
+            let template = MultiNode::network(&mscheme, &payloads);
+            PreparedKind::Multi {
+                scheme: mscheme,
+                template,
+            }
+        }
     };
     Ok(Prepared {
         spec: RunSpec::new(source, message),
@@ -830,7 +1030,6 @@ struct Execution<'g, N: RadioNode> {
     /// pattern (B_arb) — skipping it keeps the O(n)-per-round scan off the
     /// default hot path.
     track_online: bool,
-    source: NodeId,
 }
 
 /// A finished simulation, ready to fill a [`RunReport`].
@@ -841,19 +1040,12 @@ struct Finished<N: RadioNode> {
 }
 
 impl<'g, N: RadioNode> Execution<'g, N> {
-    fn new(
-        session: &'g Session,
-        nodes: Vec<N>,
-        record: bool,
-        track_online: bool,
-        source: NodeId,
-    ) -> Self {
+    fn new(session: &'g Session, nodes: Vec<N>, record: bool, track_online: bool) -> Self {
         Execution {
             session,
             nodes,
             record,
             track_online,
-            source,
         }
     }
 
@@ -878,19 +1070,23 @@ impl<'g, N: RadioNode> Execution<'g, N> {
             .expect("scratch pool not poisoned")
             .pop()
             .unwrap_or_default();
+        // Nodes that are informed before round 1 — the source(s) holding
+        // their message(s) from the start — get round 0, exactly as the
+        // trace-based accounting credits the source.
+        let mut online = if self.track_online {
+            self.nodes
+                .iter()
+                .map(|node| informed(node).then_some(0))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut sim = Simulator::new(Arc::clone(&self.session.graph), self.nodes)
             .with_engine(self.session.engine)
             .with_scratch(scratch);
         if !self.record {
             sim = sim.without_trace();
         }
-        let mut online = if self.track_online {
-            let mut online = vec![None; self.session.graph.node_count()];
-            online[self.source] = Some(0);
-            online
-        } else {
-            Vec::new()
-        };
         let track = self.track_online;
         let outcome = sim.run_until(stop, |s| {
             let round = s.current_round();
@@ -1221,6 +1417,142 @@ mod tests {
             (1..=threads).contains(&pooled),
             "pool bounded by concurrency, got {pooled}"
         );
+    }
+
+    #[test]
+    fn multi_session_delivers_every_message_to_every_node() {
+        let g = Arc::new(generators::grid(4, 5));
+        let session = Session::builder(Scheme::MultiLambda { k: 3 }, Arc::clone(&g))
+            .sources(&[19, 0, 7])
+            .message(100)
+            .build()
+            .unwrap();
+        assert_eq!(session.sources(), &[0, 7, 19], "sorted and deduplicated");
+        let r = session.run();
+        assert!(r.completed());
+        assert_eq!(r.scheme, "multi_lambda");
+        assert_eq!(r.label_length, 2, "the λ half stays 2 bits");
+        assert_eq!(r.sources, vec![0, 7, 19]);
+        assert_eq!(r.source, 0);
+        assert!(r.coordinator.is_some());
+        let per_message = r.message_completion_rounds.as_ref().unwrap();
+        assert_eq!(per_message.len(), 3);
+        for &(s, round) in per_message {
+            assert!(r.sources.contains(&s));
+            let round = round.expect("every message fully propagates");
+            assert!(round <= r.completion_round.unwrap());
+        }
+        assert!(per_message
+            .iter()
+            .any(|&(_, round)| round == r.completion_round));
+        // Every node ends fully informed, in a round <= completion.
+        assert!(r.informed_rounds.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn multi_session_spreads_default_sources() {
+        let g = generators::cycle(12);
+        let session = Session::builder(Scheme::MultiLambda { k: 4 }, g)
+            .build()
+            .unwrap();
+        assert_eq!(session.sources(), &[0, 3, 6, 9]);
+        assert!(session.run().completed());
+        // k beyond n clamps to one source per node.
+        let small = Session::builder(Scheme::MultiLambda { k: 99 }, generators::path(5))
+            .build()
+            .unwrap();
+        assert_eq!(small.sources(), &[0, 1, 2, 3, 4]);
+        assert!(small.run().completed());
+    }
+
+    #[test]
+    fn multi_session_reuses_the_cached_labeling_for_every_spec() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 4).unwrap());
+        let session = Session::builder(Scheme::MultiLambda { k: 2 }, Arc::clone(&g))
+            .build()
+            .unwrap();
+        let labeling = session.labeling() as *const Labeling;
+        let a = session.run();
+        let b = session.run_with(RunSpec::new(5, 1)).unwrap();
+        assert!(std::ptr::eq(labeling, session.labeling()));
+        // The per-run source is irrelevant to a multi run: the source set is
+        // fixed at build time.
+        assert_eq!(a, b);
+        let c = session.run_with_message(900).unwrap();
+        assert_eq!(a.completion_round, c.completion_round);
+        assert_ne!(a.message, c.message);
+    }
+
+    #[test]
+    fn multi_engines_agree() {
+        let g = Arc::new(generators::gnp_connected(24, 0.15, 6).unwrap());
+        for k in [2usize, 4, 8] {
+            let build = |engine: Engine| {
+                Session::builder(Scheme::MultiLambda { k }, Arc::clone(&g))
+                    .message(50)
+                    .engine(engine)
+                    .build()
+                    .unwrap()
+            };
+            let fast = build(Engine::TransmitterCentric).run();
+            let reference = build(Engine::ListenerCentric).run();
+            assert_eq!(fast, reference, "k = {k}");
+            assert!(fast.completed(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn multi_single_source_matches_lambda_times_when_colocated() {
+        // k = 1 with the source as its own coordinator degenerates to
+        // Algorithm B: same completion round as a λ session from there.
+        let g = Arc::new(generators::grid(4, 4));
+        let multi = Session::builder(Scheme::MultiLambda { k: 1 }, Arc::clone(&g))
+            .sources(&[5])
+            .coordinator(5)
+            .message(42)
+            .build()
+            .unwrap();
+        let lambda = Session::builder(Scheme::Lambda, Arc::clone(&g))
+            .source(5)
+            .message(42)
+            .build()
+            .unwrap();
+        assert_eq!(multi.run().completion_round, lambda.run().completion_round);
+    }
+
+    #[test]
+    fn multi_build_errors() {
+        let g = generators::path(6);
+        assert!(matches!(
+            Session::builder(Scheme::MultiLambda { k: 0 }, g.clone()).build(),
+            Err(LabelingError::NoSources)
+        ));
+        assert!(matches!(
+            Session::builder(Scheme::MultiLambda { k: 2 }, g.clone())
+                .sources(&[0, 9])
+                .build(),
+            Err(LabelingError::SourceOutOfRange { source: 9, .. })
+        ));
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(Session::builder(Scheme::MultiLambda { k: 2 }, disconnected)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn multi_scheme_parses() {
+        assert_eq!(
+            Scheme::parse("multi_lambda:4").unwrap(),
+            Scheme::MultiLambda { k: 4 }
+        );
+        assert_eq!(
+            Scheme::parse("multi_lambda").unwrap(),
+            Scheme::MultiLambda { k: 2 }
+        );
+        assert_eq!(Scheme::MultiLambda { k: 7 }.name(), "multi_lambda");
+        for bad in ["multi_lambda:0", "multi_lambda:x", "multi_lambdas"] {
+            assert!(Scheme::parse(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn print_help() {
          \t--json PATH   write the full report (spec, records, histograms, summary) as JSON\n\
          \t--csv PATH    write the per-run records as CSV\n\
          \t--quick       shrink sizes and seeds for a fast smoke pass\n\
-         \t--threads N   worker threads (default: one per core, capped)\n\
+         \t--threads N   worker threads (default: one per core, capped; RN_THREADS overrides)\n\
          \t--list        list the named sweeps"
     );
 }

@@ -33,6 +33,25 @@ fn json_opt(x: Option<u64>) -> String {
     x.map_or_else(|| "null".to_string(), |v| v.to_string())
 }
 
+/// Formats the per-message completion rounds as a JSON array of numbers
+/// and `null`s (empty for single-source runs).
+fn json_rounds(rounds: &[Option<u64>]) -> String {
+    let entries: Vec<String> = rounds.iter().map(|&r| json_opt(r)).collect();
+    format!("[{}]", entries.join(", "))
+}
+
+/// Formats the per-message completion rounds as one `;`-joined CSV field
+/// (`-` marks a message that never fully propagated; empty for
+/// single-source runs). Semicolons keep the field comma-free, so it never
+/// needs quoting.
+fn csv_rounds(rounds: &[Option<u64>]) -> String {
+    rounds
+        .iter()
+        .map(|r| r.map_or_else(|| "-".to_string(), |v| v.to_string()))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
 /// Formats a float as JSON (finite values only; the report never produces
 /// NaN/infinity, but guard anyway since JSON cannot carry them).
 fn json_f64(x: f64) -> String {
@@ -84,8 +103,9 @@ pub fn to_json(report: &SweepReport) -> String {
         records.push_str(&format!(
             "    {{\"family\": \"{}\", \"family_params\": \"{}\", \"n_requested\": {}, \
              \"n\": {}, \"edges\": {}, \"max_degree\": {}, \"avg_degree\": {}, \
-             \"seed\": {}, \"scheme\": \"{}\", \"source\": {}, \"label_length\": {}, \
-             \"distinct_labels\": {}, \"completion_round\": {}, \"rounds_executed\": {}, \
+             \"seed\": {}, \"scheme\": \"{}\", \"source\": {}, \"k_sources\": {}, \
+             \"label_length\": {}, \"distinct_labels\": {}, \"completion_round\": {}, \
+             \"message_completion_rounds\": {}, \"rounds_executed\": {}, \
              \"transmissions\": {}, \"collisions\": {}, \"silent_rounds\": {}}}",
             json_escape(r.family),
             json_escape(&r.family_params),
@@ -97,9 +117,11 @@ pub fn to_json(report: &SweepReport) -> String {
             r.seed,
             json_escape(r.scheme),
             r.source,
+            r.k_sources,
             r.label_length,
             r.distinct_labels,
             json_opt(r.completion_round),
+            json_rounds(&r.message_completion_rounds),
             r.rounds_executed,
             r.transmissions,
             r.collisions,
@@ -161,8 +183,8 @@ pub fn to_json(report: &SweepReport) -> String {
 
 /// The CSV header matching [`to_csv`]'s rows.
 pub const CSV_HEADER: &str = "family,family_params,n_requested,n,edges,max_degree,avg_degree,\
-seed,scheme,source,label_length,distinct_labels,completion_round,rounds_executed,\
-transmissions,collisions,silent_rounds";
+seed,scheme,source,k_sources,label_length,distinct_labels,completion_round,\
+message_completion_rounds,rounds_executed,transmissions,collisions,silent_rounds";
 
 /// Escapes one CSV field (quotes it when it contains a comma or quote).
 fn csv_field(s: &str) -> String {
@@ -179,7 +201,7 @@ pub fn to_csv(report: &SweepReport) -> String {
     out.push('\n');
     for r in &report.records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(r.family),
             csv_field(&r.family_params),
             r.n_requested,
@@ -190,10 +212,12 @@ pub fn to_csv(report: &SweepReport) -> String {
             r.seed,
             csv_field(r.scheme),
             r.source,
+            r.k_sources,
             r.label_length,
             r.distinct_labels,
             r.completion_round
                 .map_or_else(String::new, |c| c.to_string()),
+            csv_rounds(&r.message_completion_rounds),
             r.rounds_executed,
             r.transmissions,
             r.collisions,
@@ -269,13 +293,108 @@ mod tests {
     }
 
     #[test]
+    fn escaping_handles_family_param_shaped_strings() {
+        // Family parameter strings contain commas and equals signs
+        // (clustered_gnp: "clusters=6,p_in=0.6,p_out=0.01"); adversarial
+        // inputs could carry quotes, newlines, tabs and control characters.
+        let params = "clusters=6,p_in=0.6,p_out=0.01";
+        assert_eq!(csv_field(params), format!("\"{params}\""));
+        assert_eq!(json_escape(params), params, "JSON needs no comma escape");
+
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"", "newline forces quoting");
+        assert_eq!(
+            csv_field("p=\"x\",q=2"),
+            "\"p=\"\"x\"\",q=2\"",
+            "quotes double inside a quoted field"
+        );
+        assert_eq!(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(json_escape("nul\u{1}"), "nul\\u0001");
+    }
+
+    #[test]
+    fn clustered_gnp_params_survive_the_csv_column_count() {
+        // The comma-bearing family_params field must be quoted so a CSV
+        // parser still sees exactly one column for it.
+        let report = SweepSpec::new("commas")
+            .families(&[TopologyFamily::ClusteredGnp {
+                clusters: 3,
+                p_in: 0.6,
+                p_out: 0.05,
+            }])
+            .sizes(&[16])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1])
+            .threads(1)
+            .run()
+            .unwrap();
+        let csv = to_csv(&report);
+        let columns = CSV_HEADER.split(',').count();
+        for line in csv.lines().skip(1) {
+            // A minimal RFC-4180 field walk (good enough for our own
+            // output): count top-level commas outside quoted fields.
+            let mut fields = 1;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => fields += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(fields, columns, "{line}");
+            assert!(line.contains("\"clusters=3,p_in=0.6,p_out=0.05\""));
+        }
+    }
+
+    #[test]
     fn incomplete_runs_serialise_as_null_and_empty() {
         let mut report = small_report();
         report.records[0].completion_round = None;
         let json = to_json(&report);
         assert!(json.contains("\"completion_round\": null"));
+        // Sanity on the document as a whole: balanced delimiters and no raw
+        // control characters outside escapes (a cheap stand-in for a full
+        // parser round-trip; the shim environment has no serde_json).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.chars().all(|c| c == '\n' || !c.is_control()));
         let csv = to_csv(&report);
         // The empty completion_round field leaves two adjacent commas.
         assert!(csv.lines().nth(1).unwrap().contains(",,"));
+    }
+
+    #[test]
+    fn multi_records_emit_per_message_columns() {
+        let report = SweepSpec::new("multi-emit")
+            .families(&[TopologyFamily::Grid])
+            .sizes(&[16])
+            .schemes(&[Scheme::MultiLambda { k: 3 }])
+            .seeds(&[1])
+            .threads(1)
+            .run()
+            .unwrap();
+        let r = &report.records[0];
+        assert_eq!(r.k_sources, 3);
+        assert_eq!(r.message_completion_rounds.len(), 3);
+
+        let json = to_json(&report);
+        assert!(json.contains("\"k_sources\": 3"));
+        assert!(json.contains("\"message_completion_rounds\": ["));
+        let csv = to_csv(&report);
+        assert!(csv.lines().next().unwrap().contains("k_sources"));
+        // The per-message field is `;`-joined, e.g. "12;15;9".
+        let row = csv.lines().nth(1).unwrap();
+        let field = row.split(',').nth(14).unwrap();
+        assert_eq!(field.split(';').count(), 3, "{row}");
+
+        // A message that never propagated serialises as null / "-".
+        let mut failed = report.clone();
+        failed.records[0].message_completion_rounds[1] = None;
+        let rounds = &failed.records[0].message_completion_rounds;
+        assert!(json_rounds(rounds).contains("null"));
+        let csv_cell = csv_rounds(rounds);
+        assert_eq!(csv_cell.split(';').nth(1).unwrap(), "-");
+        assert!(to_json(&failed).contains(&json_rounds(rounds)));
+        assert!(to_csv(&failed).contains(&csv_cell));
     }
 }

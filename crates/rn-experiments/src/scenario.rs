@@ -48,9 +48,13 @@ pub struct SweepSpec {
     /// Instance seeds (each seed is one instance of a randomised family).
     pub seeds: Vec<u64>,
     /// Broadcast sources per instance, spread evenly over the node range;
-    /// the runs of one instance go through [`Session::run_batch`].
+    /// the runs of one instance go through [`Session::run_batch`]. Requests
+    /// beyond the instance size collapse to one run per node (see
+    /// [`sources_for`](Self::sources_for)).
     pub sources_per_point: usize,
-    /// Worker threads for the sweep (`<= 1` runs inline).
+    /// Worker threads for the sweep (`<= 1` runs inline; `0` — the
+    /// constructor default — resolves at run time to the batch-aware
+    /// [`rn_radio::batch::default_threads_for`], honouring `RN_THREADS`).
     pub threads: usize,
     /// Whether to record execution traces. Traces cost memory and time but
     /// provide the collision / transmission statistics; without them those
@@ -60,7 +64,8 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// Creates a spec with one source per point, tracing on, and the batch
-    /// executor's default thread count.
+    /// executor's default thread count (resolved against the actual job
+    /// count when the sweep runs).
     pub fn new(name: impl Into<String>) -> Self {
         SweepSpec {
             name: name.into(),
@@ -69,7 +74,7 @@ impl SweepSpec {
             schemes: Vec::new(),
             seeds: Vec::new(),
             sources_per_point: 1,
-            threads: rn_radio::batch::default_threads(),
+            threads: 0,
             record_traces: true,
         }
     }
@@ -137,9 +142,37 @@ impl SweepSpec {
         self.families.len() * self.sizes.len() * self.seeds.len()
     }
 
+    /// The number of distinct sources an instance of `n` nodes actually
+    /// runs: `run_point` spreads `sources_per_point` sources evenly over the
+    /// node range and dedups them, so at most `n` distinct sources exist —
+    /// asking for more cannot produce more runs.
+    pub fn sources_for(&self, n: usize) -> usize {
+        self.sources_per_point.max(1).min(n.max(1))
+    }
+
     /// Total number of simulated executions the sweep will run.
+    ///
+    /// Uses the real per-instance run count — `sources_for(n)` per
+    /// single-source scheme, always 1 per multi-broadcast scheme (whose
+    /// source set is fixed at build time, so `run_point` never fans it out)
+    /// — so progress totals and `--quick` estimates match the records
+    /// actually produced (families that round the requested size to an
+    /// achievable shape can still shift the exact figure slightly).
     pub fn run_count(&self) -> usize {
-        self.instance_count() * self.schemes.len() * self.sources_per_point
+        let per_scheme_runs = |n: usize| -> usize {
+            self.schemes
+                .iter()
+                .map(|s| {
+                    if matches!(s, Scheme::MultiLambda { .. }) {
+                        1
+                    } else {
+                        self.sources_for(n)
+                    }
+                })
+                .sum()
+        };
+        let per_size: usize = self.sizes.iter().map(|&n| per_scheme_runs(n)).sum();
+        self.families.len() * self.seeds.len() * per_size
     }
 
     /// Runs the sweep. See the [module docs](self) for the determinism
@@ -164,7 +197,12 @@ impl SweepSpec {
         } else {
             TracePolicy::Disabled
         };
-        let results = rn_radio::batch::run_parallel(jobs, self.threads, |(family, n, seed)| {
+        let threads = if self.threads == 0 {
+            rn_radio::batch::default_threads_for(jobs.len())
+        } else {
+            self.threads
+        };
+        let results = rn_radio::batch::run_parallel(jobs, threads, |(family, n, seed)| {
             run_point(family, n, seed, &schemes, sources, trace)
         });
         let mut records = Vec::with_capacity(self.run_count());
@@ -258,8 +296,16 @@ pub struct SweepRecord {
     pub seed: u64,
     /// Scheme name.
     pub scheme: &'static str,
-    /// Broadcast source of this run.
+    /// Broadcast source of this run (the first designated source for a
+    /// multi-broadcast run).
     pub source: usize,
+    /// Number of designated sources: 1 for the single-source schemes, k for
+    /// `multi_lambda` runs.
+    pub k_sources: usize,
+    /// Multi-broadcast only: per message (in sorted source order), the
+    /// round by which every node held it — `None` entries never fully
+    /// propagated. Empty for single-source runs.
+    pub message_completion_rounds: Vec<Option<u64>>,
     /// Label length of the scheme on this instance (max bits).
     pub label_length: usize,
     /// Number of distinct labels used.
@@ -295,6 +341,12 @@ impl SweepRecord {
             seed,
             scheme: report.scheme,
             source: report.source,
+            k_sources: report.sources.len().max(1),
+            message_completion_rounds: report
+                .message_completion_rounds
+                .as_ref()
+                .map(|per_message| per_message.iter().map(|&(_, round)| round).collect())
+                .unwrap_or_default(),
             label_length: report.label_length,
             distinct_labels: report.distinct_labels,
             completion_round: report.completion_round,
@@ -377,7 +429,11 @@ fn run_point(
                     .map(|l| l.len())
                     .collect(),
             ));
-            let specs: Vec<RunSpec> = if session_sources.len() > 1 {
+            // A multi-broadcast run ignores the per-spec source (its source
+            // *set* is fixed at build time), so fanning the spread sources
+            // out would only duplicate identical rows: it runs once.
+            let one_run = matches!(scheme, Scheme::MultiLambda { .. });
+            let specs: Vec<RunSpec> = if one_run || session_sources.len() > 1 {
                 vec![RunSpec::new(session_source, 7)]
             } else {
                 source_nodes.iter().map(|&s| RunSpec::new(s, 7)).collect()
@@ -504,7 +560,7 @@ impl SweepReport {
 
 /// The registry of named sweeps, with a one-line purpose each. The `sweep`
 /// binary lists exactly these.
-pub const SWEEP_NAMES: [(&str, &str); 6] = [
+pub const SWEEP_NAMES: [(&str, &str); 7] = [
     (
         "smoke",
         "6 families, tiny sizes, lambda only — the CI end-to-end check",
@@ -528,6 +584,10 @@ pub const SWEEP_NAMES: [(&str, &str); 6] = [
     (
         "baselines",
         "lambda against the unique-id and square-coloring baselines",
+    ),
+    (
+        "multi",
+        "k-source multi-broadcast (multi_lambda, k in {2, 4, 8}) across six families",
     ),
 ];
 
@@ -615,6 +675,22 @@ pub fn named(name: &str) -> Option<SweepSpec> {
             ])
             .sizes(&[16, 32])
             .schemes(&[Scheme::Lambda, Scheme::UniqueIds, Scheme::SquareColoring])
+            .seeds(&[1, 2]),
+        "multi" => SweepSpec::new("multi")
+            .families(&[
+                TopologyFamily::Path,
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+                TopologyFamily::GnpAvgDegree { avg_degree: 8.0 },
+            ])
+            .sizes(&[16, 32, 64])
+            .schemes(&[
+                Scheme::MultiLambda { k: 2 },
+                Scheme::MultiLambda { k: 4 },
+                Scheme::MultiLambda { k: 8 },
+            ])
             .seeds(&[1, 2]),
         _ => return None,
     };
@@ -705,10 +781,91 @@ mod tests {
     }
 
     #[test]
+    fn run_count_matches_records_when_sources_exceed_n() {
+        // A 6-node instance can have at most 6 distinct sources; asking for
+        // 9 used to overcount the progress totals by 50%.
+        for scheme in [Scheme::LambdaArb, Scheme::Lambda] {
+            let spec = SweepSpec::new("overcount")
+                .families(&[TopologyFamily::Cycle])
+                .sizes(&[6])
+                .schemes(&[scheme])
+                .seeds(&[1])
+                .sources_per_point(9)
+                .threads(1);
+            assert_eq!(spec.sources_for(6), 6);
+            assert_eq!(spec.run_count(), 6, "{}", scheme.name());
+            let report = spec.run().unwrap();
+            assert_eq!(report.records.len(), spec.run_count(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn multi_scheme_runs_once_per_instance_regardless_of_sources_per_point() {
+        // A multi-broadcast run ignores the per-spec source, so extra
+        // spread sources must not produce duplicate records — and the
+        // estimate must agree with what actually runs.
+        let spec = SweepSpec::new("multi-dedup")
+            .families(&[TopologyFamily::Cycle])
+            .sizes(&[12])
+            .schemes(&[Scheme::MultiLambda { k: 2 }, Scheme::LambdaArb])
+            .seeds(&[1])
+            .sources_per_point(4)
+            .threads(1);
+        // 1 multi run + 4 λ_arb source runs.
+        assert_eq!(spec.run_count(), 5);
+        let report = spec.run().unwrap();
+        assert_eq!(report.records.len(), spec.run_count());
+        assert_eq!(
+            report
+                .records
+                .iter()
+                .filter(|r| r.scheme == "multi_lambda")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn run_count_sums_real_sources_over_mixed_sizes() {
+        let spec = SweepSpec::new("mixed")
+            .families(&[TopologyFamily::Cycle, TopologyFamily::Path])
+            .sizes(&[4, 32])
+            .schemes(&[Scheme::LambdaArb])
+            .seeds(&[1, 2])
+            .sources_per_point(8);
+        // Per (family, seed): 4 sources at n = 4, 8 at n = 32.
+        assert_eq!(spec.run_count(), 2 * 2 * (4 + 8));
+    }
+
+    #[test]
     fn disabled_traces_zero_the_collision_columns() {
         let report = tiny_spec().record_traces(false).run().unwrap();
         assert!(report.records.iter().all(|r| r.collisions == 0));
         assert!(report.records.iter().all(|r| r.completed()));
+    }
+
+    #[test]
+    fn multi_sweep_records_per_message_completion() {
+        let report = named("multi").unwrap().quick().threads(1).run().unwrap();
+        assert!(!report.records.is_empty());
+        let ks: std::collections::BTreeSet<usize> =
+            report.records.iter().map(|r| r.k_sources).collect();
+        assert_eq!(ks.into_iter().collect::<Vec<_>>(), vec![2, 4, 8]);
+        for r in &report.records {
+            assert!(r.completed(), "{} k={}", r.family, r.k_sources);
+            assert_eq!(r.scheme, "multi_lambda");
+            assert_eq!(r.label_length, 2, "the λ half stays constant-length");
+            assert_eq!(r.message_completion_rounds.len(), r.k_sources);
+            let completion = r.completion_round.unwrap();
+            for round in &r.message_completion_rounds {
+                assert!(round.unwrap() <= completion);
+            }
+            assert!(r.message_completion_rounds.contains(&r.completion_round));
+        }
+        // The histograms see the multi labels under their own scheme name.
+        assert!(report.label_length_histograms["multi_lambda"]
+            .keys()
+            .all(|&bits| bits <= 2));
     }
 
     #[test]

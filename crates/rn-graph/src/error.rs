@@ -37,6 +37,14 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// The graph's adjacency structure would exceed the `u32` CSR offsets
+    /// (total degree over `u32::MAX`). Surfaced as an error instead of a
+    /// panic so large sweep jobs fail as a recorded measurement error, not a
+    /// process abort.
+    TooLarge {
+        /// The total degree (2·edges) the graph would have needed.
+        total_degree: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -57,6 +65,11 @@ impl fmt::Display for GraphError {
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid generator parameters: {reason}")
             }
+            GraphError::TooLarge { total_degree } => write!(
+                f,
+                "graph too large for u32 CSR offsets: total degree {total_degree} exceeds {}",
+                u32::MAX
+            ),
         }
     }
 }
@@ -104,6 +117,15 @@ mod tests {
             reason: "n must be positive".into(),
         };
         assert!(e.to_string().contains("n must be positive"));
+    }
+
+    #[test]
+    fn display_too_large() {
+        let e = GraphError::TooLarge {
+            total_degree: 5_000_000_000,
+        };
+        assert!(e.to_string().contains("5000000000"));
+        assert!(e.to_string().contains("CSR"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn star_of_cliques(cliques: usize, clique_size: usize) -> Result<Graph, Grap
             }
         }
     }
-    Ok(b.build())
+    b.try_build()
 }
 
 #[cfg(test)]

@@ -74,7 +74,7 @@ pub fn clustered_gnp(
             }
         }
     }
-    let g = b.build();
+    let g = b.try_build()?;
     if is_connected(&g) {
         Ok(g)
     } else {
@@ -143,7 +143,7 @@ pub fn degree_capped_random(n: usize, max_degree: usize, seed: u64) -> Result<Gr
             }
         }
     }
-    Ok(b.build())
+    b.try_build()
 }
 
 #[cfg(test)]

@@ -284,7 +284,10 @@ impl TopologyFamily {
             TopologyFamily::Path => basic::path(n),
             TopologyFamily::Cycle => basic::cycle(n),
             TopologyFamily::Star => basic::star(n),
-            TopologyFamily::Complete => basic::complete(n),
+            TopologyFamily::Complete => {
+                check_csr_budget(n.checked_mul(n - 1))?;
+                basic::complete(n)
+            }
             TopologyFamily::Grid => {
                 let (rows, cols) = near_square(n, 2);
                 grid::grid(rows, cols)
@@ -308,11 +311,19 @@ impl TopologyFamily {
             }
             TopologyFamily::Lollipop => {
                 let k = (n / 2).max(2);
-                basic::lollipop(k, n - k)
+                let tail = n - k;
+                check_csr_budget(k.checked_mul(k - 1).and_then(|c| c.checked_add(2 * tail)))?;
+                basic::lollipop(k, tail)
             }
             TopologyFamily::Barbell => {
                 let k = (n / 3).max(2);
-                basic::barbell(k, n.saturating_sub(2 * k))
+                let bridge = n.saturating_sub(2 * k);
+                check_csr_budget(
+                    k.checked_mul(k - 1)
+                        .and_then(|c| c.checked_mul(2))
+                        .and_then(|c| c.checked_add(2 * (bridge + 1))),
+                )?;
+                basic::barbell(k, bridge)
             }
             TopologyFamily::StarOfCliques { clique_size } => {
                 if clique_size == 0 {
@@ -324,6 +335,12 @@ impl TopologyFamily {
                 // roughly n nodes), which also rules out overflow.
                 let clique_size = clique_size.min(n - 1);
                 let cliques = ((n - 1) / clique_size).max(1);
+                check_csr_budget(
+                    clique_size
+                        .checked_mul(clique_size - 1)
+                        .and_then(|c| c.checked_mul(cliques))
+                        .and_then(|c| c.checked_add(2 * cliques)),
+                )?;
                 adversarial::star_of_cliques(cliques, clique_size)?
             }
             TopologyFamily::Gnp { p } => random::gnp_connected(n, p, seed)?,
@@ -368,6 +385,22 @@ impl TopologyFamily {
 /// [`TopologyFamily::generate`]: `(family, n, seed) -> Graph`.
 pub fn generate(family: TopologyFamily, n: usize, seed: u64) -> Result<Graph, GraphError> {
     family.generate(n, seed)
+}
+
+/// Rejects a closed-form family instance whose CSR adjacency (2·edges,
+/// `None` = the product overflowed `usize`) would exceed the `u32` offsets,
+/// *before* any quadratic allocation happens. The incremental random
+/// generators hit the same limit later through `GraphBuilder::try_build`;
+/// either way an oversized sweep job records a [`GraphError::TooLarge`]
+/// instead of aborting the process.
+fn check_csr_budget(total_degree: Option<usize>) -> Result<(), GraphError> {
+    let total = total_degree.unwrap_or(usize::MAX);
+    if u32::try_from(total).is_err() {
+        return Err(GraphError::TooLarge {
+            total_degree: total,
+        });
+    }
+    Ok(())
 }
 
 /// Near-square `(rows, cols)` factorization with `rows, cols >= min_side`
@@ -470,6 +503,31 @@ mod tests {
         assert!(TopologyFamily::GnpAvgDegree { avg_degree: -1.0 }
             .generate(10, 0)
             .is_err());
+    }
+
+    #[test]
+    fn oversized_dense_families_error_instead_of_aborting() {
+        // A complete graph on a million nodes needs ~10^12 CSR entries —
+        // far over the u32 offset limit. The registry must report that as a
+        // recorded error (without attempting the multi-terabyte allocation),
+        // which is what lets million-node sweep jobs fail gracefully.
+        for family in [
+            TopologyFamily::Complete,
+            TopologyFamily::Lollipop,
+            TopologyFamily::Barbell,
+            TopologyFamily::StarOfCliques {
+                clique_size: 1_000_000,
+            },
+        ] {
+            let err = family.generate(1_000_000, 1).unwrap_err();
+            assert!(
+                matches!(err, GraphError::TooLarge { .. }),
+                "{}: {err}",
+                family.name()
+            );
+        }
+        // The same families still generate fine at normal sizes.
+        assert!(TopologyFamily::Complete.generate(64, 1).is_ok());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Result<UnitDiskInstance, G
             }
         }
     }
-    let g = b.build();
+    let g = b.try_build()?;
     let (graph, repair_edges) = if is_connected(&g) {
         (g, 0)
     } else {

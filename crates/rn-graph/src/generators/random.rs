@@ -37,7 +37,7 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
             }
         }
     }
-    let g = b.build();
+    let g = b.try_build()?;
     if is_connected(&g) {
         Ok(g)
     } else {
@@ -75,7 +75,7 @@ pub fn random_bipartite_connected(
             }
         }
     }
-    let mut g = builder.build();
+    let mut g = builder.try_build()?;
     // Repair connectivity while preserving bipartiteness: attach every
     // component to component 0 via a cross edge.
     while !is_connected(&g) {
@@ -148,7 +148,7 @@ pub fn random_regularish(n: usize, target_degree: usize, seed: u64) -> Result<Gr
             b.add_edge(u, v).expect("checked fresh edge");
         }
     }
-    Ok(b.build())
+    b.try_build()
 }
 
 #[cfg(test)]

@@ -106,7 +106,7 @@ pub fn theta(paths: usize, internal: usize) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new(n);
     if internal == 0 {
         b.add_edge(0, 1).expect("terminal edge");
-        return Ok(b.build());
+        return b.try_build();
     }
     let mut next = 2;
     for _ in 0..paths {
@@ -118,7 +118,7 @@ pub fn theta(paths: usize, internal: usize) -> Result<Graph, GraphError> {
         }
         b.add_edge(prev, 1).expect("path edge to terminal");
     }
-    Ok(b.build())
+    b.try_build()
 }
 
 #[cfg(test)]

@@ -80,7 +80,7 @@ impl Graph {
         for &(u, v) in edges {
             b.add_edge(u, v)?;
         }
-        Ok(b.build())
+        b.try_build()
     }
 
     /// Number of nodes.
@@ -191,7 +191,7 @@ impl Graph {
                 b.add_edge(new_index[u], new_index[v])?;
             }
         }
-        Ok((b.build(), keep.to_vec()))
+        Ok((b.try_build()?, keep.to_vec()))
     }
 
     /// Total degree (twice the edge count); handy for sanity checks.
@@ -270,7 +270,12 @@ impl GraphBuilder {
 
     /// Adds the undirected edge `{u, v}`.
     ///
-    /// Rejects out-of-range endpoints, self-loops and duplicate edges.
+    /// Rejects out-of-range endpoints, self-loops and duplicate edges —
+    /// and, the moment the total degree would cross the `u32` CSR offset
+    /// limit, [`GraphError::TooLarge`]: checking here (not only in
+    /// [`try_build`](Self::try_build)) stops the incremental random
+    /// generators at the limit instead of letting them accumulate an
+    /// adjacency that could never be packed.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
         let n = self.adj.len();
         if u >= n {
@@ -290,6 +295,10 @@ impl GraphBuilder {
         }
         if self.adj[u].contains(&v) {
             return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let total_degree = 2 * (self.edge_count + 1);
+        if u32::try_from(total_degree).is_err() {
+            return Err(GraphError::TooLarge { total_degree });
         }
         self.adj[u].push(v);
         self.adj[v].push(u);
@@ -311,15 +320,18 @@ impl GraphBuilder {
     /// per-node lists straight into CSR form (sorted rows, one flat neighbour
     /// array, `u32` row offsets).
     ///
-    /// # Panics
-    /// Panics if the total degree exceeds `u32::MAX` (an adjacency structure
-    /// of over 4 billion entries — beyond what the `u32` CSR offsets index).
-    pub fn build(mut self) -> Graph {
+    /// Returns [`GraphError::TooLarge`] if the total degree exceeds
+    /// `u32::MAX` (an adjacency structure of over 4 billion entries — beyond
+    /// what the `u32` CSR offsets index). The fallible generators and the
+    /// topology registry route through here so oversized sweep jobs surface
+    /// as recorded errors instead of aborting the process.
+    pub fn try_build(mut self) -> Result<Graph, GraphError> {
         let total: usize = self.adj.iter().map(Vec::len).sum();
-        assert!(
-            u32::try_from(total).is_ok(),
-            "graph too large for u32 CSR offsets: total degree {total}"
-        );
+        if u32::try_from(total).is_err() {
+            return Err(GraphError::TooLarge {
+                total_degree: total,
+            });
+        }
         let mut neighbors = Vec::with_capacity(total);
         let mut offsets = Vec::with_capacity(self.adj.len() + 1);
         offsets.push(0u32);
@@ -328,11 +340,22 @@ impl GraphBuilder {
             neighbors.extend_from_slice(ns);
             offsets.push(neighbors.len() as u32);
         }
-        Graph {
+        Ok(Graph {
             neighbors,
             offsets,
             edge_count: self.edge_count,
-        }
+        })
+    }
+
+    /// Infallible convenience over [`try_build`](Self::try_build) for the
+    /// closed-form generators whose sizes cannot approach the CSR limit.
+    ///
+    /// # Panics
+    /// Panics if the total degree exceeds `u32::MAX`; size-fallible callers
+    /// should use [`try_build`](Self::try_build) instead.
+    pub fn build(self) -> Graph {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("{e} (use try_build to handle this as an error)"))
     }
 }
 

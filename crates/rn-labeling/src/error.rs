@@ -17,6 +17,8 @@ pub enum LabelingError {
         /// The number of nodes in the graph.
         node_count: usize,
     },
+    /// A multi-broadcast construction was given an empty source set.
+    NoSources,
     /// The scheme is only defined on a restricted graph class and the given
     /// graph is not in that class (e.g. the 1-bit grid scheme on a non-grid).
     UnsupportedGraphClass {
@@ -38,6 +40,9 @@ impl fmt::Display for LabelingError {
                 f,
                 "source node {source} out of range for a graph with {node_count} nodes"
             ),
+            LabelingError::NoSources => {
+                write!(f, "multi-broadcast requires at least one source node")
+            }
             LabelingError::UnsupportedGraphClass { scheme, required } => {
                 write!(f, "scheme {scheme} requires {required}")
             }

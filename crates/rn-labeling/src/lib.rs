@@ -23,6 +23,10 @@
 //! * [`onebit`] — 1-bit schemes for special graph classes, reproducing the
 //!   flavour of the §5 conclusion claims (see DESIGN.md for the exact scope
 //!   of this substitution);
+//! * [`multi`] — the k-source **multi-broadcast** scheme `multi_lambda`: a
+//!   virtual-source reduction (collision-free collection to a coordinator,
+//!   then λ broadcast of the message bundle) composing the λ machinery, in
+//!   the direction of the Krisko–Miller multi-broadcast line of work;
 //! * [`sequences`] — the five-sequence construction (INF/UNINF/FRONTIER/DOM/
 //!   NEW) of §2.1 that underlies λ and is reused by the verification oracles.
 
@@ -35,6 +39,7 @@ pub mod label;
 pub mod lambda;
 pub mod lambda_ack;
 pub mod lambda_arb;
+pub mod multi;
 pub mod onebit;
 pub mod scheme;
 pub mod sequences;

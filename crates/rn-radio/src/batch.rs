@@ -67,13 +67,61 @@ where
         .collect()
 }
 
-/// A sensible default worker-thread count: the available parallelism capped
-/// at 8 (simulation sweeps are memory-light, so more threads rarely help).
+/// Batches at least this many jobs count as "large" for
+/// [`default_threads_for`]: enough independent simulations to keep a big
+/// machine busy past the small-batch cap.
+pub const LARGE_BATCH_JOBS: usize = 32;
+
+/// A sensible default worker-thread count: the `RN_THREADS` environment
+/// override if set, otherwise the available parallelism capped at
+/// [`MAX_DEFAULT_THREADS`]. Equivalent to [`default_threads_for`] with an
+/// unbounded batch; callers that know their job count should prefer that.
+///
+/// Thread count never affects results — jobs return in spec order, so
+/// reports are byte-identical at any thread count (see [`run_parallel`]).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    default_threads_for(usize::MAX)
+}
+
+/// Hard ceiling on the default worker count. An explicit `--threads` /
+/// `RN_THREADS` can exceed it.
+pub const MAX_DEFAULT_THREADS: usize = 64;
+
+/// Default worker-thread count for a batch of `jobs` independent
+/// simulations.
+///
+/// * `RN_THREADS` (a positive integer) overrides everything — the escape
+///   hatch for schedulers and benchmarking scripts.
+/// * Small batches (fewer than [`LARGE_BATCH_JOBS`] jobs) cap at 8 workers:
+///   per-thread labeling/scratch warm-up dominates below that.
+/// * Large batches use the machine's full available parallelism (up to
+///   [`MAX_DEFAULT_THREADS`]), so a 16- or 64-core host is no longer half
+///   idle on big sweeps.
+/// * Never more threads than jobs.
+pub fn default_threads_for(jobs: usize) -> usize {
+    if let Some(t) = env_thread_override() {
+        return t;
+    }
+    let available = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
+        .unwrap_or(1);
+    let cap = if jobs >= LARGE_BATCH_JOBS {
+        MAX_DEFAULT_THREADS
+    } else {
+        8
+    };
+    available.min(cap).min(jobs.max(1))
+}
+
+/// The `RN_THREADS` override, if set to a positive integer (anything else is
+/// ignored rather than guessed at).
+fn env_thread_override() -> Option<usize> {
+    std::env::var("RN_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&t| t >= 1)
 }
 
 #[cfg(test)]
@@ -102,10 +150,15 @@ mod tests {
 
     #[test]
     fn parallel_equals_sequential() {
+        // Results must be byte-identical at every thread count, including
+        // counts past the old hard cap of 8: ordering comes from the job
+        // index, never from scheduling.
         let jobs: Vec<u64> = (0..200).collect();
         let seq = run_parallel(jobs.clone(), 1, |x| x % 7);
-        let par = run_parallel(jobs, 6, |x| x % 7);
-        assert_eq!(seq, par);
+        for threads in [2usize, 6, 8, 16, 32] {
+            let par = run_parallel(jobs.clone(), threads, |x| x % 7);
+            assert_eq!(seq, par, "{threads} threads");
+        }
     }
 
     #[test]
@@ -114,9 +167,40 @@ mod tests {
         assert_eq!(out, vec![2, 3, 4]);
     }
 
+    /// One test (not several) because it mutates `RN_THREADS`, and the test
+    /// harness runs tests of a crate concurrently in one process: splitting
+    /// the env-free assertions out would race them against the override.
     #[test]
-    fn default_threads_is_positive() {
+    fn default_thread_policy() {
+        let saved = std::env::var("RN_THREADS").ok();
+        std::env::remove_var("RN_THREADS");
+
+        // Without an override: positive, capped, never more than jobs.
         assert!(default_threads() >= 1);
-        assert!(default_threads() <= 8);
+        assert!(default_threads() <= MAX_DEFAULT_THREADS);
+        assert_eq!(default_threads(), default_threads_for(usize::MAX));
+        assert_eq!(default_threads_for(1), 1);
+        assert_eq!(default_threads_for(0), 1);
+        assert!(default_threads_for(3) <= 3);
+        // Small batches stay under the small-batch cap; large batches may
+        // use the whole machine.
+        assert!(default_threads_for(LARGE_BATCH_JOBS - 1) <= 8);
+        let large = default_threads_for(10_000);
+        assert!((1..=MAX_DEFAULT_THREADS).contains(&large));
+
+        // RN_THREADS override wins, regardless of batch size.
+        std::env::set_var("RN_THREADS", "13");
+        assert_eq!(default_threads(), 13);
+        assert_eq!(default_threads_for(2), 13, "explicit override is obeyed");
+        // Non-positive or garbage overrides are ignored, not guessed at.
+        std::env::set_var("RN_THREADS", "0");
+        assert!(default_threads() >= 1);
+        std::env::set_var("RN_THREADS", "lots");
+        assert!(default_threads() >= 1);
+
+        match saved {
+            Some(v) => std::env::set_var("RN_THREADS", v),
+            None => std::env::remove_var("RN_THREADS"),
+        }
     }
 }

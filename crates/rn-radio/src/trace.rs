@@ -139,6 +139,34 @@ impl<M: RadioMessage> Trace<M> {
             .collect()
     }
 
+    /// Round in which each of the `node_count` nodes first heard a message
+    /// matching `pred`, or `None` for nodes that never did.
+    ///
+    /// The per-message trace query for multi-message workloads: with `pred`
+    /// selecting the messages that carry payload `j`, entry `v` is the
+    /// round node `v` first received message `j` *over the air*. A node
+    /// holding `j` from the start — its source — never hears it "first"
+    /// and reads as `None` here, so analyses overlay origin knowledge
+    /// (live completion accounting comes from node state instead, which
+    /// also works with tracing off; the multi-broadcast tests use this
+    /// query to cross-check that accounting against the recorded trace).
+    pub fn first_receive_rounds_matching<F>(&self, node_count: usize, pred: F) -> Vec<Option<u64>>
+    where
+        F: Fn(&M) -> bool,
+    {
+        let mut first = vec![None; node_count];
+        for r in &self.rounds {
+            for (v, event) in r.events.iter().enumerate() {
+                if let NodeEvent::Heard { message, .. } = event {
+                    if v < node_count && first[v].is_none() && pred(message) {
+                        first[v] = Some(r.round);
+                    }
+                }
+            }
+        }
+        first
+    }
+
     /// The message node `v` heard in a specific round, if any.
     pub fn heard_in_round(&self, v: NodeId, round: u64) -> Option<&M> {
         self.rounds
@@ -212,6 +240,20 @@ mod tests {
         assert_eq!(t.heard_in_round(1, 2), None);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn first_receive_rounds_matching_filters_by_message() {
+        let t = sample_trace();
+        // Node 1 hears 9 in round 1; nobody else hears anything.
+        assert_eq!(
+            t.first_receive_rounds_matching(3, |&m| m == 9),
+            vec![None, Some(1), None]
+        );
+        assert_eq!(
+            t.first_receive_rounds_matching(3, |&m| m == 4),
+            vec![None, None, None]
+        );
     }
 
     #[test]

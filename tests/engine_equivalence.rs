@@ -139,6 +139,81 @@ fn batch_runs_agree_across_engines() {
     assert_eq!(fast, reference);
 }
 
+#[test]
+fn multi_broadcast_reports_agree_across_engines() {
+    // The k-source multi-broadcast subsystem: identical RunReports (per-
+    // message completion rounds included) on both engines, for every
+    // workload and several k.
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        for k in [2usize, 4] {
+            let build = |engine: Engine| {
+                Session::builder(Scheme::MultiLambda { k }, Arc::clone(&graph))
+                    .message(31)
+                    .engine(engine)
+                    .build()
+                    .unwrap()
+            };
+            let fast = build(Engine::TransmitterCentric).run();
+            let reference = build(Engine::ListenerCentric).run();
+            assert_eq!(fast, reference, "{label} k={k}");
+            assert!(fast.completed(), "{label} k={k} should complete");
+            assert_eq!(
+                fast.message_completion_rounds.as_ref().unwrap().len(),
+                k.min(graph.node_count()),
+                "{label} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_broadcast_raw_traces_identical_across_engines() {
+    use radio_labeling::broadcast::multi::MultiNode;
+    use radio_labeling::labeling::multi;
+
+    for (label, graph, sources) in workloads() {
+        let graph = Arc::new(graph);
+        let scheme = multi::construct(&graph, &sources).unwrap();
+        let payloads: Vec<u64> = (0..scheme.k() as u64).map(|j| 70 + j).collect();
+        let rounds = 2 * (scheme.k() as u64 + 2) * (graph.node_count() as u64 + 2);
+        let mut fast = Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads));
+        let mut reference =
+            Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads))
+                .with_engine(Engine::ListenerCentric);
+        // B has legitimate isolated silent rounds mid-relay (the 2-round
+        // cadence of the dominating-set wave), so quiet detection needs the
+        // same 3-round window the sessions use.
+        let a = fast.run_until(
+            StopCondition::QuietFor {
+                quiet: 3,
+                cap: rounds,
+            },
+            |_| false,
+        );
+        let b = reference.run_until(
+            StopCondition::QuietFor {
+                quiet: 3,
+                cap: rounds,
+            },
+            |_| false,
+        );
+        assert_eq!(a, b, "{label}: outcomes differ");
+        assert_eq!(
+            fast.trace().rounds,
+            reference.trace().rounds,
+            "{label}: traces differ"
+        );
+        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+            assert_eq!(x.payloads(), y.payloads(), "{label}: node {v} differs");
+            assert!(
+                x.holds_all_messages(),
+                "{label}: node {v} not fully informed"
+            );
+        }
+    }
+}
+
 /// An adversarial protocol for raw-simulator equivalence: each node
 /// transmits on a pseudo-random schedule derived from its id and how many
 /// rounds it has seen, producing dense collision patterns no real scheme

@@ -47,3 +47,21 @@ fn sweep_reports_are_deterministic_across_thread_counts() {
     assert_eq!(a.records, b.records);
     assert_eq!(emit::to_json(&a), emit::to_json(&b));
 }
+
+#[test]
+fn multi_sweep_quick_is_byte_identical_across_thread_counts() {
+    // The acceptance bar for the multi-broadcast subsystem: the named
+    // `multi` sweep in --quick mode produces byte-identical JSON and CSV
+    // whether it runs on 1 or 4 worker threads.
+    let one = scenario::named("multi").unwrap().quick().threads(1);
+    let four = scenario::named("multi").unwrap().quick().threads(4);
+    let a = one.run().expect("multi sweep runs cleanly");
+    let b = four.run().unwrap();
+    assert!(!a.records.is_empty());
+    assert!(a.records.iter().all(|r| r.completed()));
+    assert_eq!(a.records, b.records);
+    assert_eq!(emit::to_json(&a), emit::to_json(&b));
+    assert_eq!(emit::to_csv(&a), emit::to_csv(&b));
+    // The emitted JSON carries the per-message completion columns.
+    assert!(emit::to_json(&a).contains("\"message_completion_rounds\""));
+}
