@@ -33,10 +33,11 @@
 //! run after all measurements and write one consolidated file.
 
 use rn_broadcast::algo_b::BNode;
+use rn_broadcast::gossip::GossipNode;
 use rn_broadcast::multi::MultiNode;
 use rn_graph::generators::TopologyFamily;
 use rn_graph::{generators, Graph};
-use rn_labeling::{lambda, multi};
+use rn_labeling::{gossip, lambda, multi};
 use rn_radio::{Engine, RadioNode, Simulator};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -186,6 +187,24 @@ fn run_multi_workload(name: &'static str, graph: Graph, k: usize, cfg: &Config) 
     )
 }
 
+/// The all-to-all gossip case: the token-walk collection dominates the 2n
+/// measured rounds, so the engines see n messages in flight — every round
+/// has exactly one transmitter whose token grows toward n entries, the
+/// worst case for per-message bookkeeping rather than for delivery fan-out.
+fn run_gossip_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measurement {
+    let graph = Arc::new(graph);
+    let n = graph.node_count();
+    let scheme = gossip::construct(&graph).expect("workload is connected");
+    let payloads: Vec<u64> = (0..n as u64).map(|j| 7 + j).collect();
+    bench_case(
+        name,
+        "gossip",
+        Arc::clone(&graph),
+        move || GossipNode::network(&scheme, &payloads),
+        cfg,
+    )
+}
+
 fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std::path::PathBuf> {
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -290,6 +309,16 @@ fn main() {
         "multi-k4-gnp-avg-deg-8",
         generators::gnp_connected(reg_n, 8.0 / reg_n as f64, 1).unwrap(),
         4,
+        &cfg,
+    ));
+    // The gossip case runs at half the registry size: every node holds a
+    // per-message table of n entries, so the network costs Θ(n²) memory —
+    // halving n keeps a full bench pass comfortably inside a laptop's RAM
+    // while still exercising n messages in flight.
+    let gossip_n = (reg_n / 2).max(8);
+    measurements.push(run_gossip_workload(
+        "gossip-gnp-avg-deg-8",
+        generators::gnp_connected(gossip_n, 8.0 / gossip_n as f64, 1).unwrap(),
         &cfg,
     ));
     if cfg.test_mode {

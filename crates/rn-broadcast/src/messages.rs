@@ -40,13 +40,14 @@ impl RadioMessage for BMessage {
 /// by-reference delivery cheap for arbitrarily large k.
 pub type MessageBundle = std::sync::Arc<Vec<(u32, SourceMessage)>>;
 
-/// Messages of the multi-broadcast algorithm (see `crate::multi`): the
-/// collection-phase relays, the broadcast-phase bundle, and the same
-/// constant-size "stay" word Algorithm B uses.
+/// Messages of the multi-message algorithms (see `crate::multi` and
+/// `crate::gossip`): the collection-phase relays (single-message BFS-path
+/// hops or accumulated DFS tokens), the broadcast-phase bundle, and the
+/// same constant-size "stay" word Algorithm B uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MultiMessage {
-    /// Collection phase: one source's message being funnelled one hop
-    /// toward the coordinator.
+    /// Collection phase (BFS-path plans): one source's message being
+    /// funnelled one hop toward the coordinator.
     Relay {
         /// Index of the originating source in the scheme's sorted source
         /// list.
@@ -54,6 +55,12 @@ pub enum MultiMessage {
         /// That source's message µ_j.
         payload: SourceMessage,
     },
+    /// Collection phase (DFS-token plans): the walking token — every
+    /// message its transmitter has accumulated so far, as sorted
+    /// (source index, payload) pairs. Hearing a token never changes the
+    /// Algorithm B state (the broadcast phase has not started); it only
+    /// hands the accumulated set on.
+    Token(MessageBundle),
     /// Broadcast phase: the coordinator's bundle of all k messages,
     /// relayed exactly like Algorithm B relays µ.
     Bundle(MessageBundle),
@@ -70,7 +77,7 @@ impl RadioMessage for MultiMessage {
                 source_index,
                 payload,
             } => 2 + bits_for(u64::from(*source_index)) + bits_for(*payload),
-            MultiMessage::Bundle(bundle) => {
+            MultiMessage::Token(bundle) | MultiMessage::Bundle(bundle) => {
                 2 + bundle
                     .iter()
                     .map(|&(j, p)| bits_for(u64::from(j)) + bits_for(p))

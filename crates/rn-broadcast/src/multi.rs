@@ -1,7 +1,9 @@
-//! The k-source **multi-broadcast** protocol driving the
-//! [`rn_labeling::multi`] scheme: collision-free collection to a
-//! coordinator, then the paper's Algorithm B relaying the bundle of all k
-//! messages.
+//! The multi-message relay protocol driving any
+//! [`rn_labeling::collection::CollectionPlan`]: collision-free collection
+//! to a coordinator, then the paper's Algorithm B relaying the bundle of
+//! all k messages. [`MultiNode::network`] instantiates it for the k-source
+//! [`rn_labeling::multi`] scheme (BFS-path plans); the gossip protocol of
+//! [`crate::gossip`] reuses the same state machine for DFS-token plans.
 //!
 //! Every node runs the same [`MultiNode`] state machine; its behaviour
 //! depends only on its advice (the 2-bit λ label plus its slice of the
@@ -13,11 +15,14 @@
 //! Execution timeline, for a scheme with collection length `T`:
 //!
 //! * **Rounds 1..=T (collection).** The schedule assigns exactly one
-//!   transmitter per round: the nodes of source j's BFS path toward the
-//!   coordinator relay `(j, µ_j)` hop by hop. A single global transmitter
-//!   means no collisions, so each hop is received with certainty — and
-//!   every *other* neighbour of the transmitter opportunistically absorbs
-//!   the payload too (free progress, never required for correctness).
+//!   transmitter per round — a single global transmitter means no
+//!   collisions, so each hop is received with certainty. A
+//!   [`TokenPayload::Source`] slot relays one designated message `(j, µ_j)`
+//!   (multi-broadcast's BFS paths); a [`TokenPayload::Accumulated`] slot
+//!   transmits everything the node has gathered so far (gossip's walking
+//!   token). Every *other* neighbour of the transmitter opportunistically
+//!   absorbs the payload too (free progress, never required for
+//!   correctness).
 //! * **Round T+1 onward (broadcast).** The coordinator assembles the
 //!   [`MessageBundle`] of all k payloads and behaves exactly like Algorithm
 //!   B's source; all other nodes run Algorithm B's five rules verbatim with
@@ -31,7 +36,9 @@
 //! completion rounds.
 
 use crate::messages::{MessageBundle, MultiMessage, SourceMessage};
+use rn_labeling::collection::{CollectionPlan, TokenPayload};
 use rn_labeling::multi::MultiLambdaScheme;
+use rn_labeling::Labeling;
 use rn_radio::{Action, RadioNode};
 use std::sync::Arc;
 
@@ -41,8 +48,8 @@ pub struct MultiNode {
     // Advice.
     x1: bool,
     x2: bool,
-    /// This node's collection slots, chronological: `(round, source_index)`.
-    slots: Vec<(u64, u32)>,
+    /// This node's collection slots, chronological: `(round, what to send)`.
+    slots: Vec<(u64, TokenPayload)>,
     /// The round after which this node (the coordinator only) starts the
     /// broadcast phase; `None` everywhere else.
     coordinator_start: Option<u64>,
@@ -73,24 +80,42 @@ impl MultiNode {
     /// # Panics
     /// Panics if `payloads.len() != scheme.k()`.
     pub fn network(scheme: &MultiLambdaScheme, payloads: &[SourceMessage]) -> Vec<MultiNode> {
+        Self::plan_network(scheme.labeling(), scheme.plan(), scheme.sources(), payloads)
+    }
+
+    /// Builds the protocol instances for any collection plan: the shared
+    /// constructor behind [`MultiNode::network`] (BFS-path plans) and
+    /// [`crate::gossip::GossipNode::network`] (DFS-token plans).
+    /// `sources[j]` holds `payloads[j]` from round 0; each node's slice of
+    /// the plan becomes its relay schedule; the plan's coordinator opens
+    /// the broadcast phase when the plan ends.
+    ///
+    /// # Panics
+    /// Panics if `payloads.len() != sources.len()`.
+    pub(crate) fn plan_network(
+        labeling: &Labeling,
+        plan: &CollectionPlan,
+        sources: &[usize],
+        payloads: &[SourceMessage],
+    ) -> Vec<MultiNode> {
         assert_eq!(
             payloads.len(),
-            scheme.k(),
+            sources.len(),
             "need exactly one payload per source"
         );
-        let n = scheme.labeling().node_count();
+        let n = labeling.node_count();
+        let k = sources.len();
         let mut nodes: Vec<MultiNode> = (0..n)
             .map(|v| {
-                let label = scheme.labeling().get(v);
+                let label = labeling.get(v);
                 MultiNode {
                     x1: label.x1(),
                     x2: label.x2(),
                     slots: Vec::new(),
-                    coordinator_start: (v == scheme.coordinator())
-                        .then(|| scheme.collection_rounds()),
+                    coordinator_start: (v == plan.coordinator()).then(|| plan.rounds()),
                     local_round: 0,
                     next_slot: 0,
-                    received: vec![None; scheme.k()],
+                    received: vec![None; k],
                     bundle: None,
                     informed_age: None,
                     last_bundle_transmit_age: None,
@@ -98,13 +123,11 @@ impl MultiNode {
                 }
             })
             .collect();
-        for (j, &s) in scheme.sources().iter().enumerate() {
+        for (j, &s) in sources.iter().enumerate() {
             nodes[s].received[j] = Some(payloads[j]);
         }
-        for slot in scheme.slots() {
-            nodes[slot.node]
-                .slots
-                .push((slot.round, slot.source_index as u32));
+        for slot in plan.slots() {
+            nodes[slot.node].slots.push((slot.round, slot.payload));
         }
         nodes
     }
@@ -167,15 +190,28 @@ impl RadioNode for MultiNode {
         // Collection phase: fire this node's scheduled relays. The schedule
         // guarantees the payload arrived in an earlier round (the previous
         // hop was the sole transmitter of its round).
-        if let Some(&(round, j)) = self.slots.get(self.next_slot) {
+        if let Some(&(round, payload)) = self.slots.get(self.next_slot) {
             if round == self.local_round {
                 self.next_slot += 1;
-                let payload = self.received[j as usize]
-                    .expect("collection schedule delivers the payload before each relay");
-                return Action::Transmit(MultiMessage::Relay {
-                    source_index: j,
-                    payload,
-                });
+                return match payload {
+                    TokenPayload::Source(j) => {
+                        let payload = self.received[j as usize]
+                            .expect("collection schedule delivers the payload before each relay");
+                        Action::Transmit(MultiMessage::Relay {
+                            source_index: j,
+                            payload,
+                        })
+                    }
+                    TokenPayload::Accumulated => {
+                        let token: Vec<(u32, SourceMessage)> = self
+                            .received
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, p)| p.map(|p| (j as u32, p)))
+                            .collect();
+                        Action::Transmit(MultiMessage::Token(Arc::new(token)))
+                    }
+                };
             }
         }
 
@@ -229,6 +265,13 @@ impl RadioNode for MultiNode {
                 if slot.is_none() {
                     *slot = Some(*payload);
                 }
+            }
+            MultiMessage::Token(token) => {
+                // The walking token of a DFS plan: absorb everything it
+                // carries. Like a relay, it never touches the Algorithm B
+                // state — only the coordinator's scheduled bundle opens the
+                // broadcast phase.
+                self.absorb_bundle(token);
             }
             MultiMessage::Bundle(bundle) => {
                 if self.bundle.is_none() {
@@ -363,23 +406,48 @@ mod tests {
     #[test]
     fn node_state_agrees_with_the_per_message_trace_query() {
         // Cross-check the node-state accounting (what the session reports)
-        // against `Trace::first_receive_rounds_matching`: a node holds
-        // message j iff it is a source of j or the trace shows it hearing
-        // a relay of j or any bundle.
+        // against the trace: a node holds message j iff it is a source of j
+        // or the trace shows it hearing a message carrying j. All k
+        // per-message answers come from ONE bucketed scan of the trace
+        // (`Trace::first_receive_rounds_bucketed`) instead of k
+        // `first_receive_rounds_matching` passes — the accounting that has
+        // to stay affordable once gossip makes k = n.
         let g = generators::gnp_connected(22, 0.16, 11).unwrap();
         let n = g.node_count();
         let sources = vec![2usize, 9, 19];
         let payloads = [31u64, 32, 33];
         let (sim, scheme) = run_multi(g, &sources, &payloads);
-        for (j, &s) in scheme.sources().iter().enumerate() {
-            let heard_j = sim.trace().first_receive_rounds_matching(n, |m| match m {
-                MultiMessage::Relay { source_index, .. } => *source_index as usize == j,
-                MultiMessage::Bundle(_) => true,
-                MultiMessage::Stay => false,
+        let heard = sim
+            .trace()
+            .first_receive_rounds_bucketed(n, scheme.k(), |m, emit| match m {
+                MultiMessage::Relay { source_index, .. } => emit(*source_index as usize),
+                MultiMessage::Token(bundle) | MultiMessage::Bundle(bundle) => {
+                    for &(j, _) in bundle.iter() {
+                        emit(j as usize);
+                    }
+                }
+                MultiMessage::Stay => {}
             });
+        for (j, &s) in scheme.sources().iter().enumerate() {
             for (v, node) in sim.nodes().iter().enumerate() {
-                let expected = v == s || heard_j[v].is_some();
+                let expected = v == s || heard[j][v].is_some();
                 assert_eq!(node.has_message(j), expected, "node {v}, message {j}");
+            }
+        }
+        // The single-bucket delegate agrees with the bucketed scan.
+        let relay_0 = sim.trace().first_receive_rounds_matching(n, |m| {
+            matches!(
+                m,
+                MultiMessage::Relay {
+                    source_index: 0,
+                    ..
+                }
+            )
+        });
+        for (v, &first) in relay_0.iter().enumerate() {
+            if let Some(first) = first {
+                let bucketed = heard[0][v].expect("bucketed scan must see the relay too");
+                assert!(bucketed <= first, "node {v}");
             }
         }
     }

@@ -51,13 +51,15 @@ use crate::algo_back::BackNode;
 use crate::algo_barb::ArbNode;
 use crate::baselines::SlottedNode;
 use crate::delay_relay::DelayRelayNode;
+use crate::gossip::GossipNode;
 use crate::messages::{BMessage, SourceMessage, TaggedPayload};
 use crate::multi::MultiNode;
 use crate::verify;
 use rn_graph::{Graph, NodeId};
+use rn_labeling::gossip::GossipScheme;
 use rn_labeling::multi::MultiLambdaScheme;
 use rn_labeling::{
-    baselines, lambda, lambda_ack, lambda_arb, multi, onebit, Labeling, LabelingError,
+    baselines, gossip, lambda, lambda_ack, lambda_arb, multi, onebit, Labeling, LabelingError,
 };
 use rn_radio::{Engine, ExecutionStats, RadioNode, RoundScratch, Simulator, StopCondition};
 use std::sync::{Arc, Mutex};
@@ -120,6 +122,18 @@ pub enum Scheme {
         /// [`SessionBuilder::sources`] is not given explicitly.
         k: usize,
     },
+    /// The all-to-all gossip scheme ([`rn_labeling::gossip`]): **every**
+    /// node is a source, and completion means every node holds all n
+    /// messages. A DFS token walk collects everything at the coordinator
+    /// (the graph centre by default) in `2(n − 1)` collision-free rounds;
+    /// Algorithm B then broadcasts the bundle under the λ labels of
+    /// `(G, coordinator)`, for `≤ 4n − 5` rounds in total.
+    ///
+    /// The source set is always all of `0..n` ([`SessionBuilder::sources`]
+    /// is ignored); the run's payloads are derived from the run message µ
+    /// as `µ, µ+1, …, µ+n−1` (node `v` starts with `µ + v`), and
+    /// [`RunReport::message_completion_rounds`] has length n.
+    Gossip,
 }
 
 impl Scheme {
@@ -127,13 +141,29 @@ impl Scheme {
     /// 1-bit classes), in presentation order. `MultiLambda` appears with its
     /// default parameterization (`k = 2`), like the parameterless spelling
     /// [`parse`](Self::parse) accepts.
-    pub const GENERAL: [Scheme; 6] = [
+    pub const GENERAL: [Scheme; 7] = [
         Scheme::Lambda,
         Scheme::LambdaAck,
         Scheme::LambdaArb,
         Scheme::UniqueIds,
         Scheme::SquareColoring,
         Scheme::MultiLambda { k: 2 },
+        Scheme::Gossip,
+    ];
+
+    /// The accepted spellings of every scheme, as listed by
+    /// [`ParseSchemeError`]: what [`parse`](Self::parse) accepts, with the
+    /// parameter syntax spelled out for the parameterized schemes.
+    pub const VALID_NAMES: [&'static str; 9] = [
+        "lambda",
+        "lambda_ack",
+        "lambda_arb",
+        "onebit_cycle",
+        "onebit_grid:RxC",
+        "unique_ids",
+        "square_coloring",
+        "multi_lambda[:K]",
+        "gossip",
     ];
 
     /// Human-readable scheme name, matching the name recorded in labelings
@@ -148,14 +178,15 @@ impl Scheme {
             Scheme::UniqueIds => baselines::UNIQUE_IDS_NAME,
             Scheme::SquareColoring => baselines::SQUARE_COLORING_NAME,
             Scheme::MultiLambda { .. } => multi::SCHEME_NAME,
+            Scheme::Gossip => gossip::SCHEME_NAME,
         }
     }
 
     /// Whether the labeling depends on the source position. Source-independent
-    /// schemes (λ_arb, the baselines, and `multi_lambda`, whose labeling is a
-    /// function of the source *set* fixed at build time) reuse one cached
-    /// labeling for every source in [`Session::run_with`] /
-    /// [`Session::run_batch`].
+    /// schemes (λ_arb, the baselines, `multi_lambda` — whose labeling is a
+    /// function of the source *set* fixed at build time — and gossip, where
+    /// every node is a source) reuse one cached labeling for every source in
+    /// [`Session::run_with`] / [`Session::run_batch`].
     pub fn labeling_depends_on_source(&self) -> bool {
         match self {
             Scheme::Lambda
@@ -165,8 +196,18 @@ impl Scheme {
             Scheme::LambdaArb
             | Scheme::UniqueIds
             | Scheme::SquareColoring
-            | Scheme::MultiLambda { .. } => false,
+            | Scheme::MultiLambda { .. }
+            | Scheme::Gossip => false,
         }
+    }
+
+    /// Whether this scheme runs more than one message at a time
+    /// (`multi_lambda`, gossip). Multi-message runs fix their source set at
+    /// build time and ignore the per-run source, so sweeps execute them
+    /// once per instance, and their reports carry per-message completion
+    /// rounds.
+    pub fn is_multi_message(&self) -> bool {
+        matches!(self, Scheme::MultiLambda { .. } | Scheme::Gossip)
     }
 
     /// Parses a scheme from its [`name`](Self::name). `onebit_grid` takes its
@@ -201,6 +242,7 @@ impl Scheme {
             onebit::CYCLE_SCHEME_NAME => Ok(Scheme::OneBitCycle),
             baselines::UNIQUE_IDS_NAME => Ok(Scheme::UniqueIds),
             baselines::SQUARE_COLORING_NAME => Ok(Scheme::SquareColoring),
+            gossip::SCHEME_NAME => Ok(Scheme::Gossip),
             _ => Err(err()),
         }
     }
@@ -215,6 +257,18 @@ impl std::str::FromStr for Scheme {
 }
 
 /// The input of [`Scheme::parse`] named no known scheme.
+///
+/// The error's [`Display`](std::fmt::Display) form lists every accepted
+/// spelling ([`Scheme::VALID_NAMES`]), so a CLI typo shows the caller the
+/// full menu instead of only rejecting:
+///
+/// ```
+/// use rn_broadcast::session::Scheme;
+///
+/// let err = Scheme::parse("gosip").unwrap_err();
+/// assert!(err.to_string().contains("gossip"));
+/// assert!(err.to_string().contains("multi_lambda[:K]"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseSchemeError {
     /// The rejected input.
@@ -225,9 +279,9 @@ impl std::fmt::Display for ParseSchemeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown scheme {:?}; expected one of lambda, lambda_ack, lambda_arb, \
-             onebit_cycle, onebit_grid:RxC, unique_ids, square_coloring, multi_lambda:K",
-            self.input
+            "unknown scheme {:?}; valid schemes: {}",
+            self.input,
+            Scheme::VALID_NAMES.join(", ")
         )
     }
 }
@@ -478,10 +532,12 @@ impl SessionBuilder {
         if node_count == 0 {
             return Err(LabelingError::EmptyGraph);
         }
-        // Resolve the multi-broadcast source set (left empty for the
-        // single-source schemes): the explicit `.sources(..)` set if given,
-        // otherwise `k` sources spread evenly over the node range.
+        // Resolve the multi-message source set (left empty for the
+        // single-source schemes): every node for gossip; for multi-broadcast
+        // the explicit `.sources(..)` set if given, otherwise `k` sources
+        // spread evenly over the node range.
         let sources: Vec<NodeId> = match self.scheme {
+            Scheme::Gossip => (0..node_count).collect(),
             Scheme::MultiLambda { k } => {
                 if self.sources.is_empty() {
                     if k == 0 {
@@ -517,6 +573,7 @@ impl SessionBuilder {
         let coordinator = match (self.scheme, self.coordinator) {
             (_, Some(c)) => c,
             (Scheme::MultiLambda { .. }, None) => multi::choose_coordinator(&self.graph, &sources)?,
+            (Scheme::Gossip, None) => gossip::choose_coordinator(&self.graph)?,
             (_, None) => 0,
         };
         let prepared = prepare(
@@ -688,6 +745,9 @@ impl Session {
                 // Collection is bounded by k·(n − 1) one-hop rounds, the
                 // bundle broadcast by Theorem 2.9's 2n − 3.
                 Scheme::MultiLambda { .. } => 2 * (self.sources.len() as u64 + 2) * (n + 2) + 16,
+                // The token walk takes exactly 2(n − 1) rounds, the bundle
+                // broadcast ≤ 2n − 3 (Theorem 2.9): linear with slack.
+                Scheme::Gossip => 6 * (n + 2) + 16,
             },
         };
         match self.stop {
@@ -696,7 +756,8 @@ impl Session {
                 | Scheme::LambdaAck
                 | Scheme::OneBitCycle
                 | Scheme::OneBitGrid { .. }
-                | Scheme::MultiLambda { .. } => StopCondition::QuietFor { quiet: 3, cap },
+                | Scheme::MultiLambda { .. }
+                | Scheme::Gossip => StopCondition::QuietFor { quiet: 3, cap },
                 Scheme::LambdaArb | Scheme::UniqueIds | Scheme::SquareColoring => {
                     StopCondition::AfterRounds(cap)
                 }
@@ -715,8 +776,9 @@ impl Session {
             node_count: self.graph.node_count(),
             source,
             sources: vec![source],
-            coordinator: matches!(self.scheme, Scheme::LambdaArb | Scheme::MultiLambda { .. })
-                .then_some(self.coordinator),
+            coordinator: (matches!(self.scheme, Scheme::LambdaArb)
+                || self.scheme.is_multi_message())
+            .then_some(self.coordinator),
             message,
             label_length: labeling.length(),
             distinct_labels: labeling.distinct_count(),
@@ -820,56 +882,101 @@ impl Session {
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
             }
+            // The multi-message arms ignore the per-run source (their
+            // source sets are fixed at build time), so the cached template
+            // is reusable whenever the *message* matches — hence
+            // `prepared.spec.source` in place of the run's source below.
             PreparedKind::Multi {
                 scheme: mscheme,
                 template,
             } => {
-                let k = mscheme.k();
-                report.source = mscheme.sources()[0];
-                report.sources = mscheme.sources().to_vec();
-                let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
-                    MultiNode::network(mscheme, &multi_payloads(message, k))
-                });
-                // Per-message completion: the round by which every node
-                // holds message j. Seeded for the degenerate single-node
-                // case where a message is universal at round 0.
-                let mut msg_completion: Vec<Option<u64>> = (0..k)
-                    .map(|j| nodes.iter().all(|nd| nd.has_message(j)).then_some(0))
-                    .collect();
-                let run = Execution::new(self, nodes, record, true).run(
-                    stop,
-                    MultiNode::holds_all_messages,
-                    |sim, round| {
-                        let mut all_complete = true;
-                        for (j, slot) in msg_completion.iter_mut().enumerate() {
-                            if slot.is_none() {
-                                if sim.nodes().iter().all(|nd| nd.has_message(j)) {
-                                    *slot = Some(round);
-                                } else {
-                                    all_complete = false;
-                                }
-                            }
-                        }
-                        all_complete
-                    },
+                let nodes = clone_or_rebuild(
+                    template,
+                    prepared.spec.source,
+                    message,
+                    prepared.spec,
+                    || MultiNode::network(mscheme, &multi_payloads(message, mscheme.k())),
                 );
-                // "Informed" for multi-broadcast means holding all k
-                // messages, which no payload pattern in the trace captures
-                // (relays, bundles and overhearing all contribute), so the
-                // rounds come from node state like B_arb's.
-                run.fill_from_nodes(&mut report);
-                report.completion_round = verify::completion_round(&report.informed_rounds);
-                report.message_completion_rounds = Some(
-                    mscheme
-                        .sources()
-                        .iter()
-                        .copied()
-                        .zip(msg_completion)
-                        .collect(),
+                self.run_bundle_protocol(
+                    &mut report,
+                    stop,
+                    record,
+                    nodes,
+                    mscheme.sources().to_vec(),
+                    MultiNode::has_message,
+                    MultiNode::holds_all_messages,
+                );
+            }
+            PreparedKind::Gossip {
+                scheme: gscheme,
+                template,
+            } => {
+                let nodes = clone_or_rebuild(
+                    template,
+                    prepared.spec.source,
+                    message,
+                    prepared.spec,
+                    || GossipNode::network(gscheme, &multi_payloads(message, gscheme.k())),
+                );
+                self.run_bundle_protocol(
+                    &mut report,
+                    stop,
+                    record,
+                    nodes,
+                    self.sources.clone(),
+                    GossipNode::has_message,
+                    GossipNode::holds_all_messages,
                 );
             }
         }
         report
+    }
+
+    /// Runs a multi-message (collection + bundle broadcast) execution and
+    /// fills the report: the shared tail of the `multi_lambda` and gossip
+    /// arms, whose node types differ only in the collection plan they were
+    /// built from. `has_message(node, j)` and `holds_all(node)` expose the
+    /// per-node payload state of the concrete protocol.
+    #[allow(clippy::too_many_arguments)]
+    fn run_bundle_protocol<N: RadioNode>(
+        &self,
+        report: &mut RunReport,
+        stop: StopCondition,
+        record: bool,
+        nodes: Vec<N>,
+        sources: Vec<NodeId>,
+        has_message: impl Fn(&N, usize) -> bool,
+        holds_all: impl Fn(&N) -> bool + Copy,
+    ) {
+        let k = sources.len();
+        report.source = sources[0];
+        report.sources = sources.clone();
+        // Per-message completion: the round by which every node holds
+        // message j. Seeded for the degenerate single-node case where a
+        // message is universal at round 0.
+        let mut msg_completion: Vec<Option<u64>> = (0..k)
+            .map(|j| nodes.iter().all(|nd| has_message(nd, j)).then_some(0))
+            .collect();
+        let run = Execution::new(self, nodes, record, true).run(stop, holds_all, |sim, round| {
+            let mut all_complete = true;
+            for (j, slot) in msg_completion.iter_mut().enumerate() {
+                if slot.is_none() {
+                    if sim.nodes().iter().all(|nd| has_message(nd, j)) {
+                        *slot = Some(round);
+                    } else {
+                        all_complete = false;
+                    }
+                }
+            }
+            all_complete
+        });
+        // "Informed" for a multi-message run means holding all k messages,
+        // which no payload pattern in the trace captures (relays, tokens,
+        // bundles and overhearing all contribute), so the rounds come from
+        // node state like B_arb's.
+        run.fill_from_nodes(report);
+        report.completion_round = verify::completion_round(&report.informed_rounds);
+        report.message_completion_rounds = Some(sources.into_iter().zip(msg_completion).collect());
     }
 }
 
@@ -914,6 +1021,12 @@ enum PreparedKind {
         scheme: MultiLambdaScheme,
         template: Vec<MultiNode>,
     },
+    /// The gossip scheme with the all-to-all token-walk algorithm; the
+    /// scheme owns the labeling and the DFS token plan.
+    Gossip {
+        scheme: GossipScheme,
+        template: Vec<GossipNode>,
+    },
 }
 
 impl Prepared {
@@ -925,6 +1038,7 @@ impl Prepared {
             | PreparedKind::Slotted { labeling, .. }
             | PreparedKind::DelayRelay { labeling, .. } => labeling,
             PreparedKind::Multi { scheme, .. } => scheme.labeling(),
+            PreparedKind::Gossip { scheme, .. } => scheme.labeling(),
         }
     }
 }
@@ -991,6 +1105,15 @@ fn prepare(
             let template = MultiNode::network(&mscheme, &payloads);
             PreparedKind::Multi {
                 scheme: mscheme,
+                template,
+            }
+        }
+        Scheme::Gossip => {
+            let gscheme = gossip::construct_with_coordinator(graph, coordinator)?;
+            let payloads = multi_payloads(message, gscheme.k());
+            let template = GossipNode::network(&gscheme, &payloads);
+            PreparedKind::Gossip {
+                scheme: gscheme,
                 template,
             }
         }
@@ -1553,6 +1676,121 @@ mod tests {
         for bad in ["multi_lambda:0", "multi_lambda:x", "multi_lambdas"] {
             assert!(Scheme::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn gossip_session_delivers_every_message_to_every_node() {
+        let g = Arc::new(generators::grid(4, 5));
+        let n = g.node_count();
+        let session = Session::builder(Scheme::Gossip, Arc::clone(&g))
+            .message(100)
+            .build()
+            .unwrap();
+        assert_eq!(session.sources(), (0..n).collect::<Vec<_>>().as_slice());
+        let r = session.run();
+        assert!(r.completed());
+        assert_eq!(r.scheme, "gossip");
+        assert_eq!(r.label_length, 2, "the λ half stays 2 bits");
+        assert_eq!(r.sources.len(), n, "every node is a source");
+        assert_eq!(r.source, 0);
+        assert!(r.coordinator.is_some());
+        // Linear total time: 2(n-1) collection + 2n-3 broadcast.
+        assert!(r.completion_round.unwrap() <= 4 * n as u64 - 5);
+        let per_message = r.message_completion_rounds.as_ref().unwrap();
+        assert_eq!(per_message.len(), n, "one completion round per message");
+        for (j, &(s, round)) in per_message.iter().enumerate() {
+            assert_eq!(s, j, "message j belongs to node j");
+            let round = round.expect("every message fully propagates");
+            assert!(round <= r.completion_round.unwrap());
+        }
+        assert!(per_message
+            .iter()
+            .any(|&(_, round)| round == r.completion_round));
+        assert!(r.informed_rounds.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn gossip_session_ignores_per_run_source_and_reuses_the_labeling() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 4).unwrap());
+        let session = Session::builder(Scheme::Gossip, Arc::clone(&g))
+            .build()
+            .unwrap();
+        let labeling = session.labeling() as *const Labeling;
+        let a = session.run();
+        let b = session.run_with(RunSpec::new(5, 1)).unwrap();
+        assert!(std::ptr::eq(labeling, session.labeling()));
+        assert_eq!(a, b, "the source set is fixed: every node");
+        let c = session.run_with_message(900).unwrap();
+        assert_eq!(a.completion_round, c.completion_round);
+        assert_ne!(a.message, c.message);
+    }
+
+    #[test]
+    fn gossip_engines_agree() {
+        let g = Arc::new(generators::gnp_connected(24, 0.15, 6).unwrap());
+        let build = |engine: Engine| {
+            Session::builder(Scheme::Gossip, Arc::clone(&g))
+                .message(50)
+                .engine(engine)
+                .build()
+                .unwrap()
+        };
+        let fast = build(Engine::TransmitterCentric).run();
+        let reference = build(Engine::ListenerCentric).run();
+        assert_eq!(fast, reference);
+        assert!(fast.completed());
+    }
+
+    #[test]
+    fn gossip_single_node_is_trivially_complete() {
+        let session = Session::builder(Scheme::Gossip, generators::path(1))
+            .build()
+            .unwrap();
+        let r = session.run();
+        assert!(r.completed());
+        assert_eq!(r.message_completion_rounds, Some(vec![(0, Some(0))]));
+    }
+
+    #[test]
+    fn gossip_build_errors() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(Session::builder(Scheme::Gossip, disconnected)
+            .build()
+            .is_err());
+        let g = generators::path(6);
+        assert!(matches!(
+            Session::builder(Scheme::Gossip, g).coordinator(9).build(),
+            Err(LabelingError::SourceOutOfRange { source: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn gossip_scheme_parses() {
+        assert_eq!(Scheme::parse("gossip").unwrap(), Scheme::Gossip);
+        assert_eq!(Scheme::Gossip.name(), "gossip");
+        for bad in ["gossip:2", "gossips", "gos"] {
+            assert!(Scheme::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parse_error_lists_every_valid_scheme_name() {
+        // The error must teach the caller the full menu, not only reject.
+        let err = Scheme::parse("no_such_scheme").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no_such_scheme"));
+        for name in Scheme::VALID_NAMES {
+            assert!(msg.contains(name), "message must list {name:?}: {msg}");
+        }
+        for scheme in Scheme::GENERAL {
+            assert!(
+                msg.contains(scheme.name()),
+                "message must cover {:?}",
+                scheme.name()
+            );
+        }
+        assert!(msg.contains("gossip"));
+        assert!(msg.contains("onebit_cycle"));
     }
 
     #[test]

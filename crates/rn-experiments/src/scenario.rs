@@ -153,17 +153,18 @@ impl SweepSpec {
     /// Total number of simulated executions the sweep will run.
     ///
     /// Uses the real per-instance run count — `sources_for(n)` per
-    /// single-source scheme, always 1 per multi-broadcast scheme (whose
-    /// source set is fixed at build time, so `run_point` never fans it out)
-    /// — so progress totals and `--quick` estimates match the records
-    /// actually produced (families that round the requested size to an
-    /// achievable shape can still shift the exact figure slightly).
+    /// single-source scheme, always 1 per multi-message scheme
+    /// (`multi_lambda`, gossip — whose source sets are fixed at build time,
+    /// so `run_point` never fans them out) — so progress totals and
+    /// `--quick` estimates match the records actually produced (families
+    /// that round the requested size to an achievable shape can still shift
+    /// the exact figure slightly).
     pub fn run_count(&self) -> usize {
         let per_scheme_runs = |n: usize| -> usize {
             self.schemes
                 .iter()
                 .map(|s| {
-                    if matches!(s, Scheme::MultiLambda { .. }) {
+                    if s.is_multi_message() {
                         1
                     } else {
                         self.sources_for(n)
@@ -429,10 +430,11 @@ fn run_point(
                     .map(|l| l.len())
                     .collect(),
             ));
-            // A multi-broadcast run ignores the per-spec source (its source
-            // *set* is fixed at build time), so fanning the spread sources
-            // out would only duplicate identical rows: it runs once.
-            let one_run = matches!(scheme, Scheme::MultiLambda { .. });
+            // A multi-message run (multi_lambda, gossip) ignores the
+            // per-spec source (its source *set* is fixed at build time), so
+            // fanning the spread sources out would only duplicate identical
+            // rows: it runs once.
+            let one_run = scheme.is_multi_message();
             let specs: Vec<RunSpec> = if one_run || session_sources.len() > 1 {
                 vec![RunSpec::new(session_source, 7)]
             } else {
@@ -560,7 +562,7 @@ impl SweepReport {
 
 /// The registry of named sweeps, with a one-line purpose each. The `sweep`
 /// binary lists exactly these.
-pub const SWEEP_NAMES: [(&str, &str); 7] = [
+pub const SWEEP_NAMES: [(&str, &str); 8] = [
     (
         "smoke",
         "6 families, tiny sizes, lambda only — the CI end-to-end check",
@@ -588,6 +590,10 @@ pub const SWEEP_NAMES: [(&str, &str); 7] = [
     (
         "multi",
         "k-source multi-broadcast (multi_lambda, k in {2, 4, 8}) across six families",
+    ),
+    (
+        "gossip",
+        "all-to-all gossip (token-walk collection, n messages in flight) across eight families",
     ),
 ];
 
@@ -691,6 +697,20 @@ pub fn named(name: &str) -> Option<SweepSpec> {
                 Scheme::MultiLambda { k: 4 },
                 Scheme::MultiLambda { k: 8 },
             ])
+            .seeds(&[1, 2]),
+        "gossip" => SweepSpec::new("gossip")
+            .families(&[
+                TopologyFamily::Path,
+                TopologyFamily::Cycle,
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+                TopologyFamily::GnpAvgDegree { avg_degree: 8.0 },
+                TopologyFamily::UnitDisk { avg_degree: 8.0 },
+            ])
+            .sizes(&[12, 24, 48])
+            .schemes(&[Scheme::Gossip])
             .seeds(&[1, 2]),
         _ => return None,
     };
@@ -866,6 +886,49 @@ mod tests {
         assert!(report.label_length_histograms["multi_lambda"]
             .keys()
             .all(|&bits| bits <= 2));
+    }
+
+    #[test]
+    fn gossip_sweep_records_n_message_completions() {
+        let report = named("gossip").unwrap().quick().threads(1).run().unwrap();
+        assert!(!report.records.is_empty());
+        for r in &report.records {
+            assert!(r.completed(), "{} n={}", r.family, r.n);
+            assert_eq!(r.scheme, "gossip");
+            assert_eq!(r.label_length, 2, "the λ half stays constant-length");
+            assert_eq!(r.k_sources, r.n, "every node is a source");
+            assert_eq!(r.message_completion_rounds.len(), r.n);
+            let completion = r.completion_round.unwrap();
+            assert!(
+                completion <= 4 * r.n as u64,
+                "{}: gossip is linear, {completion} > 4n = {}",
+                r.family,
+                4 * r.n
+            );
+            for round in &r.message_completion_rounds {
+                assert!(round.unwrap() <= completion);
+            }
+            assert!(r.message_completion_rounds.contains(&r.completion_round));
+        }
+        // The histograms see the gossip labels under their own scheme name.
+        assert!(report.label_length_histograms["gossip"]
+            .keys()
+            .all(|&bits| bits <= 2));
+    }
+
+    #[test]
+    fn gossip_scheme_runs_once_per_instance_regardless_of_sources_per_point() {
+        let spec = SweepSpec::new("gossip-dedup")
+            .families(&[TopologyFamily::Cycle])
+            .sizes(&[10])
+            .schemes(&[Scheme::Gossip])
+            .seeds(&[1])
+            .sources_per_point(4)
+            .threads(1);
+        assert_eq!(spec.run_count(), 1);
+        let report = spec.run().unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].k_sources, 10);
     }
 
     #[test]

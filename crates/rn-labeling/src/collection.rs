@@ -1,0 +1,333 @@
+//! **Collection plans**: precomputed collision-free schedules that funnel
+//! messages to a coordinator, shared by the multi-message schemes.
+//!
+//! Both k-source multi-broadcast ([`crate::multi`]) and all-to-all gossip
+//! ([`crate::gossip`]) reduce to single-source broadcast the same way: a
+//! *collection phase* moves every message to a coordinator `r` with exactly
+//! one transmitter per round (hence no collisions, hence certain delivery),
+//! and then `r` broadcasts the bundle of all messages with the paper's
+//! Algorithm B under the ordinary λ labels of `(G, r)`. What differs between
+//! the two tasks is only the *shape* of the collection schedule, captured
+//! here as a [`CollectionPlan`]:
+//!
+//! * [`CollectionPlan::bfs_paths`] — the multi-broadcast plan: each source's
+//!   message walks its BFS-tree path toward `r`, one source after another,
+//!   one hop per round. Every slot relays **one** designated message
+//!   ([`TokenPayload::Source`]); the phase takes `Σ_j dist(s_j, r)` rounds.
+//! * [`CollectionPlan::dfs_token`] — the gossip plan: a token walks the
+//!   Euler tour of a DFS spanning tree rooted at `r`, visiting every node
+//!   and returning to `r` in exactly `2(n − 1)` rounds. Every slot relays
+//!   the transmitter's **accumulated** message set
+//!   ([`TokenPayload::Accumulated`]), so the token picks each node's
+//!   message up on first visit and `r` ends the phase holding all `n`.
+//!
+//! Either way the schedule is gap-free (slots cover rounds `1..=rounds()`
+//! with exactly one slot per round) and collision-free by construction, so
+//! the relay protocol in `rn-broadcast::multi` can drive any plan without
+//! knowing which scheme produced it.
+
+use crate::error::LabelingError;
+use rn_graph::algorithms::bfs_tree_parents;
+use rn_graph::{Graph, NodeId};
+
+/// What a scheduled collection transmission carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenPayload {
+    /// The message of one designated source, identified by its index into
+    /// the scheme's sorted source list (the BFS-path plans).
+    Source(u32),
+    /// Every message the transmitter holds at transmission time (the
+    /// DFS-token plans, where the token *is* the accumulated set).
+    Accumulated,
+}
+
+/// One scheduled transmission of a collection phase: in (1-based) round
+/// `round`, node `node` transmits `payload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionSlot {
+    /// Absolute 1-based round of the transmission.
+    pub round: u64,
+    /// The transmitting node.
+    pub node: NodeId,
+    /// What the transmission carries.
+    pub payload: TokenPayload,
+}
+
+/// Which construction produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Per-source BFS paths toward the coordinator
+    /// ([`CollectionPlan::bfs_paths`]).
+    BfsPaths,
+    /// A DFS token walk of a spanning tree rooted at the coordinator
+    /// ([`CollectionPlan::dfs_token`]).
+    DfsToken,
+}
+
+/// A collision-free collection schedule: exactly one transmitter per round,
+/// rounds `1..=rounds()` with no gaps, every message at the coordinator when
+/// the phase ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionPlan {
+    kind: PlanKind,
+    coordinator: NodeId,
+    slots: Vec<CollectionSlot>,
+    rounds: u64,
+}
+
+impl CollectionPlan {
+    /// The multi-broadcast plan: every source's message is funnelled to the
+    /// coordinator along its BFS-tree path (parents point one hop closer to
+    /// the coordinator), one source after another in the given order, one
+    /// hop per round. `sources` must be in-range; sources that *are* the
+    /// coordinator contribute no slots.
+    ///
+    /// Returns [`LabelingError::NotConnected`] if some source cannot reach
+    /// the coordinator.
+    pub fn bfs_paths(
+        g: &Graph,
+        sources: &[NodeId],
+        coordinator: NodeId,
+    ) -> Result<CollectionPlan, LabelingError> {
+        let parents = bfs_tree_parents(g, coordinator);
+        let mut slots = Vec::new();
+        let mut round = 0u64;
+        for (j, &s) in sources.iter().enumerate() {
+            let mut v = s;
+            while v != coordinator {
+                round += 1;
+                slots.push(CollectionSlot {
+                    round,
+                    node: v,
+                    payload: TokenPayload::Source(j as u32),
+                });
+                v = parents[v].ok_or(LabelingError::NotConnected)?;
+            }
+        }
+        Ok(CollectionPlan {
+            kind: PlanKind::BfsPaths,
+            coordinator,
+            slots,
+            rounds: round,
+        })
+    }
+
+    /// The gossip plan: a token walks the Euler tour of the DFS spanning
+    /// tree of `g` rooted at `coordinator` (children in CSR neighbour
+    /// order, so the walk is deterministic), transmitting the accumulated
+    /// message set at every step. The walk visits every node and returns to
+    /// the coordinator after exactly `2(n − 1)` rounds.
+    ///
+    /// Returns [`LabelingError::EmptyGraph`] for an empty graph and
+    /// [`LabelingError::NotConnected`] if the DFS cannot reach every node.
+    pub fn dfs_token(g: &Graph, coordinator: NodeId) -> Result<CollectionPlan, LabelingError> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(LabelingError::EmptyGraph);
+        }
+        if coordinator >= n {
+            return Err(LabelingError::SourceOutOfRange {
+                source: coordinator,
+                node_count: n,
+            });
+        }
+        // Iterative DFS producing the Euler tour of the spanning tree: each
+        // tree edge is walked once down and once up, so the tour is the node
+        // sequence r, …, r of length 2(n − 1) + 1.
+        let mut visited = vec![false; n];
+        visited[coordinator] = true;
+        let mut walk = vec![coordinator];
+        // Stack of (node, index into its CSR neighbour row).
+        let mut stack: Vec<(NodeId, usize)> = vec![(coordinator, 0)];
+        while let Some(&(v, next)) = stack.last() {
+            let nbrs = g.neighbors(v);
+            let mut i = next;
+            let mut child = None;
+            while i < nbrs.len() {
+                let w = nbrs[i];
+                i += 1;
+                if !visited[w] {
+                    child = Some(w);
+                    break;
+                }
+            }
+            stack.last_mut().expect("stack is non-empty").1 = i;
+            match child {
+                Some(w) => {
+                    visited[w] = true;
+                    walk.push(w);
+                    stack.push((w, 0));
+                }
+                None => {
+                    stack.pop();
+                    if let Some(&(parent, _)) = stack.last() {
+                        walk.push(parent);
+                    }
+                }
+            }
+        }
+        if visited.iter().any(|&v| !v) {
+            return Err(LabelingError::NotConnected);
+        }
+        debug_assert_eq!(walk.len(), 2 * n - 1);
+        // Slot t: the t-th node of the tour transmits; its successor on the
+        // tour (a tree neighbour) is guaranteed to receive.
+        let slots: Vec<CollectionSlot> = walk[..walk.len() - 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| CollectionSlot {
+                round: i as u64 + 1,
+                node,
+                payload: TokenPayload::Accumulated,
+            })
+            .collect();
+        let rounds = slots.len() as u64;
+        Ok(CollectionPlan {
+            kind: PlanKind::DfsToken,
+            coordinator,
+            slots,
+            rounds,
+        })
+    }
+
+    /// Which construction produced this plan.
+    pub fn kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// The coordinator every message is funnelled to.
+    pub fn coordinator(&self) -> NodeId {
+        self.coordinator
+    }
+
+    /// The schedule, in strictly increasing round order starting at round 1,
+    /// with no gaps and exactly one slot per round.
+    pub fn slots(&self) -> &[CollectionSlot] {
+        &self.slots
+    }
+
+    /// Number of rounds of the collection phase; the broadcast phase starts
+    /// in the following round.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Checks the schedule invariants every plan guarantees by
+    /// construction: slots cover rounds `1..=rounds()` with exactly one
+    /// transmitter per round (gap-free, collision-free). Used by the test
+    /// suites; a failure is a construction bug.
+    pub fn is_gap_free_and_collision_free(&self) -> bool {
+        self.slots.len() as u64 == self.rounds
+            && self
+                .slots
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.round == i as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn bfs_paths_matches_the_sum_of_source_distances() {
+        let g = generators::path(10);
+        let plan = CollectionPlan::bfs_paths(&g, &[3, 7], 0).unwrap();
+        assert_eq!(plan.kind(), PlanKind::BfsPaths);
+        assert_eq!(plan.rounds(), 10);
+        assert!(plan.is_gap_free_and_collision_free());
+        // The first hop of each source's segment is the source itself.
+        assert_eq!(plan.slots()[0].node, 3);
+        assert_eq!(plan.slots()[0].payload, TokenPayload::Source(0));
+        assert_eq!(plan.slots()[3].node, 7);
+        assert_eq!(plan.slots()[3].payload, TokenPayload::Source(1));
+    }
+
+    #[test]
+    fn bfs_paths_skips_coordinator_sources() {
+        let g = generators::star(6);
+        let plan = CollectionPlan::bfs_paths(&g, &[0], 0).unwrap();
+        assert_eq!(plan.rounds(), 0);
+        assert!(plan.slots().is_empty());
+        assert!(plan.is_gap_free_and_collision_free());
+    }
+
+    #[test]
+    fn dfs_token_walks_the_euler_tour() {
+        for (g, r) in [
+            (generators::path(9), 0),
+            (generators::path(9), 4),
+            (generators::grid(4, 5), 7),
+            (generators::cycle(11), 3),
+            (generators::gnp_connected(23, 0.2, 5).unwrap(), 12),
+        ] {
+            let n = g.node_count();
+            let plan = CollectionPlan::dfs_token(&g, r).unwrap();
+            assert_eq!(plan.kind(), PlanKind::DfsToken);
+            assert_eq!(plan.rounds(), 2 * (n as u64 - 1));
+            assert!(plan.is_gap_free_and_collision_free());
+            assert!(plan
+                .slots()
+                .iter()
+                .all(|s| s.payload == TokenPayload::Accumulated));
+            // The walk starts at the coordinator, moves along edges, visits
+            // every node, and its last transmitter neighbours the
+            // coordinator (who receives the final, complete token).
+            assert_eq!(plan.slots()[0].node, r);
+            for w in plan.slots().windows(2) {
+                assert!(
+                    g.has_edge(w[0].node, w[1].node),
+                    "tour steps must be adjacent"
+                );
+            }
+            assert!(g.has_edge(plan.slots().last().unwrap().node, r));
+            let mut seen = vec![false; n];
+            seen[r] = true;
+            for s in plan.slots() {
+                seen[s.node] = true;
+            }
+            assert!(seen.iter().all(|&v| v), "tour must visit every node");
+        }
+    }
+
+    #[test]
+    fn dfs_token_single_node_is_empty() {
+        let g = generators::path(1);
+        let plan = CollectionPlan::dfs_token(&g, 0).unwrap();
+        assert_eq!(plan.rounds(), 0);
+        assert!(plan.slots().is_empty());
+    }
+
+    #[test]
+    fn dfs_token_rejects_bad_inputs() {
+        use rn_graph::Graph;
+        assert_eq!(
+            CollectionPlan::dfs_token(&Graph::empty(0), 0).unwrap_err(),
+            LabelingError::EmptyGraph
+        );
+        let g = generators::path(4);
+        assert!(matches!(
+            CollectionPlan::dfs_token(&g, 9).unwrap_err(),
+            LabelingError::SourceOutOfRange { source: 9, .. }
+        ));
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            CollectionPlan::dfs_token(&disconnected, 0).unwrap_err(),
+            LabelingError::NotConnected
+        );
+        assert_eq!(
+            CollectionPlan::bfs_paths(&disconnected, &[2], 0).unwrap_err(),
+            LabelingError::NotConnected
+        );
+    }
+
+    #[test]
+    fn dfs_token_is_deterministic() {
+        let g = generators::gnp_connected(30, 0.15, 9).unwrap();
+        let a = CollectionPlan::dfs_token(&g, 4).unwrap();
+        let b = CollectionPlan::dfs_token(&g, 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! The all-to-all **gossip** scheme: every node starts with its own message
+//! and every node must learn all `n` of them.
+//!
+//! Gossiping is the second fundamental communication task of the radio
+//! labeling literature ("Optimal-Length Labeling Schemes for Fast
+//! Deterministic Communication in Radio Networks", Gańczorz, Jurdziński &
+//! Pelc 2024); the k-source multi-broadcast of [`crate::multi`] sits between
+//! it and the paper's one-to-all broadcast. This module completes the triad
+//! with the same two-phase reduction, but a different collection plan:
+//!
+//! 1. **Collection (token walk).** A coordinator `r` is chosen (by default
+//!    the graph centre — the node of minimum eccentricity). A token walks
+//!    the Euler tour of a DFS spanning tree rooted at `r`
+//!    ([`CollectionPlan::dfs_token`]): in every round the current token
+//!    holder transmits *everything it has accumulated*, and the next node
+//!    on the tour — always a tree neighbour — picks the token up and adds
+//!    its own message. Exactly one transmitter per round means no
+//!    collisions; the tour visits every node and returns to `r` in exactly
+//!    `2(n − 1)` rounds, so `r` then holds all `n` messages. Per-source BFS
+//!    paths (the `multi_lambda` plan) would cost `Σ_v dist(v, r)` rounds
+//!    here — quadratic on a path — while the token walk stays `O(n)` on
+//!    every graph.
+//! 2. **Broadcast.** `r` assembles the bundle of all `n` messages and runs
+//!    the paper's Algorithm B on it under the ordinary 2-bit λ labels of
+//!    `(G, r)` (reusing [`SequenceConstruction`] and
+//!    [`lambda::labels_from_construction`] verbatim). Theorem 2.9 bounds
+//!    the phase by `2n − 3` rounds, so the whole task finishes in
+//!    `≤ 4n − 5` collision-managed rounds.
+//!
+//! The λ half of the advice stays constant-length (2 bits per node, which
+//! is what the [`Labeling`] this module reports measures); the token
+//! schedule is the reduction's extra advice — a node visited `σ_v` times by
+//! the tour (its spanning-tree degree) stores `O(σ_v · log n)` bits of slot
+//! rounds, `O(n log n)` over the whole network. `docs/ARCHITECTURE.md`
+//! records this accounting next to the multi-broadcast one.
+
+use crate::collection::CollectionPlan;
+use crate::error::LabelingError;
+use crate::label::Labeling;
+use crate::lambda;
+use crate::sequences::SequenceConstruction;
+use rn_graph::algorithms::ReductionOrder;
+use rn_graph::{Graph, NodeId};
+
+/// Name attached to labelings produced by this scheme.
+pub const SCHEME_NAME: &str = "gossip";
+
+/// Output of the gossip construction: the λ labeling of the
+/// coordinator-rooted graph plus the DFS token-walk collection plan.
+///
+/// Every node is a source; message `j` of a run is the message of node `j`.
+#[derive(Debug, Clone)]
+pub struct GossipScheme {
+    labeling: Labeling,
+    plan: CollectionPlan,
+    construction: SequenceConstruction,
+}
+
+impl GossipScheme {
+    /// The 2-bit λ labeling of `(G, coordinator)`, renamed to
+    /// [`SCHEME_NAME`].
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Number of messages in flight — one per node.
+    pub fn k(&self) -> usize {
+        self.labeling.node_count()
+    }
+
+    /// The coordinator `r`: the token walk's root and the virtual source of
+    /// the broadcast phase.
+    pub fn coordinator(&self) -> NodeId {
+        self.plan.coordinator()
+    }
+
+    /// The DFS token-walk collection plan
+    /// ([`CollectionPlan::dfs_token`]): what the relay protocol in
+    /// `rn-broadcast` drives.
+    pub fn plan(&self) -> &CollectionPlan {
+        &self.plan
+    }
+
+    /// Number of rounds of the collection phase — exactly `2(n − 1)`; the
+    /// broadcast phase starts in the following round.
+    pub fn collection_rounds(&self) -> u64 {
+        self.plan.rounds()
+    }
+
+    /// The §2.1 sequence construction of `(G, coordinator)` the λ half was
+    /// derived from (shared with the single-source λ — useful for
+    /// verification oracles).
+    pub fn construction(&self) -> &SequenceConstruction {
+        &self.construction
+    }
+
+    /// Consumes the scheme, returning the labeling.
+    pub fn into_labeling(self) -> Labeling {
+        self.labeling
+    }
+}
+
+/// Chooses the default coordinator for gossip: the graph centre — the node
+/// of minimum eccentricity, ties broken toward the smallest id. Every node
+/// is a source, so this is exactly [`crate::multi::choose_coordinator`]
+/// with the all-nodes source set, and it delegates there to keep the two
+/// schemes' centre selection in lockstep.
+pub fn choose_coordinator(g: &Graph) -> Result<NodeId, LabelingError> {
+    if g.node_count() == 0 {
+        return Err(LabelingError::EmptyGraph);
+    }
+    let all: Vec<NodeId> = (0..g.node_count()).collect();
+    crate::multi::choose_coordinator(g, &all)
+}
+
+/// Constructs the gossip scheme for `g` with the default coordinator of
+/// [`choose_coordinator`].
+pub fn construct(g: &Graph) -> Result<GossipScheme, LabelingError> {
+    let coordinator = choose_coordinator(g)?;
+    construct_with_coordinator(g, coordinator)
+}
+
+/// Constructs the gossip scheme with an explicit coordinator.
+///
+/// The λ half reuses [`SequenceConstruction::build`] and
+/// [`lambda::labels_from_construction`] on `(g, coordinator)`; the
+/// collection plan is the DFS token walk of
+/// [`CollectionPlan::dfs_token`].
+pub fn construct_with_coordinator(
+    g: &Graph,
+    coordinator: NodeId,
+) -> Result<GossipScheme, LabelingError> {
+    if g.node_count() == 0 {
+        return Err(LabelingError::EmptyGraph);
+    }
+    if coordinator >= g.node_count() {
+        return Err(LabelingError::SourceOutOfRange {
+            source: coordinator,
+            node_count: g.node_count(),
+        });
+    }
+    // The λ machinery (also detects disconnected graphs).
+    let construction = SequenceConstruction::build(g, coordinator, ReductionOrder::Forward)?;
+    let labeling = Labeling::new(
+        lambda::labels_from_construction(g, &construction)
+            .labels()
+            .to_vec(),
+        SCHEME_NAME,
+    );
+    let plan = CollectionPlan::dfs_token(g, coordinator)?;
+    Ok(GossipScheme {
+        labeling,
+        plan,
+        construction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::TokenPayload;
+    use rn_graph::generators;
+
+    #[test]
+    fn labels_are_the_two_bit_lambda_labels_of_the_coordinator() {
+        let g = generators::grid(4, 5);
+        let s = construct_with_coordinator(&g, 7).unwrap();
+        assert_eq!(s.labeling().scheme(), SCHEME_NAME);
+        assert_eq!(s.labeling().length(), 2);
+        let plain = lambda::construct(&g, 7).unwrap();
+        assert_eq!(s.labeling().labels(), plain.labeling().labels());
+        assert_eq!(s.coordinator(), 7);
+        assert_eq!(s.k(), 20);
+    }
+
+    #[test]
+    fn token_walk_is_linear_gap_free_and_covers_every_node() {
+        for (g, r) in [
+            (generators::path(12), 0usize),
+            (generators::grid(4, 5), 7),
+            (generators::star(9), 0),
+            (generators::gnp_connected(26, 0.15, 3).unwrap(), 11),
+        ] {
+            let n = g.node_count() as u64;
+            let s = construct_with_coordinator(&g, r).unwrap();
+            assert_eq!(s.collection_rounds(), 2 * (n - 1));
+            assert!(s.plan().is_gap_free_and_collision_free());
+            assert!(s
+                .plan()
+                .slots()
+                .iter()
+                .all(|slot| slot.payload == TokenPayload::Accumulated));
+        }
+    }
+
+    #[test]
+    fn choose_coordinator_picks_the_graph_centre() {
+        // On a path the centre minimises eccentricity.
+        assert_eq!(choose_coordinator(&generators::path(11)).unwrap(), 5);
+        // On a star it is the hub.
+        assert_eq!(choose_coordinator(&generators::star(8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        use rn_graph::Graph;
+        assert_eq!(
+            construct(&Graph::empty(0)).unwrap_err(),
+            LabelingError::EmptyGraph
+        );
+        let g = generators::path(6);
+        assert!(matches!(
+            construct_with_coordinator(&g, 12).unwrap_err(),
+            LabelingError::SourceOutOfRange { source: 12, .. }
+        ));
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(construct(&disconnected).is_err());
+        assert!(construct_with_coordinator(&disconnected, 0).is_err());
+    }
+
+    #[test]
+    fn into_labeling_matches_labeling() {
+        let g = generators::cycle(7);
+        let s = construct(&g).unwrap();
+        let copy = s.labeling().clone();
+        assert_eq!(s.into_labeling(), copy);
+    }
+}

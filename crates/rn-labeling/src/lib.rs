@@ -27,6 +27,15 @@
 //!   virtual-source reduction (collision-free collection to a coordinator,
 //!   then λ broadcast of the message bundle) composing the λ machinery, in
 //!   the direction of the Krisko–Miller multi-broadcast line of work;
+//! * [`gossip`] — the all-to-all **gossip** scheme: every node starts with a
+//!   message and learns all `n` of them — a DFS token walk collects
+//!   everything at the graph centre in `2(n − 1)` collision-free rounds,
+//!   then λ broadcasts the bundle (the second fundamental task of
+//!   Gańczorz–Jurdziński–Pelc 2024);
+//! * [`collection`] — the [`collection::CollectionPlan`] abstraction the two
+//!   multi-message schemes share: collision-free collection schedules with
+//!   exactly one transmitter per round (BFS paths for `multi_lambda`, the
+//!   DFS token walk for gossip);
 //! * [`sequences`] — the five-sequence construction (INF/UNINF/FRONTIER/DOM/
 //!   NEW) of §2.1 that underlies λ and is reused by the verification oracles.
 
@@ -34,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod collection;
 pub mod error;
+pub mod gossip;
 pub mod label;
 pub mod lambda;
 pub mod lambda_ack;
@@ -44,6 +55,7 @@ pub mod onebit;
 pub mod scheme;
 pub mod sequences;
 
+pub use collection::{CollectionPlan, CollectionSlot, TokenPayload};
 pub use error::LabelingError;
 pub use label::{Label, Labeling};
 pub use scheme::{LabelingScheme, SchemeKind};

@@ -31,37 +31,27 @@
 //! non-constant-length regime of the related work rather than the paper's
 //! 2-bit bound. `docs/ARCHITECTURE.md` records this accounting.
 
+use crate::collection::CollectionPlan;
 use crate::error::LabelingError;
 use crate::label::Labeling;
 use crate::lambda;
 use crate::sequences::SequenceConstruction;
-use rn_graph::algorithms::{bfs_distances, bfs_tree_parents, ReductionOrder};
+use rn_graph::algorithms::{bfs_distances, ReductionOrder};
 use rn_graph::{Graph, NodeId};
+
+pub use crate::collection::{CollectionSlot, TokenPayload};
 
 /// Name attached to labelings produced by this scheme.
 pub const SCHEME_NAME: &str = "multi_lambda";
 
-/// One scheduled transmission of the collection phase: in (1-based) round
-/// `round`, node `node` relays the message of source `source_index`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CollectionSlot {
-    /// Absolute 1-based round of the transmission.
-    pub round: u64,
-    /// The transmitting node.
-    pub node: NodeId,
-    /// Index (into [`MultiLambdaScheme::sources`]) of the relayed message.
-    pub source_index: usize,
-}
-
 /// Output of the `multi_lambda` construction: the λ labeling of the
-/// coordinator-rooted graph plus the collision-free collection schedule.
+/// coordinator-rooted graph plus the collision-free collection plan
+/// (a [`CollectionPlan::bfs_paths`] schedule).
 #[derive(Debug, Clone)]
 pub struct MultiLambdaScheme {
     labeling: Labeling,
     sources: Vec<NodeId>,
-    coordinator: NodeId,
-    slots: Vec<CollectionSlot>,
-    collection_rounds: u64,
+    plan: CollectionPlan,
     construction: SequenceConstruction,
 }
 
@@ -85,20 +75,26 @@ impl MultiLambdaScheme {
 
     /// The coordinator `r`: the virtual source of the broadcast phase.
     pub fn coordinator(&self) -> NodeId {
-        self.coordinator
+        self.plan.coordinator()
+    }
+
+    /// The full collection plan (a [`CollectionPlan::bfs_paths`] schedule):
+    /// what the relay protocol in `rn-broadcast` drives.
+    pub fn plan(&self) -> &CollectionPlan {
+        &self.plan
     }
 
     /// The collection schedule, in strictly increasing round order starting
     /// at round 1, with no gaps. Empty iff every source *is* the
     /// coordinator.
     pub fn slots(&self) -> &[CollectionSlot] {
-        &self.slots
+        self.plan.slots()
     }
 
     /// Number of rounds of the collection phase (`Σ_j dist(s_j, r)`); the
     /// broadcast phase starts in the following round.
     pub fn collection_rounds(&self) -> u64 {
-        self.collection_rounds
+        self.plan.rounds()
     }
 
     /// The §2.1 sequence construction of `(G, coordinator)` the λ half was
@@ -197,27 +193,11 @@ pub fn construct_with_coordinator(
 
     // Collection schedule along the BFS tree rooted at the coordinator
     // (parents point one hop closer to it).
-    let parents = bfs_tree_parents(g, coordinator);
-    let mut slots = Vec::new();
-    let mut round = 0u64;
-    for (j, &s) in sources.iter().enumerate() {
-        let mut v = s;
-        while v != coordinator {
-            round += 1;
-            slots.push(CollectionSlot {
-                round,
-                node: v,
-                source_index: j,
-            });
-            v = parents[v].ok_or(LabelingError::NotConnected)?;
-        }
-    }
+    let plan = CollectionPlan::bfs_paths(g, &sources, coordinator)?;
     Ok(MultiLambdaScheme {
         labeling,
         sources,
-        coordinator,
-        slots,
-        collection_rounds: round,
+        plan,
         construction,
     })
 }
@@ -254,12 +234,13 @@ mod tests {
         // Rounds 1..=collection_rounds, exactly one slot per round.
         let rounds: Vec<u64> = m.slots().iter().map(|s| s.round).collect();
         assert_eq!(rounds, (1..=m.collection_rounds()).collect::<Vec<_>>());
+        assert!(m.plan().is_gap_free_and_collision_free());
         // Each source's slice starts at the source and walks adjacent hops.
         for (j, &s) in m.sources().iter().enumerate() {
             let hops: Vec<&CollectionSlot> = m
                 .slots()
                 .iter()
-                .filter(|slot| slot.source_index == j)
+                .filter(|slot| slot.payload == TokenPayload::Source(j as u32))
                 .collect();
             if s == m.coordinator() {
                 assert!(hops.is_empty());

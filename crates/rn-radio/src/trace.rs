@@ -150,17 +150,60 @@ impl<M: RadioMessage> Trace<M> {
     /// (live completion accounting comes from node state instead, which
     /// also works with tracing off; the multi-broadcast tests use this
     /// query to cross-check that accounting against the recorded trace).
+    ///
+    /// Calling this once per message scans the whole trace `k` times; when
+    /// all `k` per-message answers are needed, use the single-pass
+    /// [`first_receive_rounds_bucketed`](Self::first_receive_rounds_bucketed)
+    /// instead (this method delegates to it with one bucket).
     pub fn first_receive_rounds_matching<F>(&self, node_count: usize, pred: F) -> Vec<Option<u64>>
     where
         F: Fn(&M) -> bool,
     {
-        let mut first = vec![None; node_count];
+        self.first_receive_rounds_bucketed(node_count, 1, |m, emit| {
+            if pred(m) {
+                emit(0);
+            }
+        })
+        .pop()
+        .expect("one bucket was requested")
+    }
+
+    /// For each of `keys` message keys, the round in which each of the
+    /// `node_count` nodes first heard a message carrying that key — all in
+    /// **one scan** of the trace. Entry `[j][v]` is the first round node
+    /// `v` heard key `j` over the air, or `None` if it never did.
+    ///
+    /// `keys_of` enumerates the keys a message carries by calling `emit`
+    /// once per key (a multi-broadcast relay carries one source index, a
+    /// gossip token or bundle carries every index it has accumulated);
+    /// emitted keys `>= keys` are ignored. This replaces `k` separate
+    /// [`first_receive_rounds_matching`](Self::first_receive_rounds_matching)
+    /// scans — `O(k · rounds · n)` — with one `O(rounds · n)` pass, which
+    /// is what keeps per-message completion accounting affordable once
+    /// gossip makes `k = n`.
+    pub fn first_receive_rounds_bucketed<F>(
+        &self,
+        node_count: usize,
+        keys: usize,
+        mut keys_of: F,
+    ) -> Vec<Vec<Option<u64>>>
+    where
+        F: FnMut(&M, &mut dyn FnMut(usize)),
+    {
+        let mut first = vec![vec![None; node_count]; keys];
         for r in &self.rounds {
             for (v, event) in r.events.iter().enumerate() {
                 if let NodeEvent::Heard { message, .. } = event {
-                    if v < node_count && first[v].is_none() && pred(message) {
-                        first[v] = Some(r.round);
+                    if v >= node_count {
+                        continue;
                     }
+                    keys_of(message, &mut |j| {
+                        if let Some(slot) = first.get_mut(j) {
+                            if slot[v].is_none() {
+                                slot[v] = Some(r.round);
+                            }
+                        }
+                    });
                 }
             }
         }
@@ -254,6 +297,24 @@ mod tests {
             t.first_receive_rounds_matching(3, |&m| m == 4),
             vec![None, None, None]
         );
+    }
+
+    #[test]
+    fn bucketed_query_matches_per_key_scans() {
+        let t = sample_trace();
+        let bucketed = t.first_receive_rounds_bucketed(3, 2, |&m, emit| {
+            if m == 9 {
+                emit(0);
+            }
+            if m >= 4 {
+                emit(1);
+            }
+        });
+        assert_eq!(bucketed[0], t.first_receive_rounds_matching(3, |&m| m == 9));
+        assert_eq!(bucketed[1], t.first_receive_rounds_matching(3, |&m| m >= 4));
+        // A message may carry several keys; out-of-range keys are ignored.
+        let none = t.first_receive_rounds_bucketed(3, 1, |_, emit| emit(5));
+        assert_eq!(none, vec![vec![None, None, None]]);
     }
 
     #[test]

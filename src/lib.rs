@@ -12,7 +12,7 @@
 //! |--------|-------|----------|
 //! | [`graph`] | `rn-graph` | graph storage, generators, BFS/domination/colouring algorithms |
 //! | [`radio`] | `rn-radio` | the synchronous collision-model simulator, traces, statistics, and the parallel batch executor |
-//! | [`labeling`] | `rn-labeling` | the λ / λ_ack / λ_arb schemes, folklore baselines, 1-bit schemes |
+//! | [`labeling`] | `rn-labeling` | the λ / λ_ack / λ_arb schemes, folklore baselines, 1-bit schemes, and the multi-message schemes (`multi_lambda`, `gossip`) with their shared `CollectionPlan`s |
 //! | [`broadcast`] | `rn-broadcast` | the universal algorithms (B, B_ack, B_arb, …) and the **session API** |
 //! | [`experiments`] | `rn-experiments` | the paper-table experiments (`repro`) and the scenario sweep harness (`sweep`) |
 //!

@@ -4,7 +4,7 @@
 //! neighbourhood" to "every transmitter pushes along its CSR row"; the old
 //! algorithm is retained verbatim as `Simulator::step_round_reference`
 //! (selected with `Engine::ListenerCentric`). These tests replay seeded
-//! topologies under all seven `Scheme`s — and under an adversarial
+//! topologies under every `Scheme` — and under an adversarial
 //! pseudo-random protocol at the raw simulator level — and assert the two
 //! engines produce **identical** traces, node observations and `RunReport`s,
 //! field for field.
@@ -184,6 +184,80 @@ fn multi_broadcast_raw_traces_identical_across_engines() {
         // B has legitimate isolated silent rounds mid-relay (the 2-round
         // cadence of the dominating-set wave), so quiet detection needs the
         // same 3-round window the sessions use.
+        let a = fast.run_until(
+            StopCondition::QuietFor {
+                quiet: 3,
+                cap: rounds,
+            },
+            |_| false,
+        );
+        let b = reference.run_until(
+            StopCondition::QuietFor {
+                quiet: 3,
+                cap: rounds,
+            },
+            |_| false,
+        );
+        assert_eq!(a, b, "{label}: outcomes differ");
+        assert_eq!(
+            fast.trace().rounds,
+            reference.trace().rounds,
+            "{label}: traces differ"
+        );
+        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+            assert_eq!(x.payloads(), y.payloads(), "{label}: node {v} differs");
+            assert!(
+                x.holds_all_messages(),
+                "{label}: node {v} not fully informed"
+            );
+        }
+    }
+}
+
+#[test]
+fn gossip_reports_agree_across_engines() {
+    // The all-to-all gossip subsystem: identical RunReports (all n
+    // per-message completion rounds included) on both engines, for every
+    // workload. (Scheme::GENERAL already replays gossip through
+    // `assert_engines_agree`; this pins the n-message report shape too.)
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        let build = |engine: Engine| {
+            Session::builder(Scheme::Gossip, Arc::clone(&graph))
+                .message(31)
+                .engine(engine)
+                .build()
+                .unwrap()
+        };
+        let fast = build(Engine::TransmitterCentric).run();
+        let reference = build(Engine::ListenerCentric).run();
+        assert_eq!(fast, reference, "{label}");
+        assert!(fast.completed(), "{label} should complete");
+        assert_eq!(fast.sources.len(), n, "{label}: every node is a source");
+        assert_eq!(
+            fast.message_completion_rounds.as_ref().unwrap().len(),
+            n,
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn gossip_raw_traces_identical_across_engines() {
+    use radio_labeling::broadcast::gossip::GossipNode;
+    use radio_labeling::labeling::gossip;
+
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        let scheme = gossip::construct(&graph).unwrap();
+        let payloads: Vec<u64> = (0..n as u64).map(|j| 70 + j).collect();
+        let rounds = 6 * (n as u64 + 2) + 16;
+        let mut fast = Simulator::new(Arc::clone(&graph), GossipNode::network(&scheme, &payloads));
+        let mut reference =
+            Simulator::new(Arc::clone(&graph), GossipNode::network(&scheme, &payloads))
+                .with_engine(Engine::ListenerCentric);
         let a = fast.run_until(
             StopCondition::QuietFor {
                 quiet: 3,

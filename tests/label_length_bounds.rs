@@ -1,0 +1,115 @@
+//! Property tests for the multi-message schemes' label-length accounting
+//! and collection-schedule invariants, over every topology registry preset.
+//!
+//! The documented contract (docs/ARCHITECTURE.md, "label-length
+//! accounting"): the broadcast half of both `multi_lambda` and `gossip` is
+//! the paper's λ — **2 bits per node on every graph**, which is what
+//! `RunReport::label_length` and the sweep histograms record. The
+//! collection schedule is the reduction's extra advice, and its usefulness
+//! rests on two structural invariants this suite hunts counterexamples
+//! for: the schedule is *gap-free* (slots cover rounds `1..=R` exactly)
+//! and *collision-free by construction* (exactly one transmitter per
+//! round — the two together are `CollectionPlan::
+//! is_gap_free_and_collision_free`), and the gossip token walk is a closed
+//! walk through adjacent nodes that visits every node in exactly
+//! `2(n − 1)` rounds.
+
+use proptest::prelude::*;
+use radio_labeling::graph::generators::TopologyFamily;
+use radio_labeling::graph::Graph;
+use radio_labeling::labeling::collection::TokenPayload;
+use radio_labeling::labeling::{gossip, multi};
+
+/// Strategy: a preset family index, a size, and a seed — every one of the
+/// 18 registry presets is reachable.
+fn family_point() -> impl Strategy<Value = (usize, usize, u64)> {
+    (
+        0usize..TopologyFamily::PRESETS.len(),
+        6usize..=48,
+        any::<u64>(),
+    )
+}
+
+fn generate(idx: usize, n: usize, seed: u64) -> Graph {
+    TopologyFamily::PRESETS[idx]
+        .generate(n, seed)
+        .expect("presets generate for every n >= 4")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multi_lambda_labels_stay_within_two_bits((idx, n, seed) in family_point()) {
+        let g = generate(idx, n, seed);
+        let n = g.node_count();
+        // Three sources spread over the range (deduplicated by construct).
+        let sources = [0, n / 3, (2 * n) / 3];
+        let scheme = multi::construct(&g, &sources).unwrap();
+        prop_assert!(
+            scheme.labeling().length() <= 2,
+            "{}: multi_lambda labels must stay within the documented 2-bit bound",
+            TopologyFamily::PRESETS[idx].name()
+        );
+        prop_assert!(scheme
+            .labeling()
+            .labels()
+            .iter()
+            .all(|l| l.len() <= 2));
+        prop_assert!(scheme.labeling().distinct_count() <= 4);
+        // The BFS-path plan is gap-free and collision-free by construction.
+        prop_assert!(scheme.plan().is_gap_free_and_collision_free());
+    }
+
+    #[test]
+    fn gossip_labels_stay_within_two_bits((idx, n, seed) in family_point()) {
+        let g = generate(idx, n, seed);
+        let scheme = gossip::construct(&g).unwrap();
+        prop_assert!(
+            scheme.labeling().length() <= 2,
+            "{}: gossip labels must stay within the documented 2-bit bound",
+            TopologyFamily::PRESETS[idx].name()
+        );
+        prop_assert!(scheme
+            .labeling()
+            .labels()
+            .iter()
+            .all(|l| l.len() <= 2));
+        prop_assert!(scheme.labeling().distinct_count() <= 4);
+    }
+
+    #[test]
+    fn gossip_token_schedule_is_gap_free_and_collision_free((idx, n, seed) in family_point()) {
+        let g = generate(idx, n, seed);
+        let n = g.node_count();
+        let scheme = gossip::construct(&g).unwrap();
+        let plan = scheme.plan();
+        // Gap-free, one transmitter per round (collision-free), linear.
+        prop_assert!(plan.is_gap_free_and_collision_free());
+        prop_assert_eq!(plan.rounds(), 2 * (n as u64 - 1));
+        // Every slot carries the accumulated token, the walk starts at the
+        // coordinator, moves only along edges, ends next to the
+        // coordinator, and visits every node.
+        prop_assert!(plan
+            .slots()
+            .iter()
+            .all(|s| s.payload == TokenPayload::Accumulated));
+        prop_assert_eq!(plan.slots()[0].node, scheme.coordinator());
+        for w in plan.slots().windows(2) {
+            prop_assert!(
+                g.has_edge(w[0].node, w[1].node),
+                "tour steps must be adjacent"
+            );
+        }
+        prop_assert!(g.has_edge(
+            plan.slots().last().expect("n >= 2").node,
+            scheme.coordinator()
+        ));
+        let mut seen = vec![false; n];
+        seen[scheme.coordinator()] = true;
+        for s in plan.slots() {
+            seen[s.node] = true;
+        }
+        prop_assert!(seen.iter().all(|&v| v), "tour must visit every node");
+    }
+}

@@ -65,3 +65,26 @@ fn multi_sweep_quick_is_byte_identical_across_thread_counts() {
     // The emitted JSON carries the per-message completion columns.
     assert!(emit::to_json(&a).contains("\"message_completion_rounds\""));
 }
+
+#[test]
+fn gossip_sweep_quick_is_byte_identical_across_thread_counts() {
+    // The acceptance bar for the gossip subsystem mirrors the multi one:
+    // the named `gossip` sweep in --quick mode produces byte-identical JSON
+    // and CSV whether it runs on 1 or 4 worker threads.
+    let one = scenario::named("gossip").unwrap().quick().threads(1);
+    let four = scenario::named("gossip").unwrap().quick().threads(4);
+    let a = one.run().expect("gossip sweep runs cleanly");
+    let b = four.run().unwrap();
+    assert!(!a.records.is_empty());
+    assert!(a.records.iter().all(|r| r.completed()));
+    // Every node is a source: the existing k_sources / per-message columns
+    // carry the n-message shape.
+    assert!(a.records.iter().all(|r| r.k_sources == r.n));
+    assert!(a
+        .records
+        .iter()
+        .all(|r| r.message_completion_rounds.len() == r.n));
+    assert_eq!(a.records, b.records);
+    assert_eq!(emit::to_json(&a), emit::to_json(&b));
+    assert_eq!(emit::to_csv(&a), emit::to_csv(&b));
+}
