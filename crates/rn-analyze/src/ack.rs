@@ -1,0 +1,523 @@
+//! Static timelines for the acknowledged (λ_ack / Algorithm B_ack) and
+//! unknown-source (λ_arb / Algorithm B_arb) schemes.
+//!
+//! Both protocols are deterministic functions of the labels, so their
+//! acknowledgement and phase-transition rounds can be computed from the
+//! derived schedule alone:
+//!
+//! * **λ_ack** — the initiator `z` (the unique `x3` node, first of the last
+//!   stratum) sends an acknowledgement one round after it is informed; the
+//!   ack hops backwards along *informer* links (each tagged ack is accepted
+//!   exactly by the node whose transmission informed the forwarder), and
+//!   the source records the first hop it is adjacent to. No Algorithm B
+//!   traffic remains by then (the last stay round is `2ℓ − 4`), so every
+//!   hop is collision-free and the ack round is exact.
+//! * **λ_arb** — the label-determined three phases of B_arb replay the
+//!   derived schedule of `(G, r)` (the coordinator `r` masked as the
+//!   virtual source) three times, separated by ack chains; every phase
+//!   boundary is a closed-form function of the derived informed rounds and
+//!   two informer-chain lengths.
+
+use crate::finding::{Finding, Rule};
+use crate::schedule::{check_lambda_structure, derive_schedule, DerivedSchedule};
+use rn_graph::{Graph, NodeId};
+use rn_labeling::label::Labeling;
+
+/// Everything a certificate needs from a scheme-specific static analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Prediction {
+    /// Exact first-informed round per node (round the node first holds the
+    /// payload the scheme delivers).
+    pub informed: Vec<Option<u64>>,
+    /// Exact completion round (when every node is informed).
+    pub completion: Option<u64>,
+    /// Exact source-acknowledgement round (λ_ack only).
+    pub ack: Option<u64>,
+    /// Exact common-knowledge round (λ_arb only).
+    pub common: Option<u64>,
+    /// Exact per-message completion rounds (multi/gossip only).
+    pub messages: Option<Vec<(NodeId, Option<u64>)>>,
+    /// The closed-form round bound the completion must sit under.
+    pub bound: u64,
+    /// Which theorem the bound instantiates.
+    pub bound_reference: &'static str,
+}
+
+/// Splits a labeling into per-node `x1`/`x2`/`x3` bit vectors.
+pub(crate) fn label_bits(labeling: &Labeling) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+    let labels = labeling.labels();
+    (
+        labels.iter().map(rn_labeling::Label::x1).collect(),
+        labels.iter().map(rn_labeling::Label::x2).collect(),
+        labels.iter().map(rn_labeling::Label::x3).collect(),
+    )
+}
+
+/// Checks the λ_ack 3-bit alphabet: length within 3 bits and none of the
+/// forbidden patterns `011`/`101`/`111` (the initiator bit implies a `00`
+/// λ half). `skip` exempts one node (λ_arb's coordinator carries `111` by
+/// design).
+fn check_ack_alphabet(labeling: &Labeling, skip: Option<NodeId>, findings: &mut Vec<Finding>) {
+    if labeling.length() > 3 {
+        findings.push(Finding::new(
+            Rule::LabelAlphabet,
+            format!("labels use {} bits, scheme allows 3", labeling.length()),
+        ));
+    }
+    let (x1, x2, x3) = label_bits(labeling);
+    for v in 0..labeling.node_count() {
+        if Some(v) == skip {
+            continue;
+        }
+        if x3[v] && (x1[v] || x2[v]) {
+            findings.push(
+                Finding::new(
+                    Rule::LabelAlphabet,
+                    format!(
+                        "forbidden label pattern {}{}{} (x3 implies x1 = x2 = 0)",
+                        u8::from(x1[v]),
+                        u8::from(x2[v]),
+                        u8::from(x3[v])
+                    ),
+                )
+                .at_node(v),
+            );
+        }
+    }
+}
+
+/// Derives and structurally checks the λ half of a labeling, returning the
+/// schedule regardless of findings (predictions are only attached when the
+/// finding list stays empty).
+pub(crate) fn lambda_half(
+    g: &Graph,
+    x1: &[bool],
+    x2: &[bool],
+    source: NodeId,
+    round_cap: u64,
+    findings: &mut Vec<Finding>,
+) -> DerivedSchedule {
+    let sched = derive_schedule(g, x1, x2, source, round_cap);
+    findings.extend(check_lambda_structure(g, x1, x2, &sched));
+    sched
+}
+
+/// Certifies a plain λ labeling: derived schedule + structure checks, exact
+/// informed rounds and the Theorem 2.9 bound.
+pub fn certify_lambda(
+    g: &Graph,
+    labeling: &Labeling,
+    source: NodeId,
+) -> (Prediction, Vec<Finding>) {
+    let n = g.node_count();
+    let mut findings = Vec::new();
+    if labeling.length() > 2 {
+        findings.push(Finding::new(
+            Rule::LabelAlphabet,
+            format!("labels use {} bits, λ allows 2", labeling.length()),
+        ));
+    }
+    let (x1, x2, _) = label_bits(labeling);
+    let sched = lambda_half(
+        g,
+        &x1,
+        &x2,
+        source,
+        crate::schedule::lambda_round_cap(n),
+        &mut findings,
+    );
+    let mut p = Prediction {
+        bound: theorem_2_9_bound(n),
+        bound_reference: "Theorem 2.9: completion <= 2n - 3",
+        ..Prediction::default()
+    };
+    if findings.is_empty() {
+        p.completion = sched.completion();
+        p.informed = sched.informed_round;
+    }
+    (p, findings)
+}
+
+/// Theorem 2.9 bound `2n − 3` (0 for the degenerate single-node network).
+pub fn theorem_2_9_bound(n: usize) -> u64 {
+    if n < 2 {
+        0
+    } else {
+        2 * n as u64 - 3
+    }
+}
+
+/// Certifies a λ_ack labeling and predicts the exact acknowledgement round.
+pub fn certify_lambda_ack(
+    g: &Graph,
+    labeling: &Labeling,
+    source: NodeId,
+) -> (Prediction, Vec<Finding>) {
+    let n = g.node_count();
+    let mut findings = Vec::new();
+    let mut p = Prediction {
+        bound: ack_bound(n),
+        bound_reference: "Corollary 3.8: ack within completion + n - 1",
+        ..Prediction::default()
+    };
+    if n == 1 {
+        // Degenerate: the source is its own last stratum; no neighbour can
+        // ever ack, and the protocol stops quiet with completion 0.
+        p.informed = vec![Some(0)];
+        p.completion = Some(0);
+        return (p, findings);
+    }
+    check_ack_alphabet(labeling, None, &mut findings);
+    let (x1, x2, x3) = label_bits(labeling);
+
+    // §3.1: exactly one initiator z.
+    let initiators: Vec<NodeId> = (0..n).filter(|&v| x3[v]).collect();
+    match initiators.len() {
+        0 => findings.push(Finding::new(
+            Rule::AckInitiator,
+            "no node carries the x3 acknowledgement-initiator bit",
+        )),
+        1 => {}
+        k => {
+            for &v in &initiators {
+                findings.push(
+                    Finding::new(
+                        Rule::AckInitiator,
+                        format!("{k} nodes carry x3; the scheme assigns exactly one initiator"),
+                    )
+                    .at_node(v),
+                );
+            }
+        }
+    }
+
+    let cap = 6 * (n as u64 + 2) + 16; // session round cap for λ_ack
+    let sched = lambda_half(g, &x1, &x2, source, cap, &mut findings);
+
+    if let (true, Some(&z)) = (findings.is_empty(), initiators.first()) {
+        let completion = sched.completion();
+        if z == source {
+            findings.push(
+                Finding::new(
+                    Rule::AckInitiator,
+                    "initiator z must not be the source (n > 1)",
+                )
+                .at_node(z),
+            );
+        } else if sched.informed_round[z] != completion {
+            findings.push(
+                Finding::new(
+                    Rule::AckInitiator,
+                    format!(
+                        "initiator z is informed in round {:?}, not in the last stratum (round {:?})",
+                        sched.informed_round[z], completion
+                    ),
+                )
+                .at_node(z),
+            );
+        } else {
+            // The ack hops back along informer links starting in round
+            // t_z + 1; the source records the first hop adjacent to it.
+            let t_z = completion.unwrap_or(0);
+            let chain = sched.informer_chain(z);
+            let hop = chain.iter().position(|&c| g.has_edge(c, source));
+            match hop {
+                Some(j) => {
+                    let ack = t_z + 1 + j as u64;
+                    if ack > t_z + (n as u64 - 1) {
+                        findings.push(Finding::new(
+                            Rule::RoundBound,
+                            format!(
+                                "predicted ack round {ack} outside the Theorem 3.9 window ({} .. {})",
+                                t_z + 1,
+                                t_z + n as u64 - 1
+                            ),
+                        ));
+                    }
+                    p.ack = Some(ack);
+                }
+                None => findings.push(
+                    Finding::new(
+                        Rule::Reachability,
+                        "acknowledgement chain never touches the source",
+                    )
+                    .at_node(z),
+                ),
+            }
+            if findings.is_empty() {
+                p.completion = completion;
+                p.informed = sched.informed_round;
+            }
+        }
+    }
+    if !findings.is_empty() {
+        p.ack = None;
+    }
+    (p, findings)
+}
+
+/// Corollary 3.8 bound on the ack round: `(2n − 3) + (n − 1)`.
+pub fn ack_bound(n: usize) -> u64 {
+    theorem_2_9_bound(n) + n.saturating_sub(1) as u64
+}
+
+/// Certifies a λ_arb labeling for coordinator `r` and broadcast source `s`,
+/// predicting the full three-phase timeline of Algorithm B_arb.
+pub fn certify_lambda_arb(
+    g: &Graph,
+    labeling: &Labeling,
+    coordinator: NodeId,
+    source: NodeId,
+) -> (Prediction, Vec<Finding>) {
+    let n = g.node_count();
+    let r = coordinator;
+    let mut findings = Vec::new();
+    let mut p = Prediction {
+        bound: arb_bound(n),
+        bound_reference: "§4 (Thm 2.9 five-fold): three B phases + two ack chains <= 10n - 14",
+        ..Prediction::default()
+    };
+    if n == 1 {
+        // The observe hook sees the lone node informed after round 1; there
+        // is no second participant, hence no common-knowledge round.
+        p.informed = vec![Some(0)];
+        p.completion = Some(1);
+        return (p, findings);
+    }
+    check_ack_alphabet(labeling, Some(r), &mut findings);
+    let (mut x1, mut x2, mut x3) = label_bits(labeling);
+
+    // §4.1: exactly one node carries the coordinator label 111, and it must
+    // be the coordinator the session resolved.
+    for v in 0..n {
+        let is_coord_label = x1[v] && x2[v] && x3[v];
+        if is_coord_label && v != r {
+            findings.push(
+                Finding::new(
+                    Rule::CoordinatorLabel,
+                    format!("label 111 on node {v}, but the session coordinator is {r}"),
+                )
+                .at_node(v),
+            );
+        }
+        if v == r && !is_coord_label {
+            findings.push(
+                Finding::new(
+                    Rule::CoordinatorLabel,
+                    "coordinator does not carry the 111 label",
+                )
+                .at_node(v),
+            );
+        }
+    }
+
+    // Mask the coordinator as the virtual source of the underlying λ_ack
+    // labeling of (G, r): B_arb replays Algorithm B from r in every phase.
+    x1[r] = true;
+    x2[r] = false;
+    x3[r] = false;
+
+    let initiators: Vec<NodeId> = (0..n).filter(|&v| x3[v]).collect();
+    match initiators.len() {
+        0 => findings.push(Finding::new(
+            Rule::AckInitiator,
+            "no node carries the x3 acknowledgement-initiator bit",
+        )),
+        1 => {}
+        k => {
+            for &v in &initiators {
+                findings.push(
+                    Finding::new(
+                        Rule::AckInitiator,
+                        format!("{k} nodes carry x3; the scheme assigns exactly one initiator"),
+                    )
+                    .at_node(v),
+                );
+            }
+        }
+    }
+
+    let cap = 16 * (n as u64 + 2) + 16; // session round cap for λ_arb
+    let sched = lambda_half(g, &x1, &x2, r, cap, &mut findings);
+
+    if !findings.is_empty() {
+        return (p, findings);
+    }
+    let z = initiators[0];
+    let t1 = sched.completion().unwrap_or(0);
+    if sched.informed_round[z] != Some(t1) {
+        findings.push(
+            Finding::new(
+                Rule::AckInitiator,
+                format!(
+                    "initiator z is informed in round {:?}, not in the last stratum (round {t1})",
+                    sched.informed_round[z]
+                ),
+            )
+            .at_node(z),
+        );
+        return (p, findings);
+    }
+
+    // Phase 1 ends when r accepts z's ack back along the full informer
+    // chain (r only accepts acks tagged with one of its own transmission
+    // rounds, so no early hop can end the phase).
+    let m_z = sched.informer_chain(z).len() as u64;
+    let a1 = t1 + m_z;
+    let d = |v: NodeId| sched.informed_round[v].unwrap_or(0);
+
+    let mut informed: Vec<Option<u64>> = vec![None; n];
+    let (completion, common);
+    if source == r {
+        // The coordinator already holds the message: skip phase 2, count
+        // down, and open phase 3 (the real broadcast) at o3 + 1.
+        let o3 = a1 + t1 + 1;
+        for (v, round) in informed.iter_mut().enumerate() {
+            *round = Some(if v == r { 0 } else { o3 + d(v) });
+        }
+        completion = informed.iter().filter_map(|&t| t).max();
+        common = Some(o3 + t1 + 1);
+    } else {
+        // Phase 2 replays the schedule with a Ready probe; the true source
+        // s answers with a special ack (carrying the message as its extra)
+        // that travels s's informer chain back to r.
+        let r_s = a1 + d(source);
+        let s0 = r_s + t1 + 1;
+        let m_s = sched.informer_chain(source).len() as u64;
+        let f2 = s0 + (m_s - 1);
+        // The coordinator counts as informed from round 0 (it is the phase-3
+        // source and "holds" that instance's payload throughout), but the
+        // payload only becomes the true message when r opens phase 3 in
+        // round f2 + 1 — which is therefore r's contribution to completion.
+        for (v, round) in informed.iter_mut().enumerate() {
+            *round = Some(if v == source || v == r {
+                0
+            } else {
+                f2 + d(v) // phase 3 replays the schedule with the message
+            });
+        }
+        completion = Some(
+            (0..n)
+                .filter(|&v| v != source && v != r)
+                .map(|v| f2 + d(v))
+                .max()
+                .unwrap_or(0)
+                .max(f2 + 1),
+        );
+        common = Some(f2 + t1 + 1);
+    }
+    if let Some(t) = completion {
+        if t > p.bound {
+            findings.push(Finding::new(
+                Rule::RoundBound,
+                format!(
+                    "predicted completion round {t} exceeds the 10n - 14 = {} bound",
+                    p.bound
+                ),
+            ));
+            return (p, findings);
+        }
+    }
+    p.informed = informed;
+    p.completion = completion;
+    p.common = common;
+    (p, findings)
+}
+
+/// Closed-form bound on the B_arb completion round: three Algorithm B
+/// phases and two informer-chain acks, `≤ 10n − 14` for `n ≥ 2`.
+pub fn arb_bound(n: usize) -> u64 {
+    if n < 2 {
+        1
+    } else {
+        10 * n as u64 - 14
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_broadcast::session::{RunSpec, Scheme, Session};
+    use rn_graph::generators;
+    use std::sync::Arc;
+
+    fn ack_session(g: &Graph, source: NodeId) -> Session {
+        Session::builder(Scheme::LambdaAck, Arc::new(g.clone()))
+            .source(source)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lambda_ack_prediction_matches_simulation() {
+        for (g, s) in [
+            (generators::path(2), 0usize),
+            (generators::path(3), 1),
+            (generators::path(9), 0),
+            (generators::grid(4, 5), 7),
+            (generators::star(8), 0),
+            (generators::star(8), 3),
+            (generators::gnp_connected(25, 0.18, 9).unwrap(), 12),
+        ] {
+            let session = ack_session(&g, s);
+            let report = session.run();
+            let (p, findings) = certify_lambda_ack(&g, session.labeling(), s);
+            assert!(findings.is_empty(), "{findings:?}");
+            assert_eq!(p.completion, report.completion_round);
+            assert_eq!(p.ack, report.ack_round, "ack on n={}", g.node_count());
+            assert_eq!(p.informed, report.informed_rounds);
+        }
+    }
+
+    #[test]
+    fn lambda_arb_prediction_matches_simulation_for_every_source() {
+        for g in [
+            generators::path(2),
+            generators::path(3),
+            generators::path(7),
+            generators::grid(3, 4),
+            generators::star(6),
+            generators::gnp_connected(14, 0.25, 4).unwrap(),
+        ] {
+            let session = Session::builder(Scheme::LambdaArb, Arc::new(g.clone()))
+                .build()
+                .unwrap();
+            let r = session.coordinator();
+            for s in 0..g.node_count() {
+                let report = session.run_with(RunSpec::new(s, 7)).unwrap();
+                let (p, findings) = certify_lambda_arb(&g, session.labeling(), r, s);
+                assert!(findings.is_empty(), "{findings:?}");
+                assert_eq!(
+                    p.completion,
+                    report.completion_round,
+                    "completion, n={}, s={s}, r={r}",
+                    g.node_count()
+                );
+                assert_eq!(
+                    p.common,
+                    report.common_knowledge_round,
+                    "common, n={}, s={s}, r={r}",
+                    g.node_count()
+                );
+                assert_eq!(
+                    p.informed,
+                    report.informed_rounds,
+                    "n={}, s={s}",
+                    g.node_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_x3_is_a_located_finding() {
+        let g = generators::grid(4, 4);
+        let session = ack_session(&g, 0);
+        let mut labels = session.labeling().labels().to_vec();
+        let z = (0..16).find(|&v| labels[v].x3()).unwrap();
+        labels[z] = rn_labeling::label::Label::from_value(0, labels[z].len());
+        let corrupt = Labeling::new(labels, "lambda_ack");
+        let (_, findings) = certify_lambda_ack(&g, &corrupt, 0);
+        assert!(findings.iter().any(|f| f.rule == Rule::AckInitiator));
+    }
+}

@@ -1,0 +1,186 @@
+//! The machine-checkable output of a successful analysis.
+//!
+//! A [`Certificate`] records what was checked, the closed-form bound the
+//! schedule must sit under, and the *exact* predicted timeline — per-node
+//! informed rounds, completion, acknowledgement / common-knowledge rounds,
+//! per-message completion. [`Certificate::cross_check`] compares those
+//! predictions field-by-field against a simulated
+//! [`RunReport`](rn_broadcast::session::RunReport), turning every
+//! simulation into a static-vs-dynamic differential test.
+
+use crate::ack::Prediction;
+use crate::finding::{Finding, Rule};
+use rn_broadcast::session::{RunReport, Scheme};
+use rn_graph::NodeId;
+
+/// A certified static analysis of one `(graph, scheme, source)` point.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The certified scheme.
+    pub scheme: Scheme,
+    /// Canonical scheme name (matches `RunReport::scheme`).
+    pub scheme_name: &'static str,
+    /// Number of nodes analyzed.
+    pub node_count: usize,
+    /// The (virtual) source the schedule was derived for.
+    pub source: NodeId,
+    /// Multi-broadcast source set (empty for single-message schemes).
+    pub sources: Vec<NodeId>,
+    /// The coordinator, for the schemes that have one.
+    pub coordinator: Option<NodeId>,
+    /// Label width in bits.
+    pub label_length: usize,
+    /// Number of distinct labels in use.
+    pub distinct_labels: usize,
+    /// Exact predicted first-informed round per node.
+    pub informed_rounds: Vec<Option<u64>>,
+    /// Exact predicted completion round.
+    pub completion_round: Option<u64>,
+    /// Exact predicted source-acknowledgement round (λ_ack).
+    pub ack_round: Option<u64>,
+    /// Exact predicted common-knowledge round (λ_arb).
+    pub common_knowledge_round: Option<u64>,
+    /// Exact predicted per-message completion rounds (multi/gossip).
+    pub message_completion_rounds: Option<Vec<(NodeId, Option<u64>)>>,
+    /// The closed-form round bound the completion is certified under.
+    pub round_bound: u64,
+    /// Which theorem the bound instantiates.
+    pub bound_reference: &'static str,
+    /// Names of the rule groups that were checked (for reports).
+    pub checks: Vec<&'static str>,
+}
+
+impl Certificate {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the certificate's columns
+    pub(crate) fn from_prediction(
+        scheme: Scheme,
+        scheme_name: &'static str,
+        node_count: usize,
+        source: NodeId,
+        sources: Vec<NodeId>,
+        coordinator: Option<NodeId>,
+        label_length: usize,
+        distinct_labels: usize,
+        p: Prediction,
+        checks: Vec<&'static str>,
+    ) -> Certificate {
+        Certificate {
+            scheme,
+            scheme_name,
+            node_count,
+            source,
+            sources,
+            coordinator,
+            label_length,
+            distinct_labels,
+            informed_rounds: p.informed,
+            completion_round: p.completion,
+            ack_round: p.ack,
+            common_knowledge_round: p.common,
+            message_completion_rounds: p.messages,
+            round_bound: p.bound,
+            bound_reference: p.bound_reference,
+            checks,
+        }
+    }
+
+    /// Compares the certificate's exact predictions against a simulated
+    /// report. Every disagreement is a [`Rule::CrossCheck`] finding — an
+    /// empty result means the static and dynamic views are byte-identical
+    /// on every predicted column.
+    pub fn cross_check(&self, report: &RunReport) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut mismatch = |what: &str, predicted: String, simulated: String| {
+            findings.push(Finding::new(
+                Rule::CrossCheck,
+                format!("{what}: predicted {predicted}, simulated {simulated}"),
+            ));
+        };
+        if report.scheme != self.scheme_name {
+            mismatch(
+                "scheme",
+                self.scheme_name.to_string(),
+                report.scheme.to_string(),
+            );
+        }
+        if report.node_count != self.node_count {
+            mismatch(
+                "node_count",
+                self.node_count.to_string(),
+                report.node_count.to_string(),
+            );
+        }
+        if report.label_length != self.label_length {
+            mismatch(
+                "label_length",
+                self.label_length.to_string(),
+                report.label_length.to_string(),
+            );
+        }
+        if report.distinct_labels != self.distinct_labels {
+            mismatch(
+                "distinct_labels",
+                self.distinct_labels.to_string(),
+                report.distinct_labels.to_string(),
+            );
+        }
+        if report.completion_round != self.completion_round {
+            mismatch(
+                "completion_round",
+                format!("{:?}", self.completion_round),
+                format!("{:?}", report.completion_round),
+            );
+        }
+        if report.ack_round != self.ack_round {
+            mismatch(
+                "ack_round",
+                format!("{:?}", self.ack_round),
+                format!("{:?}", report.ack_round),
+            );
+        }
+        if report.common_knowledge_round != self.common_knowledge_round {
+            mismatch(
+                "common_knowledge_round",
+                format!("{:?}", self.common_knowledge_round),
+                format!("{:?}", report.common_knowledge_round),
+            );
+        }
+        if report.message_completion_rounds != self.message_completion_rounds {
+            mismatch(
+                "message_completion_rounds",
+                format!("{:?}", self.message_completion_rounds),
+                format!("{:?}", report.message_completion_rounds),
+            );
+        }
+        if report.informed_rounds.len() != self.informed_rounds.len() {
+            mismatch(
+                "informed_rounds length",
+                self.informed_rounds.len().to_string(),
+                report.informed_rounds.len().to_string(),
+            );
+        } else {
+            for (v, (&p, &s)) in self
+                .informed_rounds
+                .iter()
+                .zip(report.informed_rounds.iter())
+                .enumerate()
+            {
+                if p != s {
+                    findings.push(
+                        Finding::new(
+                            Rule::CrossCheck,
+                            format!("informed round: predicted {p:?}, simulated {s:?}"),
+                        )
+                        .at_node(v),
+                    );
+                }
+            }
+        }
+        findings
+    }
+
+    /// Whether the simulated report agrees with every prediction.
+    pub fn certifies(&self, report: &RunReport) -> bool {
+        self.cross_check(report).is_empty()
+    }
+}

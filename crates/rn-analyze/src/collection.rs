@@ -1,0 +1,314 @@
+//! Static analysis of the two-phase multi-broadcast and gossip reductions:
+//! a [`CollectionPlan`] funnels every source's message to the coordinator,
+//! who then broadcasts the bundle with Algorithm B under the λ labels of
+//! `(G, r)`.
+//!
+//! Both phases are schedule-determined, so the exact round each node first
+//! holds each message falls out of two symbolic passes:
+//!
+//! 1. **Collection** — walk the plan's slots in round order, maintaining a
+//!    holds matrix. One transmitter per round (checked) means every
+//!    neighbour absorbs what it hears: a `Source(j)` slot delivers message
+//!    `j`, an `Accumulated` slot delivers the transmitter's current set.
+//!    A slot whose transmitter does not hold what it is scheduled to send
+//!    is a [`Rule::PlanDelivery`] finding — the exact condition that would
+//!    panic the relay protocol at runtime.
+//! 2. **Bundle broadcast** — the derived Algorithm B schedule of
+//!    `(G, coordinator)` offset by the plan length `T_c`: a node still
+//!    missing messages first holds them all at `T_c + d(v)`, where `d(v)`
+//!    is its derived informed round.
+
+use crate::ack::Prediction;
+use crate::finding::{Finding, Rule};
+use crate::schedule::lambda_round_cap;
+use rn_graph::{Graph, NodeId};
+use rn_labeling::collection::{CollectionPlan, TokenPayload};
+use rn_labeling::label::Labeling;
+
+/// Which reduction the plan belongs to (they differ only in bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionKind {
+    /// k-source multi-broadcast over BFS paths.
+    Multi,
+    /// All-to-all gossip over the DFS token walk.
+    Gossip,
+}
+
+/// Certifies a collection-plan scheme: plan shape, delivery feasibility,
+/// the λ bundle phase, and the exact per-node / per-message timeline.
+pub fn certify_collection(
+    g: &Graph,
+    labeling: &Labeling,
+    plan: &CollectionPlan,
+    sources: &[NodeId],
+    coordinator: NodeId,
+    kind: CollectionKind,
+) -> (Prediction, Vec<Finding>) {
+    let n = g.node_count();
+    let k = sources.len();
+    let r = coordinator;
+    let t_c = plan.rounds();
+    let mut findings = Vec::new();
+    let mut p = Prediction {
+        bound: collection_bound(n, t_c),
+        bound_reference: match kind {
+            CollectionKind::Multi => "collection + Theorem 2.9: T_c + 2n - 3",
+            CollectionKind::Gossip => "gossip bound 4n - 5 = 2(n-1) + 2n - 3",
+        },
+        ..Prediction::default()
+    };
+    if n == 1 {
+        p.informed = vec![Some(0)];
+        p.completion = Some(0);
+        p.messages = Some(sources.iter().map(|&s| (s, Some(0))).collect());
+        return (p, findings);
+    }
+
+    if labeling.length() > 2 {
+        findings.push(Finding::new(
+            Rule::LabelAlphabet,
+            format!("labels use {} bits, the λ half allows 2", labeling.length()),
+        ));
+    }
+    if plan.coordinator() != r {
+        findings.push(
+            Finding::new(
+                Rule::PlanShape,
+                format!(
+                    "plan is rooted at {}, session coordinator is {r}",
+                    plan.coordinator()
+                ),
+            )
+            .at_node(plan.coordinator()),
+        );
+    }
+    if !plan.is_gap_free_and_collision_free() {
+        findings.push(Finding::new(
+            Rule::PlanShape,
+            "collection plan is not gap-free with one transmitter per round",
+        ));
+    }
+
+    // Pass 1: the collection phase. acquired[v][j] = round v first holds j.
+    let mut acquired: Vec<Vec<Option<u64>>> = vec![vec![None; k]; n];
+    for (j, &s) in sources.iter().enumerate() {
+        if s >= n {
+            findings.push(Finding::new(
+                Rule::Construction,
+                format!("source {s} out of range for {n} nodes"),
+            ));
+            return (p, findings);
+        }
+        acquired[s][j] = Some(0);
+    }
+    for slot in plan.slots() {
+        let t = slot.node;
+        if t >= n || slot.round == 0 || slot.round > t_c {
+            findings.push(
+                Finding::new(
+                    Rule::PlanShape,
+                    format!("slot at round {} outside the plan's shape", slot.round),
+                )
+                .at_node(t.min(n.saturating_sub(1))),
+            );
+            continue;
+        }
+        // What the slot delivers; a transmitter scheduled to relay a
+        // message it cannot yet hold is exactly the runtime panic.
+        let payload: Vec<usize> = match slot.payload {
+            TokenPayload::Source(j) => {
+                let j = j as usize;
+                if j >= k || acquired[t][j].is_none_or(|a| a >= slot.round) {
+                    findings.push(
+                        Finding::new(
+                            Rule::PlanDelivery,
+                            format!("slot relays message {j} its transmitter does not hold"),
+                        )
+                        .at_node(t)
+                        .at_round(slot.round),
+                    );
+                    continue;
+                }
+                vec![j]
+            }
+            TokenPayload::Accumulated => (0..k)
+                .filter(|&j| acquired[t][j].is_some_and(|a| a < slot.round))
+                .collect(),
+        };
+        for &u in g.neighbors(t) {
+            for &j in &payload {
+                if acquired[u][j].is_none() {
+                    acquired[u][j] = Some(slot.round);
+                }
+            }
+        }
+    }
+    if acquired[r].iter().any(Option::is_none) {
+        let missing = acquired[r].iter().filter(|a| a.is_none()).count();
+        findings.push(
+            Finding::new(
+                Rule::PlanDelivery,
+                format!("coordinator is missing {missing} message(s) after the collection phase"),
+            )
+            .at_node(r)
+            .at_round(t_c),
+        );
+    }
+
+    // Pass 2: the bundle broadcast — the derived λ schedule of (G, r),
+    // offset by the plan length.
+    let (x1, x2, _) = crate::ack::label_bits(labeling);
+    let sched = crate::ack::lambda_half(g, &x1, &x2, r, lambda_round_cap(n), &mut findings);
+    if !findings.is_empty() {
+        return (p, findings);
+    }
+    for (v, row) in acquired.iter_mut().enumerate() {
+        let bundle_round = t_c + sched.informed_round[v].unwrap_or(0);
+        for cell in row.iter_mut() {
+            if cell.is_none() {
+                *cell = Some(bundle_round);
+            }
+        }
+    }
+
+    // Fold the matrix into the report-shaped predictions.
+    let informed: Vec<Option<u64>> = acquired
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(Some(0)))
+        .collect();
+    let completion = informed.iter().copied().max().unwrap_or(Some(0));
+    let messages: Vec<(NodeId, Option<u64>)> = sources
+        .iter()
+        .enumerate()
+        .map(|(j, &s)| (s, (0..n).map(|v| acquired[v][j]).max().unwrap_or(Some(0))))
+        .collect();
+    if let Some(t) = completion {
+        if t > p.bound {
+            findings.push(Finding::new(
+                Rule::RoundBound,
+                format!(
+                    "predicted completion round {t} exceeds the bound {}",
+                    p.bound
+                ),
+            ));
+            return (p, findings);
+        }
+    }
+    p.informed = informed;
+    p.completion = completion;
+    p.messages = Some(messages);
+    (p, findings)
+}
+
+/// Closed-form bound for the two-phase reductions: the collection length
+/// plus the Theorem 2.9 broadcast bound.
+pub fn collection_bound(n: usize, plan_rounds: u64) -> u64 {
+    plan_rounds + crate::ack::theorem_2_9_bound(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_broadcast::session::{Scheme, Session};
+    use rn_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn multi_prediction_matches_simulation() {
+        for (g, sources) in [
+            (generators::path(9), vec![0usize, 4, 8]),
+            (generators::grid(4, 5), vec![1, 13]),
+            (generators::star(8), vec![2, 5, 7]),
+            (
+                generators::gnp_connected(18, 0.22, 3).unwrap(),
+                vec![0, 6, 12],
+            ),
+        ] {
+            let session = Session::builder(
+                Scheme::MultiLambda { k: sources.len() },
+                Arc::new(g.clone()),
+            )
+            .sources(&sources)
+            .build()
+            .unwrap();
+            let report = session.run();
+            let (p, findings) = certify_collection(
+                &g,
+                session.labeling(),
+                session.collection_plan().unwrap(),
+                session.sources(),
+                session.coordinator(),
+                CollectionKind::Multi,
+            );
+            assert!(findings.is_empty(), "{findings:?}");
+            assert_eq!(p.completion, report.completion_round);
+            assert_eq!(p.informed, report.informed_rounds);
+            assert_eq!(
+                p.messages.as_deref(),
+                report.message_completion_rounds.as_deref()
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_prediction_matches_simulation() {
+        for g in [
+            generators::path(2),
+            generators::path(7),
+            generators::grid(3, 4),
+            generators::star(6),
+            generators::gnp_connected(15, 0.25, 11).unwrap(),
+        ] {
+            let session = Session::builder(Scheme::Gossip, Arc::new(g.clone()))
+                .build()
+                .unwrap();
+            let report = session.run();
+            let (p, findings) = certify_collection(
+                &g,
+                session.labeling(),
+                session.collection_plan().unwrap(),
+                session.sources(),
+                session.coordinator(),
+                CollectionKind::Gossip,
+            );
+            assert!(findings.is_empty(), "{findings:?}");
+            assert_eq!(
+                p.completion,
+                report.completion_round,
+                "n={}",
+                g.node_count()
+            );
+            assert_eq!(p.informed, report.informed_rounds);
+            assert_eq!(
+                p.messages.as_deref(),
+                report.message_completion_rounds.as_deref()
+            );
+            // Gossip's documented bound: 4n - 5 rounds in total.
+            let n = g.node_count() as u64;
+            assert!(p.completion.unwrap() <= 4 * n - 5);
+        }
+    }
+
+    #[test]
+    fn corrupt_coordinator_bit_is_located() {
+        let g = generators::grid(4, 4);
+        let session = Session::builder(Scheme::Gossip, Arc::new(g.clone()))
+            .build()
+            .unwrap();
+        let r = session.coordinator();
+        let mut labels = session.labeling().labels().to_vec();
+        // Clearing x1 on the coordinator breaks the source-label rule of
+        // the bundle phase.
+        labels[r] = rn_labeling::label::Label::from_value(0, labels[r].len());
+        let corrupt = Labeling::new(labels, "gossip");
+        let (_, findings) = certify_collection(
+            &g,
+            &corrupt,
+            session.collection_plan().unwrap(),
+            session.sources(),
+            r,
+            CollectionKind::Gossip,
+        );
+        assert!(findings.iter().any(|f| f.node == Some(r)), "{findings:?}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Structured analyzer findings: what [`crate::analyze`] reports when a
+//! `(Graph, Scheme)` pair cannot be certified.
+//!
+//! A [`Finding`] is a *located* defect — it names the rule it violates and,
+//! whenever the defect is attributable, the node and/or round it anchors to.
+//! The analyzer never panics on malformed labels; it returns findings.
+
+use rn_graph::NodeId;
+use std::fmt;
+
+/// The well-formedness or schedule rule a [`Finding`] violates.
+///
+/// Each variant maps to a statement of the paper (Ellen–Gorain–Miller–Pelc,
+/// SPAA 2019) or to a structural invariant of this repository's schemes;
+/// [`Rule::reference`] spells the mapping out, and
+/// `docs/ARCHITECTURE.md` ("Verification layers") tabulates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Labels exceed the scheme's alphabet (2 bits for λ, 3 for λ_ack /
+    /// λ_arb, ⌈log n⌉ for the baselines) or use a forbidden pattern
+    /// (`101`/`111`/`011` for λ_ack).
+    LabelAlphabet,
+    /// The labeling could not be constructed at all (empty or disconnected
+    /// graph, source out of range, missing collection plan).
+    Construction,
+    /// A scheduled stage informs nobody while uninformed frontier nodes
+    /// remain (Lemma 2.4: the frontier is never abandoned).
+    Progress,
+    /// A frontier node has no transmitting dominator in the stage that
+    /// should cover it (Lemma 2.5).
+    Domination,
+    /// A stage transmitter dominates no frontier node privately — the
+    /// derived `DOM_i` is not consistent with a *minimal* dominating subset
+    /// (§2.1 construction invariant).
+    Minimality,
+    /// The `x1`/`x2` bits are inconsistent with any `SequenceConstruction`
+    /// for this graph and source (§2.2: the source is labeled `10`, `x1`
+    /// marks exactly the dominators).
+    X1Consistency,
+    /// The acknowledgement-initiator bit `x3` is missing, duplicated, or
+    /// placed outside the last stratum (§3: exactly one initiator `z`).
+    AckInitiator,
+    /// The coordinator label `111` of λ_arb is missing, duplicated, or on
+    /// the wrong node (§4.1).
+    CoordinatorLabel,
+    /// A collection plan is not gap-free/collision-free or disagrees with
+    /// the session's coordinator (multi/gossip structural invariant).
+    PlanShape,
+    /// A collection slot schedules a node to relay a message it cannot hold
+    /// at that round (the plan would panic the relay protocol).
+    PlanDelivery,
+    /// Two transmissions collide at a listener the schedule needs to inform
+    /// (baseline slot tables: nodes within distance 2 share a slot).
+    SlotCollision,
+    /// Some node is never informed by the derived schedule (Theorem 2.9
+    /// promises every node is reached).
+    Reachability,
+    /// The derived completion round exceeds the closed-form bound
+    /// (Theorems 2.9 / 3.9 and their multi/gossip analogues).
+    RoundBound,
+    /// A certificate prediction disagrees with a simulated `RunReport`
+    /// (static-vs-dynamic differential check).
+    CrossCheck,
+    /// The scheme is outside the analyzer's scope (the 1-bit cycle/grid
+    /// schemes).
+    Unsupported,
+}
+
+impl Rule {
+    /// Stable machine-readable name (used in JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LabelAlphabet => "label_alphabet",
+            Rule::Construction => "construction",
+            Rule::Progress => "progress",
+            Rule::Domination => "domination",
+            Rule::Minimality => "minimality",
+            Rule::X1Consistency => "x1_consistency",
+            Rule::AckInitiator => "ack_initiator",
+            Rule::CoordinatorLabel => "coordinator_label",
+            Rule::PlanShape => "plan_shape",
+            Rule::PlanDelivery => "plan_delivery",
+            Rule::SlotCollision => "slot_collision",
+            Rule::Reachability => "reachability",
+            Rule::RoundBound => "round_bound",
+            Rule::CrossCheck => "cross_check",
+            Rule::Unsupported => "unsupported",
+        }
+    }
+
+    /// The paper statement (or repo invariant) the rule enforces.
+    pub fn reference(self) -> &'static str {
+        match self {
+            Rule::LabelAlphabet => "§2.2/§3.1 label alphabets; §1.1 baseline id widths",
+            Rule::Construction => "scheme construction preconditions",
+            Rule::Progress => "Lemma 2.4 (the frontier is never abandoned)",
+            Rule::Domination => "Lemma 2.5 (every frontier node has a transmitting dominator)",
+            Rule::Minimality => "§2.1 (DOM_i is a minimal dominating subset of the frontier)",
+            Rule::X1Consistency => "§2.2 (x1 marks the dominators; the source is labeled 10)",
+            Rule::AckInitiator => "§3.1 (exactly one acknowledgement initiator z, last stratum)",
+            Rule::CoordinatorLabel => "§4.1 (exactly one coordinator labeled 111)",
+            Rule::PlanShape => "collection plans: gap-free, one transmitter per round",
+            Rule::PlanDelivery => "collection slots only relay messages their holder has",
+            Rule::SlotCollision => "§1.1 (slot tables never collide within distance 2)",
+            Rule::Reachability => "Theorem 2.9 (broadcast reaches every node)",
+            Rule::RoundBound => "Theorems 2.9/3.9 closed-form round bounds",
+            Rule::CrossCheck => "static prediction vs simulated RunReport",
+            Rule::Unsupported => "scheme outside the analyzer's scope",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One defect located by the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// The node the defect anchors to, when attributable.
+    pub node: Option<NodeId>,
+    /// The (1-based protocol) round the defect anchors to, when attributable.
+    pub round: Option<u64>,
+    /// Human-readable description of the defect.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Creates an unlocated finding.
+    pub fn new(rule: Rule, detail: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            node: None,
+            round: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Anchors the finding to a node.
+    #[must_use]
+    pub fn at_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Anchors the finding to a round.
+    #[must_use]
+    pub fn at_round(mut self, round: u64) -> Self {
+        self.round = Some(round);
+        self
+    }
+
+    /// Whether the finding names a specific node (the bar the corruption
+    /// tests hold the analyzer to).
+    pub fn is_located(&self) -> bool {
+        self.node.is_some()
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.rule)?;
+        if let Some(v) = self.node {
+            write!(f, " node {v}")?;
+        }
+        if let Some(r) = self.round {
+            write!(f, " round {r}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let f = Finding::new(Rule::Domination, "no dominator")
+            .at_node(5)
+            .at_round(7);
+        assert_eq!(f.to_string(), "[domination] node 5 round 7: no dominator");
+        assert!(f.is_located());
+        assert!(!Finding::new(Rule::Progress, "stalled").is_located());
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(Rule::X1Consistency.name(), "x1_consistency");
+        assert_eq!(Rule::RoundBound.to_string(), "round_bound");
+        assert!(Rule::Domination.reference().contains("Lemma 2.5"));
+    }
+}

@@ -1,0 +1,373 @@
+//! # rn-analyze — static labeling/schedule analysis
+//!
+//! Every other correctness check in this workspace is dynamic: run the
+//! simulator, inspect the trace afterwards. This crate checks
+//! the paper's guarantees the way the paper states them — as properties of
+//! the *labeling and graph alone* (Ellen–Gorain–Miller–Pelc, SPAA 2019,
+//! Lemma 2.8 / Theorems 2.9 and 3.9):
+//!
+//! * the label-determined transmission schedule is derived **symbolically**
+//!   (the `DOM_i`/`NEW_i` strata of the five Algorithm B rules for the
+//!   λ family, slot tables for the baselines, collection-plan slots for
+//!   multi/gossip) — no simulation, `O(edges)`-style work;
+//! * well-formedness is verified against the §2.1 construction rules, and
+//!   every violation comes back as a located [`Finding`] (rule + node +
+//!   round) instead of a panic or a silent wrong run;
+//! * a clean analysis yields a [`Certificate`] with *exact* predicted
+//!   rounds (completion, per-node informed, ack, common knowledge,
+//!   per-message) plus the closed-form theorem bound they are certified
+//!   under, and [`Certificate::cross_check`] diffs those predictions
+//!   against any simulated [`RunReport`] — a static-vs-dynamic
+//!   differential test.
+//!
+//! ```
+//! use rn_analyze::analyze;
+//! use rn_broadcast::session::Scheme;
+//! use rn_graph::generators;
+//!
+//! let g = generators::grid(4, 5);
+//! let cert = analyze(&g, Scheme::Lambda).expect("a fresh λ labeling certifies");
+//! // Theorem 2.9: the exact predicted completion sits under 2n − 3.
+//! assert!(cert.completion_round.unwrap() <= cert.round_bound);
+//! assert_eq!(cert.round_bound, 2 * 20 - 3);
+//! ```
+//!
+//! The 1-bit cycle/grid schemes are out of scope (their correctness is a
+//! closed-form property of the topology, covered by `tests/onebit_classes.rs`)
+//! and report a [`Rule::Unsupported`] finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ack;
+mod certificate;
+mod collection;
+mod finding;
+mod schedule;
+mod slotted;
+
+pub use ack::{
+    ack_bound, arb_bound, certify_lambda, certify_lambda_ack, certify_lambda_arb,
+    theorem_2_9_bound, Prediction,
+};
+pub use certificate::Certificate;
+pub use collection::{certify_collection, collection_bound, CollectionKind};
+pub use finding::{Finding, Rule};
+pub use schedule::{
+    check_lambda_structure, derive_schedule, lambda_round_cap, DerivedSchedule, DerivedStage,
+};
+pub use slotted::{certify_slotted, slotted_bound, SlottedKind};
+
+use rn_broadcast::session::{RunReport, Scheme, Session};
+use rn_graph::{Graph, NodeId};
+use rn_labeling::collection::CollectionPlan;
+use rn_labeling::label::Labeling;
+
+/// Analyzes `scheme` on `graph` with the scheme's default configuration
+/// (source 0, default sources/coordinator): constructs the labeling the
+/// session would construct, then certifies it statically.
+///
+/// Returns the certificate, or every located finding when the labeling
+/// cannot be certified.
+pub fn analyze(graph: &Graph, scheme: Scheme) -> Result<Certificate, Vec<Finding>> {
+    let session = Session::builder(scheme, graph.clone())
+        .build()
+        .map_err(|e| {
+            vec![Finding::new(
+                Rule::Construction,
+                format!("cannot build session: {e}"),
+            )]
+        })?;
+    analyze_session(&session)
+}
+
+/// Certifies an already-built session against its own source.
+pub fn analyze_session(session: &Session) -> Result<Certificate, Vec<Finding>> {
+    analyze_session_run(session, session.source())
+}
+
+/// Certifies one run of a session: for the source-independent schemes
+/// (λ_arb, the baselines, gossip) any `source` certifies against the cached
+/// labeling, exactly as [`Session::run_with`] executes it. For a
+/// source-dependent scheme with a foreign source the labeling is rebuilt,
+/// mirroring `run_with`'s documented cost.
+pub fn analyze_session_run(session: &Session, source: NodeId) -> Result<Certificate, Vec<Finding>> {
+    if source >= session.graph().node_count() {
+        return Err(vec![Finding::new(
+            Rule::Construction,
+            format!(
+                "source {source} out of range for {} nodes",
+                session.graph().node_count()
+            ),
+        )]);
+    }
+    if source != session.source() && session.scheme().labeling_depends_on_source() {
+        let rebuilt = Session::builder(session.scheme(), session.graph().clone())
+            .source(source)
+            .build()
+            .map_err(|e| {
+                vec![Finding::new(
+                    Rule::Construction,
+                    format!("cannot rebuild labeling: {e}"),
+                )]
+            })?;
+        return analyze_session(&rebuilt);
+    }
+    certify_labeled(
+        session.scheme(),
+        session.graph(),
+        session.labeling(),
+        source,
+        session.sources(),
+        session.coordinator(),
+        session.collection_plan(),
+    )
+}
+
+/// The core certifier: checks an explicit labeling (possibly corrupted —
+/// this is the entry point the fault-injection tests use) against the
+/// schedule `scheme` would derive from it.
+///
+/// `sources`, `coordinator` and `plan` mirror the session's resolved
+/// configuration; `plan` is required for the collection schemes.
+pub fn certify_labeled(
+    scheme: Scheme,
+    graph: &Graph,
+    labeling: &Labeling,
+    source: NodeId,
+    sources: &[NodeId],
+    coordinator: NodeId,
+    plan: Option<&CollectionPlan>,
+) -> Result<Certificate, Vec<Finding>> {
+    let n = graph.node_count();
+    if n == 0 || labeling.node_count() != n {
+        return Err(vec![Finding::new(
+            Rule::Construction,
+            format!(
+                "labeling covers {} nodes, graph has {n}",
+                labeling.node_count()
+            ),
+        )]);
+    }
+    let (p, findings, coord, srcs, checks): (
+        Prediction,
+        Vec<Finding>,
+        Option<NodeId>,
+        Vec<NodeId>,
+        Vec<&'static str>,
+    ) = match scheme {
+        Scheme::Lambda => {
+            let (p, f) = certify_lambda(graph, labeling, source);
+            (
+                p,
+                f,
+                None,
+                Vec::new(),
+                vec![
+                    "label_alphabet",
+                    "x1_consistency",
+                    "domination",
+                    "minimality",
+                    "progress",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::LambdaAck => {
+            let (p, f) = certify_lambda_ack(graph, labeling, source);
+            (
+                p,
+                f,
+                None,
+                Vec::new(),
+                vec![
+                    "label_alphabet",
+                    "x1_consistency",
+                    "domination",
+                    "minimality",
+                    "progress",
+                    "ack_initiator",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::LambdaArb => {
+            let (p, f) = certify_lambda_arb(graph, labeling, coordinator, source);
+            (
+                p,
+                f,
+                Some(coordinator),
+                Vec::new(),
+                vec![
+                    "label_alphabet",
+                    "coordinator_label",
+                    "x1_consistency",
+                    "domination",
+                    "minimality",
+                    "progress",
+                    "ack_initiator",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::UniqueIds => {
+            let (p, f) = certify_slotted(graph, labeling, source, SlottedKind::UniqueIds);
+            (
+                p,
+                f,
+                None,
+                Vec::new(),
+                vec![
+                    "label_alphabet",
+                    "slot_collision",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::SquareColoring => {
+            let (p, f) = certify_slotted(graph, labeling, source, SlottedKind::SquareColoring);
+            (
+                p,
+                f,
+                None,
+                Vec::new(),
+                vec![
+                    "label_alphabet",
+                    "slot_collision",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::MultiLambda { .. } | Scheme::Gossip => {
+            let kind = if matches!(scheme, Scheme::Gossip) {
+                CollectionKind::Gossip
+            } else {
+                CollectionKind::Multi
+            };
+            let Some(plan) = plan else {
+                return Err(vec![Finding::new(
+                    Rule::Construction,
+                    "collection scheme certified without a collection plan",
+                )]);
+            };
+            let (p, f) = certify_collection(graph, labeling, plan, sources, coordinator, kind);
+            (
+                p,
+                f,
+                Some(coordinator),
+                sources.to_vec(),
+                vec![
+                    "label_alphabet",
+                    "plan_shape",
+                    "plan_delivery",
+                    "x1_consistency",
+                    "domination",
+                    "minimality",
+                    "progress",
+                    "reachability",
+                    "round_bound",
+                ],
+            )
+        }
+        Scheme::OneBitCycle | Scheme::OneBitGrid { .. } => {
+            return Err(vec![Finding::new(
+                Rule::Unsupported,
+                "the 1-bit delay-relay schemes are outside the analyzer's scope",
+            )]);
+        }
+    };
+    if !findings.is_empty() {
+        return Err(findings);
+    }
+    Ok(Certificate::from_prediction(
+        scheme,
+        labeling.scheme(),
+        n,
+        source,
+        srcs,
+        coord,
+        labeling.length(),
+        labeling.distinct_count(),
+        p,
+        checks,
+    ))
+}
+
+/// Convenience for differential testing: analyzes a session run and
+/// cross-checks the certificate against an already-simulated report.
+/// Returns the certificate when both the static checks and the
+/// static-vs-dynamic comparison are clean.
+pub fn analyze_and_cross_check(
+    session: &Session,
+    report: &RunReport,
+) -> Result<Certificate, Vec<Finding>> {
+    let cert = analyze_session_run(session, report.source)?;
+    let diffs = cert.cross_check(report);
+    if diffs.is_empty() {
+        Ok(cert)
+    } else {
+        Err(diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn analyze_certifies_every_general_scheme_on_a_grid() {
+        let g = generators::grid(4, 5);
+        for scheme in Scheme::GENERAL {
+            let cert = analyze(&g, scheme).unwrap_or_else(|f| {
+                panic!("{}: {f:?}", scheme.name());
+            });
+            assert_eq!(cert.node_count, 20);
+            assert!(cert.completion_round.is_some());
+            assert!(
+                cert.completion_round.unwrap() <= cert.round_bound,
+                "{}: {:?} > {}",
+                scheme.name(),
+                cert.completion_round,
+                cert.round_bound
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_and_cross_check_agrees_with_simulation() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 2).unwrap());
+        for scheme in Scheme::GENERAL {
+            let session = Session::builder(scheme, Arc::clone(&g)).build().unwrap();
+            let report = session.run();
+            let cert = analyze_and_cross_check(&session, &report)
+                .unwrap_or_else(|f| panic!("{}: {f:?}", scheme.name()));
+            assert_eq!(cert.completion_round, report.completion_round);
+        }
+    }
+
+    #[test]
+    fn onebit_schemes_are_reported_unsupported() {
+        let g = generators::cycle(8);
+        let err = analyze(&g, Scheme::OneBitCycle).unwrap_err();
+        assert!(err.iter().any(|f| f.rule == Rule::Unsupported));
+    }
+
+    #[test]
+    fn tiny_networks_certify() {
+        for n in 1..=3 {
+            let g = generators::path(n);
+            for scheme in [Scheme::Lambda, Scheme::LambdaAck, Scheme::Gossip] {
+                let cert = analyze(&g, scheme)
+                    .unwrap_or_else(|f| panic!("{} n={n}: {f:?}", scheme.name()));
+                assert_eq!(cert.informed_rounds.len(), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Symbolic derivation of the Algorithm B transmission schedule from the
+//! `x1`/`x2` label bits alone — no simulator, no per-node protocol state.
+//!
+//! Algorithm B is label-determined: which nodes transmit in round `r`
+//! depends only on the bits and on who was informed when, so the whole
+//! schedule can be unrolled by propagating "informed at round t" facts.
+//! This module mirrors the five `BNode` transmission rules exactly:
+//!
+//! 1. the source transmits its message in round 1 (and never again on its
+//!    own initiative);
+//! 2. a node that hears the message cleanly becomes informed;
+//! 3. an informed node with `x1 = 1` retransmits the message exactly two
+//!    rounds after it was informed;
+//! 4. a node with `x2 = 1` transmits the *stay* signal one round after it
+//!    was informed (serving its repeating dominator);
+//! 5. a node that transmitted the message in round `t` and hears a stay in
+//!    round `t + 1` retransmits in round `t + 2`.
+//!
+//! For a well-formed λ labeling the derived schedule reproduces the §2.1
+//! sequence construction (Lemma 2.8: node `v ∈ NEW_i` is informed exactly
+//! in round `2i − 1`); [`check_lambda_structure`] verifies the converse —
+//! that the derived `DOM_i`/`NEW_i` strata are consistent with *some* valid
+//! `SequenceConstruction` — and reports a located [`Finding`] for every
+//! violation.
+
+use crate::finding::{Finding, Rule};
+use rn_graph::{Graph, NodeId};
+
+/// One derived stage `i` of the schedule: the message transmission of round
+/// `2i − 1` together with the stay transmissions of round `2i` that keep
+/// repeating dominators alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedStage {
+    /// 1-based stage ordinal (equals the construction's stage index for
+    /// well-formed labelings).
+    pub index: usize,
+    /// Round of the stage's message transmissions (`2·index − 1` for
+    /// well-formed labelings; recorded verbatim for corrupted ones).
+    pub data_round: u64,
+    /// Message transmitters of `data_round` — the derived `DOM_i` (sorted).
+    pub dom: Vec<NodeId>,
+    /// Nodes informed in `data_round` — the derived `NEW_i` (sorted).
+    pub new: Vec<NodeId>,
+    /// Stay transmitters of round `data_round + 1` (sorted).
+    pub stay: Vec<NodeId>,
+}
+
+/// The full label-determined schedule derived by [`derive_schedule`].
+#[derive(Debug, Clone)]
+pub struct DerivedSchedule {
+    /// The (virtual) source the schedule was derived for.
+    pub source: NodeId,
+    /// Round each node is first informed (`Some(0)` for the source, `None`
+    /// for nodes the schedule never reaches).
+    pub informed_round: Vec<Option<u64>>,
+    /// The unique neighbour whose clean transmission informed each node.
+    pub informer: Vec<Option<NodeId>>,
+    /// The derived stages, in round order.
+    pub stages: Vec<DerivedStage>,
+    /// Last round with any transmission (0 when nothing ever transmits).
+    pub last_activity: u64,
+    /// Whether the schedule provably went permanently silent before the
+    /// round cap (two consecutive silent rounds — no rule can fire again).
+    pub quiesced: bool,
+}
+
+impl DerivedSchedule {
+    /// Predicted completion round: the last informing round, `Some(0)` for
+    /// a single-node network, `None` while any node is unreachable.
+    pub fn completion(&self) -> Option<u64> {
+        let mut max = 0;
+        for r in &self.informed_round {
+            max = max.max((*r)?);
+        }
+        Some(max)
+    }
+
+    /// The informer chain from `from` back toward the source: `from`,
+    /// `informer(from)`, …, ending at the last node *before* the source.
+    /// Empty when `from` is the source; truncated if the chain hits an
+    /// uninformed node (only possible on corrupted labelings).
+    pub fn informer_chain(&self, from: NodeId) -> Vec<NodeId> {
+        let mut chain = Vec::new();
+        let mut v = from;
+        while v != self.source {
+            chain.push(v);
+            match self.informer[v] {
+                Some(t) => v = t,
+                None => break,
+            }
+        }
+        chain
+    }
+}
+
+/// Unrolls the Algorithm B schedule determined by the `x1`/`x2` bits for
+/// `source`, stopping after two consecutive silent rounds (after which no
+/// transmission rule can ever fire again) or at `round_cap`.
+///
+/// Total work is `O(Σ_t deg(t))` over all transmissions — each node
+/// transmits the message at most once per stay heard — so deriving a
+/// schedule costs about as much as one BFS, not one simulation.
+pub fn derive_schedule(
+    g: &Graph,
+    x1: &[bool],
+    x2: &[bool],
+    source: NodeId,
+    round_cap: u64,
+) -> DerivedSchedule {
+    let n = g.node_count();
+    debug_assert!(source < n && x1.len() == n && x2.len() == n);
+    let mut informed_round: Vec<Option<u64>> = vec![None; n];
+    let mut informer: Vec<Option<NodeId>> = vec![None; n];
+    informed_round[source] = Some(0);
+    // Round each node last transmitted the message (rule 5's trigger).
+    let mut last_data: Vec<Option<u64>> = vec![None; n];
+
+    // Rolling candidate windows: nodes informed exactly one / two rounds
+    // ago, and message transmitters that heard a stay last round.
+    let mut informed_prev: Vec<NodeId> = Vec::new();
+    let mut informed_prev2: Vec<NodeId> = Vec::new();
+    let mut stay_prev: Vec<NodeId> = Vec::new();
+
+    // Generation-stamped scratch (same trick as the simulator's scratch
+    // arrays): `hear_stamp[u] == r` means `u`'s counters are current.
+    let mut hear_stamp = vec![0u64; n];
+    let mut hear_count = vec![0u32; n];
+    let mut hear_from = vec![0 as NodeId; n];
+    let mut tx_stamp = vec![0u64; n];
+    let mut data_stamp = vec![0u64; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+
+    let mut stages: Vec<DerivedStage> = Vec::new();
+    let mut last_activity = 0u64;
+    let mut quiesced = false;
+    let mut silent_streak = 0u32;
+    let mut r = 0u64;
+
+    loop {
+        r += 1;
+        if r > round_cap {
+            break;
+        }
+
+        // Message transmitters of round r.
+        let mut data: Vec<NodeId> = Vec::new();
+        if r == 1 {
+            data.push(source);
+        }
+        // Rule 3: x1 nodes two rounds after being informed. The source's
+        // "informed age" never advances in BNode, so it is excluded.
+        for &v in &informed_prev2 {
+            if x1[v] && v != source {
+                data.push(v);
+            }
+        }
+        // Rule 5: transmitted the message in r-2 and heard a stay in r-1.
+        // Disjoint from rule 3 (a rule-5 node was informed before r-2).
+        for &v in &stay_prev {
+            if last_data[v] == Some(r - 2) {
+                data.push(v);
+            }
+        }
+        // Rule 4: x2 nodes one round after being informed (never the source).
+        let mut stay: Vec<NodeId> = Vec::new();
+        for &v in &informed_prev {
+            if x2[v] && v != source {
+                stay.push(v);
+            }
+        }
+
+        if data.is_empty() && stay.is_empty() {
+            silent_streak += 1;
+            informed_prev2 = std::mem::take(&mut informed_prev);
+            stay_prev.clear();
+            if silent_streak >= 2 {
+                // Every rule needs a trigger at most two rounds back; two
+                // silent rounds mean permanent silence.
+                quiesced = true;
+                break;
+            }
+            continue;
+        }
+        silent_streak = 0;
+        last_activity = r;
+        data.sort_unstable();
+        stay.sort_unstable();
+
+        // Who hears what: count clean receptions with stamped scratch.
+        touched.clear();
+        for &t in data.iter().chain(stay.iter()) {
+            tx_stamp[t] = r;
+        }
+        for &t in &data {
+            data_stamp[t] = r;
+            last_data[t] = Some(r);
+        }
+        for &t in data.iter().chain(stay.iter()) {
+            for &u in g.neighbors(t) {
+                if hear_stamp[u] != r {
+                    hear_stamp[u] = r;
+                    hear_count[u] = 0;
+                    touched.push(u);
+                }
+                hear_count[u] += 1;
+                hear_from[u] = t;
+            }
+        }
+        let mut informed_cur: Vec<NodeId> = Vec::new();
+        let mut stay_cur: Vec<NodeId> = Vec::new();
+        for &u in &touched {
+            if hear_count[u] != 1 || tx_stamp[u] == r {
+                continue; // collision, or u was itself transmitting
+            }
+            let t = hear_from[u];
+            if data_stamp[t] == r {
+                if informed_round[u].is_none() {
+                    informed_round[u] = Some(r);
+                    informer[u] = Some(t);
+                    informed_cur.push(u);
+                }
+            } else if informed_round[u].is_some() {
+                // Stays only matter to informed nodes (rule 5).
+                stay_cur.push(u);
+            }
+        }
+        informed_cur.sort_unstable();
+        stay_cur.sort_unstable();
+
+        // Record: message rounds open a stage; stay rounds attach to the
+        // stage they follow. (Well-formed schedules alternate strictly —
+        // message rounds odd, stay rounds even — and the invariant survives
+        // arbitrary bit corruption, but the bookkeeping here does not rely
+        // on it.)
+        if !data.is_empty() {
+            stages.push(DerivedStage {
+                index: stages.len() + 1,
+                data_round: r,
+                dom: data,
+                new: informed_cur.clone(),
+                stay: Vec::new(),
+            });
+        }
+        if !stay.is_empty() {
+            if let Some(last) = stages.last_mut() {
+                if last.data_round + 1 == r {
+                    last.stay = stay;
+                }
+            }
+        }
+
+        informed_prev2 = std::mem::take(&mut informed_prev);
+        informed_prev = informed_cur;
+        stay_prev = stay_cur;
+    }
+
+    DerivedSchedule {
+        source,
+        informed_round,
+        informer,
+        stages,
+        last_activity,
+        quiesced,
+    }
+}
+
+/// Checks a derived schedule against the §2.1 construction rules. An empty
+/// result certifies that the `x1`/`x2` bits are consistent with *some*
+/// valid `SequenceConstruction` of `(g, source)`; every violation comes
+/// back as a located [`Finding`].
+pub fn check_lambda_structure(
+    g: &Graph,
+    x1: &[bool],
+    x2: &[bool],
+    sched: &DerivedSchedule,
+) -> Vec<Finding> {
+    let n = g.node_count();
+    let source = sched.source;
+    let mut findings = Vec::new();
+
+    // §2.2: the source is labeled 10 (a dominator that serves nobody).
+    if !x1[source] || x2[source] {
+        findings.push(
+            Finding::new(
+                Rule::X1Consistency,
+                format!(
+                    "source must be labeled x1=1, x2=0, found x1={}, x2={}",
+                    u8::from(x1[source]),
+                    u8::from(x2[source])
+                ),
+            )
+            .at_node(source),
+        );
+    }
+
+    if !sched.quiesced {
+        findings.push(Finding::new(
+            Rule::RoundBound,
+            format!(
+                "schedule still active at the round cap (last activity round {})",
+                sched.last_activity
+            ),
+        ));
+    }
+
+    // Incrementally maintained frontier: uninformed neighbours of informed
+    // nodes, pruned lazily as stages inform them.
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut in_frontier = vec![false; n];
+    for &u in g.neighbors(source) {
+        if !in_frontier[u] {
+            in_frontier[u] = true;
+            frontier.push(u);
+        }
+    }
+    let mut dom_stamp = vec![usize::MAX; n];
+    let mut private_stamp = vec![usize::MAX; n];
+
+    for (si, stage) in sched.stages.iter().enumerate() {
+        // Frontier at this stage = collected candidates not yet informed
+        // before the stage's message round.
+        frontier.retain(|&u| match sched.informed_round[u] {
+            None => true,
+            Some(t) => t >= stage.data_round,
+        });
+
+        for &d in &stage.dom {
+            dom_stamp[d] = si;
+        }
+        // Lemma 2.5 + minimality: every frontier node is dominated, and
+        // every transmitter dominates some frontier node *privately* (a
+        // frontier node it alone covers) — otherwise DOM_i is not minimal.
+        for &u in &frontier {
+            let mut covers = 0usize;
+            let mut last_dom = usize::MAX;
+            for &w in g.neighbors(u) {
+                if dom_stamp[w] == si {
+                    covers += 1;
+                    last_dom = w;
+                }
+            }
+            match covers {
+                0 => findings.push(
+                    Finding::new(
+                        Rule::Domination,
+                        "frontier node has no transmitting dominator in this stage",
+                    )
+                    .at_node(u)
+                    .at_round(stage.data_round),
+                ),
+                1 => private_stamp[last_dom] = si,
+                _ => {}
+            }
+        }
+        for &d in &stage.dom {
+            // The mandatory round-1 source transmission is exempt: BNode
+            // always sends it, even on a single-node network.
+            if d == source && stage.data_round == 1 {
+                continue;
+            }
+            if private_stamp[d] != si {
+                let detail = if frontier.is_empty() {
+                    "transmits after the frontier is exhausted (x1/x2 set on a node no construction would schedule)"
+                } else {
+                    "dominates no frontier node privately: DOM_i is not a minimal dominating subset"
+                };
+                findings.push(
+                    Finding::new(Rule::Minimality, detail)
+                        .at_node(d)
+                        .at_round(stage.data_round),
+                );
+            }
+        }
+        // Lemma 2.4: a stage that informs nobody while the frontier is
+        // nonempty abandons it (the schedule dies right after).
+        if stage.new.is_empty() && !frontier.is_empty() {
+            findings.push(
+                Finding::new(
+                    Rule::Progress,
+                    format!(
+                        "stage informs no node while {} frontier node(s) remain",
+                        frontier.len()
+                    ),
+                )
+                .at_round(stage.data_round),
+            );
+        }
+        // Grow the frontier with the neighbours of the newly informed:
+        // candidates for the next stage. Already-informed entries are
+        // pruned by the retain above (informed rounds here are *final*
+        // rounds, so they cannot filter the growth directly).
+        for &v in &stage.new {
+            for &u in g.neighbors(v) {
+                if !in_frontier[u] {
+                    in_frontier[u] = true;
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+
+    // Theorem 2.9: everyone is reached …
+    for v in 0..n {
+        if sched.informed_round[v].is_none() {
+            findings.push(
+                Finding::new(
+                    Rule::Reachability,
+                    "node is never informed by the derived schedule",
+                )
+                .at_node(v),
+            );
+        }
+    }
+    // … within 2n − 3 rounds (n ≥ 2).
+    if let Some(t) = sched.completion() {
+        if n >= 2 {
+            let bound = 2 * n as u64 - 3;
+            if t > bound {
+                findings.push(Finding::new(
+                    Rule::RoundBound,
+                    format!(
+                        "derived completion round {t} exceeds Theorem 2.9 bound 2n-3 = {bound}"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Round cap used when deriving λ-family schedules: matches the session's
+/// `RoundCapPolicy::Auto` for `Scheme::Lambda` so a runaway (corrupted)
+/// schedule is cut at the same point the simulator would cut it.
+pub fn lambda_round_cap(n: usize) -> u64 {
+    4 * (n as u64 + 2) + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+    use rn_labeling::lambda;
+
+    fn bits(g: &Graph, source: NodeId) -> (Vec<bool>, Vec<bool>) {
+        let scheme = lambda::construct(g, source).unwrap();
+        let labels = scheme.labeling().labels();
+        (
+            labels.iter().map(rn_labeling::Label::x1).collect(),
+            labels.iter().map(rn_labeling::Label::x2).collect(),
+        )
+    }
+
+    #[test]
+    fn derived_schedule_matches_construction_on_a_grid() {
+        let g = generators::grid(4, 5);
+        let (x1, x2) = bits(&g, 3);
+        let sched = derive_schedule(&g, &x1, &x2, 3, lambda_round_cap(20));
+        assert!(sched.quiesced);
+        let c = lambda::construct(&g, 3).unwrap();
+        // Lemma 2.8: v ∈ NEW_i is informed exactly in round 2i − 1.
+        for v in 0..20 {
+            assert_eq!(
+                sched.informed_round[v],
+                c.construction().informed_round(v),
+                "node {v}"
+            );
+        }
+        assert!(check_lambda_structure(&g, &x1, &x2, &sched).is_empty());
+    }
+
+    #[test]
+    fn derived_stages_reproduce_dom_and_new_strata() {
+        for (g, s) in [
+            (generators::path(9), 0usize),
+            (generators::star(8), 2),
+            (generators::gnp_connected(24, 0.2, 5).unwrap(), 11),
+        ] {
+            let (x1, x2) = bits(&g, s);
+            let sched = derive_schedule(&g, &x1, &x2, s, lambda_round_cap(g.node_count()));
+            let c = lambda::construct(&g, s).unwrap();
+            let con = c.construction();
+            for stage in &sched.stages {
+                assert_eq!(stage.data_round, 2 * stage.index as u64 - 1);
+                let mut dom: Vec<NodeId> = con.dom(stage.index).to_vec();
+                dom.sort_unstable();
+                assert_eq!(stage.dom, dom, "stage {} dom", stage.index);
+                let mut new: Vec<NodeId> = con.new_set(stage.index).to_vec();
+                new.sort_unstable();
+                assert_eq!(stage.new, new, "stage {} new", stage.index);
+            }
+            assert!(check_lambda_structure(&g, &x1, &x2, &sched).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_schedule_is_clean() {
+        let g = Graph::empty(1);
+        let sched = derive_schedule(&g, &[true], &[false], 0, lambda_round_cap(1));
+        assert!(sched.quiesced);
+        assert_eq!(sched.completion(), Some(0));
+        assert!(check_lambda_structure(&g, &[true], &[false], &sched).is_empty());
+    }
+
+    #[test]
+    fn corrupt_source_bit_is_located() {
+        let g = generators::path(8);
+        let (mut x1, x2) = bits(&g, 0);
+        x1[0] = false;
+        let sched = derive_schedule(&g, &x1, &x2, 0, lambda_round_cap(8));
+        let findings = check_lambda_structure(&g, &x1, &x2, &sched);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::X1Consistency && f.node == Some(0)));
+    }
+
+    #[test]
+    fn corrupt_dominator_bit_yields_located_finding() {
+        let g = generators::path(10);
+        let (mut x1, x2) = bits(&g, 0);
+        // Clearing a real dominator's x1 strands its stratum.
+        let dominator = (1..10)
+            .rev()
+            .find(|&v| x1[v])
+            .expect("a path has dominators");
+        x1[dominator] = false;
+        let sched = derive_schedule(&g, &x1, &x2, 0, lambda_round_cap(10));
+        let findings = check_lambda_structure(&g, &x1, &x2, &sched);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().any(|f| f.node.is_some()));
+    }
+
+    #[test]
+    fn spurious_x1_is_flagged() {
+        let g = generators::path(8);
+        let (mut x1, x2) = bits(&g, 0);
+        let extra = (1..8).find(|&v| !x1[v]).unwrap();
+        x1[extra] = true;
+        let sched = derive_schedule(&g, &x1, &x2, 0, lambda_round_cap(8));
+        let findings = check_lambda_structure(&g, &x1, &x2, &sched);
+        assert!(
+            findings.iter().any(|f| f.node.is_some()),
+            "spurious x1 on node {extra} must be located, got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn informer_chain_walks_back_to_the_source() {
+        let g = generators::path(7);
+        let (x1, x2) = bits(&g, 0);
+        let sched = derive_schedule(&g, &x1, &x2, 0, lambda_round_cap(7));
+        let chain = sched.informer_chain(6);
+        assert_eq!(chain.first(), Some(&6));
+        assert_eq!(*chain.last().unwrap(), 1);
+        assert_eq!(chain.len(), 6);
+        assert!(sched.informer_chain(0).is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Static analysis of the ⌈log n⌉-bit folklore baselines (§1.1): the
+//! unique-id round robin and the square-of-graph colouring.
+//!
+//! Both run the same slotted protocol (`SlottedNode`): a node with label
+//! value `c` out of `M = 2^bits` slots transmits in every round `r` with
+//! `(r − 1) mod M = c` once informed. The schedule is label-determined, so
+//! the informing wavefront can be evolved symbolically with per-slot
+//! buckets — `O(n + rounds)` bookkeeping plus one neighbour scan per
+//! transmission — instead of simulating every node every round.
+//!
+//! The structural check is the §1.1 collision-freedom argument: ids must be
+//! a permutation of `0..n` (round robin) or a proper colouring of the
+//! square of the graph (two nodes within distance 2 never share a colour).
+//! Either guarantees a listener never has two transmitting neighbours in
+//! the same round, which is what makes the predicted rounds exact.
+
+use crate::ack::Prediction;
+use crate::finding::{Finding, Rule};
+use rn_graph::{Graph, NodeId};
+use rn_labeling::label::Labeling;
+
+/// Which §1.1 baseline a labeling claims to implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlottedKind {
+    /// Labels are node identifiers: a permutation of `0..n`.
+    UniqueIds,
+    /// Labels are colours of a proper colouring of `G²`.
+    SquareColoring,
+}
+
+/// Certifies a slotted baseline labeling and predicts the exact informed
+/// rounds by evolving the wavefront per slot bucket.
+pub fn certify_slotted(
+    g: &Graph,
+    labeling: &Labeling,
+    source: NodeId,
+    kind: SlottedKind,
+) -> (Prediction, Vec<Finding>) {
+    let n = g.node_count();
+    let mut findings = Vec::new();
+    let bits = labeling.length().max(1);
+    let modulus = 1u64 << bits.min(63);
+    let mut p = Prediction {
+        bound: slotted_bound(n, modulus),
+        bound_reference: "§1.1: one wavefront hop per M-round frame, <= M(n-1)+1",
+        ..Prediction::default()
+    };
+    if n == 1 {
+        p.informed = vec![Some(0)];
+        p.completion = Some(0);
+        return (p, findings);
+    }
+
+    // Every label must fit the common slot width (the protocol derives its
+    // frame length from the label width, so a short label is a shape bug).
+    for (v, l) in labeling.labels().iter().enumerate() {
+        if l.len() != labeling.length() {
+            findings.push(
+                Finding::new(
+                    Rule::LabelAlphabet,
+                    format!(
+                        "label is {} bits wide, scheme uses {}",
+                        l.len(),
+                        labeling.length()
+                    ),
+                )
+                .at_node(v),
+            );
+        }
+    }
+    let slot = |v: NodeId| labeling.get(v).value();
+
+    match kind {
+        SlottedKind::UniqueIds => {
+            // Ids must be a permutation of 0..n.
+            let mut owner: Vec<Option<NodeId>> = vec![None; n];
+            for v in 0..n {
+                let id = slot(v);
+                if id >= n as u64 {
+                    findings.push(
+                        Finding::new(
+                            Rule::LabelAlphabet,
+                            format!("id {id} out of range for {n} nodes"),
+                        )
+                        .at_node(v),
+                    );
+                } else if let Some(w) = owner[id as usize] {
+                    findings.push(
+                        Finding::new(
+                            Rule::LabelAlphabet,
+                            format!("duplicate id {id} (also on node {w})"),
+                        )
+                        .at_node(v),
+                    );
+                } else {
+                    owner[id as usize] = Some(v);
+                }
+            }
+        }
+        SlottedKind::SquareColoring => {
+            // Proper colouring of G²: neighbours of v (and v itself) carry
+            // pairwise distinct colours. Checking every open neighbourhood
+            // covers all distance-<=2 pairs in O(Σ deg²)… avoided with a
+            // colour stamp per centre node.
+            let mut stamp = vec![usize::MAX; modulus as usize];
+            let mut stamped_by = vec![0 as NodeId; modulus as usize];
+            for v in 0..n {
+                let centre = v;
+                stamp[slot(v) as usize] = centre;
+                stamped_by[slot(v) as usize] = v;
+                for &u in g.neighbors(v) {
+                    let c = slot(u) as usize;
+                    if stamp[c] == centre && stamped_by[c] != u {
+                        findings.push(
+                            Finding::new(
+                                Rule::SlotCollision,
+                                format!(
+                                    "colour {c} shared by nodes {} and {u} within distance 2",
+                                    stamped_by[c]
+                                ),
+                            )
+                            .at_node(u)
+                            .at_round(0),
+                        );
+                    } else {
+                        stamp[c] = centre;
+                        stamped_by[c] = u;
+                    }
+                }
+            }
+            // Deduplicate: a clash is found once per centre; keep firsts.
+            findings.dedup_by(|a, b| a.node == b.node && a.detail == b.detail);
+        }
+    }
+    if !findings.is_empty() {
+        return (p, findings);
+    }
+
+    // Symbolic wavefront: informed members of bucket (r-1) mod M transmit
+    // in round r. With the structural checks passed, no listener ever has
+    // two transmitting neighbours (distance-2 distinct slots), so every
+    // reception is clean; collisions are still counted defensively.
+    let mut informed: Vec<Option<u64>> = vec![None; n];
+    informed[source] = Some(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); modulus as usize];
+    buckets[slot(source) as usize].push(source);
+    let mut uninformed_left = n - 1;
+    let mut hear_stamp = vec![0u64; n];
+    let mut hear_count = vec![0u32; n];
+    let mut tx_stamp = vec![0u64; n];
+    let cap = 16 * (n as u64) * (n as u64) + 64; // session cap for baselines
+    let mut r = 0u64;
+    while uninformed_left > 0 && r < cap {
+        r += 1;
+        let b = ((r - 1) % modulus) as usize;
+        if buckets[b].is_empty() {
+            continue;
+        }
+        for &t in &buckets[b] {
+            tx_stamp[t] = r;
+        }
+        let mut newly: Vec<NodeId> = Vec::new();
+        for &t in &buckets[b] {
+            for &u in g.neighbors(t) {
+                if hear_stamp[u] != r {
+                    hear_stamp[u] = r;
+                    hear_count[u] = 0;
+                }
+                hear_count[u] += 1;
+                if hear_count[u] == 1 && tx_stamp[u] != r && informed[u].is_none() {
+                    newly.push(u);
+                } else if hear_count[u] == 2 && informed[u].is_none() {
+                    findings.push(
+                        Finding::new(
+                            Rule::SlotCollision,
+                            "two transmitters collide at a listener",
+                        )
+                        .at_node(u)
+                        .at_round(r),
+                    );
+                }
+            }
+        }
+        for &u in &newly {
+            if hear_count[u] == 1 && informed[u].is_none() {
+                informed[u] = Some(r);
+                buckets[slot(u) as usize].push(u);
+                uninformed_left -= 1;
+            }
+        }
+    }
+    for (v, round) in informed.iter().enumerate() {
+        if round.is_none() {
+            findings.push(
+                Finding::new(
+                    Rule::Reachability,
+                    "node is never informed by the slot schedule",
+                )
+                .at_node(v),
+            );
+        }
+    }
+    if findings.is_empty() {
+        if let Some(t) = informed.iter().filter_map(|&t| t).max() {
+            if t > p.bound {
+                findings.push(Finding::new(
+                    Rule::RoundBound,
+                    format!(
+                        "completion round {t} exceeds the M(n-1)+1 = {} bound",
+                        p.bound
+                    ),
+                ));
+            } else {
+                p.completion = Some(t);
+                p.informed = informed;
+            }
+        }
+    }
+    (p, findings)
+}
+
+/// §1.1 wavefront bound: the frontier advances at least one hop per
+/// `M`-round frame, so completion sits under `M·(n − 1) + 1`.
+pub fn slotted_bound(n: usize, modulus: u64) -> u64 {
+    modulus * n.saturating_sub(1) as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_broadcast::session::{Scheme, Session};
+    use rn_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn slotted_predictions_match_simulation() {
+        for (scheme, kind) in [
+            (Scheme::UniqueIds, SlottedKind::UniqueIds),
+            (Scheme::SquareColoring, SlottedKind::SquareColoring),
+        ] {
+            for (g, s) in [
+                (generators::path(2), 1usize),
+                (generators::path(9), 0),
+                (generators::grid(4, 5), 7),
+                (generators::star(8), 3),
+                (generators::gnp_connected(22, 0.2, 7).unwrap(), 5),
+            ] {
+                let session = Session::builder(scheme, Arc::new(g.clone()))
+                    .source(s)
+                    .build()
+                    .unwrap();
+                let report = session.run();
+                let (p, findings) = certify_slotted(&g, session.labeling(), s, kind);
+                assert!(findings.is_empty(), "{scheme:?}: {findings:?}");
+                assert_eq!(
+                    p.completion,
+                    report.completion_round,
+                    "{scheme:?} n={}",
+                    g.node_count()
+                );
+                assert_eq!(p.informed, report.informed_rounds, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_id_is_located() {
+        let g = generators::path(8);
+        let session = Session::builder(Scheme::UniqueIds, Arc::new(g.clone()))
+            .source(0)
+            .build()
+            .unwrap();
+        let mut labels = session.labeling().labels().to_vec();
+        labels[3] = rn_labeling::label::Label::from_value(labels[5].value(), labels[3].len());
+        let corrupt = Labeling::new(labels, "unique_ids");
+        let (_, findings) = certify_slotted(&g, &corrupt, 0, SlottedKind::UniqueIds);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::LabelAlphabet && f.node.is_some()));
+    }
+
+    #[test]
+    fn neighbour_colour_clash_is_located() {
+        let g = generators::grid(4, 4);
+        let session = Session::builder(Scheme::SquareColoring, Arc::new(g.clone()))
+            .source(0)
+            .build()
+            .unwrap();
+        let mut labels = session.labeling().labels().to_vec();
+        let u = g.neighbors(5)[0];
+        labels[5] = labels[u];
+        let corrupt = Labeling::new(labels, "square_coloring");
+        let (_, findings) = certify_slotted(&g, &corrupt, 0, SlottedKind::SquareColoring);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == Rule::SlotCollision && f.node.is_some()));
+    }
+}

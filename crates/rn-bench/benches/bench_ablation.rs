@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         ("random", ReductionOrder::Random(7)),
     ] {
         group.bench_with_input(BenchmarkId::new(name, g.node_count()), &g, |b, g| {
-            b.iter(|| std::hint::black_box(lambda::construct_with_order(g, 0, order).unwrap()))
+            b.iter(|| std::hint::black_box(lambda::construct_with_order(g, 0, order).unwrap()));
         });
     }
     group.finish();

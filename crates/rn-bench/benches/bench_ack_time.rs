@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
                             .unwrap()
                             .run(),
                     )
-                })
+                });
             });
         }
     }

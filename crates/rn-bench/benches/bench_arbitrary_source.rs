@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                         .unwrap()
                         .run(),
                 )
-            })
+            });
         });
         // λ_arb labels are source-independent: the amortized variant reuses
         // one cached labeling for a run from an arbitrary source.
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
             .unwrap();
         let amortized_id = BenchmarkId::new(format!("{}_amortized", family.name()), g.node_count());
         group.bench_with_input(amortized_id, &session, |b, s| {
-            b.iter(|| std::hint::black_box(s.run_with(RunSpec::new(source, 7)).unwrap()))
+            b.iter(|| std::hint::black_box(s.run_with(RunSpec::new(source, 7)).unwrap()));
         });
     }
     group.finish();

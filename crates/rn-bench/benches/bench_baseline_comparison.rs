@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
                         .unwrap()
                         .run(),
                 )
-            })
+            });
         });
     }
     group.finish();

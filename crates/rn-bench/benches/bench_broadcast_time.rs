@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                             .unwrap()
                             .run(),
                     )
-                })
+                });
             });
             let session = Session::builder(Scheme::Lambda, Arc::clone(&g))
                 .message(7)
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
             let amortized_id =
                 BenchmarkId::new(format!("{}_amortized", family.name()), g.node_count());
             group.bench_with_input(amortized_id, &session, |b, s| {
-                b.iter(|| std::hint::black_box(s.run()))
+                b.iter(|| std::hint::black_box(s.run()));
             });
         }
     }

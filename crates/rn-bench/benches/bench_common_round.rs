@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
         let g = family.generate(64, 1);
         let id = BenchmarkId::new(family.name(), g.node_count());
         group.bench_with_input(id, &g, |b, g| {
-            b.iter(|| std::hint::black_box(run_common_round(g, 0, 7).unwrap()))
+            b.iter(|| std::hint::black_box(run_common_round(g, 0, 7).unwrap()));
         });
     }
     group.finish();

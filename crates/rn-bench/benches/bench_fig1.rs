@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_fig1");
     group.sample_size(20);
     group.bench_function("worked_execution_13_nodes", |b| {
-        b.iter(|| std::hint::black_box(fig1::run()))
+        b.iter(|| std::hint::black_box(fig1::run()));
     });
     group.finish();
 

@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_impossibility");
     group.sample_size(10);
     group.bench_function("uniform_attempts_on_c4", |b| {
-        b.iter(|| std::hint::black_box(impossibility::run()))
+        b.iter(|| std::hint::black_box(impossibility::run()));
     });
     group.finish();
 

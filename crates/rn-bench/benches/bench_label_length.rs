@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     for scheme in SchemeKind::ALL {
         let id = BenchmarkId::new(scheme.name(), g.node_count());
         group.bench_with_input(id, &g, |b, g| {
-            b.iter(|| std::hint::black_box(scheme.assign(g, 0).unwrap()))
+            b.iter(|| std::hint::black_box(scheme.assign(g, 0).unwrap()));
         });
     }
     group.finish();

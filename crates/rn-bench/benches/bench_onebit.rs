@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
                         .unwrap()
                         .run(),
                 )
-            })
+            });
         });
     }
     for (rows, cols) in [(8usize, 8usize), (16, 16)] {
@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                         .unwrap()
                         .run(),
                 )
-            })
+            });
         });
     }
     group.finish();

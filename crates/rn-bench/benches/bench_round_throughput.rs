@@ -107,7 +107,7 @@ fn measure<N: RadioNode>(
             rounds as f64 / secs
         })
         .collect();
-    rates.sort_by(|a, b| a.total_cmp(b));
+    rates.sort_by(f64::total_cmp);
     rates[rates.len() / 2]
 }
 
@@ -208,8 +208,7 @@ fn run_gossip_workload(name: &'static str, graph: Graph, cfg: &Config) -> Measur
 fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std::path::PathBuf> {
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let mut entries = String::new();
     for (i, m) in measurements.iter().enumerate() {
         if i > 0 {
@@ -237,14 +236,15 @@ fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std:
          \"workloads\": [\n{entries}\n  ]\n}}\n",
         cfg.quick
     );
-    let out = std::env::var("BENCH_OUT")
-        .map(Into::into)
-        .unwrap_or_else(|_| {
+    let out = std::env::var("BENCH_OUT").map_or_else(
+        |_| {
             // crates/rn-bench -> workspace root
             std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
                 .join("BENCH_simulator.json")
-        });
+        },
+        Into::into,
+    );
     std::fs::write(&out, json)?;
     Ok(out.canonicalize().unwrap_or(out))
 }

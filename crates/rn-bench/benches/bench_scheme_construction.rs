@@ -12,13 +12,13 @@ fn bench(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         let g = GraphFamily::GnpSparse.generate(n, 1);
         group.bench_with_input(BenchmarkId::new("lambda", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(lambda::construct(g, 0).unwrap()))
+            b.iter(|| std::hint::black_box(lambda::construct(g, 0).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("lambda_ack", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(lambda_ack::construct(g, 0).unwrap()))
+            b.iter(|| std::hint::black_box(lambda_ack::construct(g, 0).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("lambda_arb", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(lambda_arb::construct(g).unwrap()))
+            b.iter(|| std::hint::black_box(lambda_arb::construct(g).unwrap()));
         });
     }
     group.finish();

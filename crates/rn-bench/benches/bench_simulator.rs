@@ -22,7 +22,7 @@ fn bench_rounds(c: &mut Criterion) {
                 let mut sim = Simulator::new(g.clone(), nodes).without_trace();
                 sim.run_rounds(2 * n as u64);
                 std::hint::black_box(sim.current_round())
-            })
+            });
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn bench_graph_algorithms(c: &mut Criterion) {
     for n in [256usize, 1024] {
         let g = generators::gnp_connected(n, 8.0 / n as f64, 1).unwrap();
         group.bench_with_input(BenchmarkId::new("square_graph", n), &g, |b, g| {
-            b.iter(|| std::hint::black_box(square_graph(g)))
+            b.iter(|| std::hint::black_box(square_graph(g)));
         });
         let candidates: Vec<usize> = g.nodes().collect();
         let targets: Vec<usize> = g.nodes().collect();
@@ -52,7 +52,7 @@ fn bench_graph_algorithms(c: &mut Criterion) {
                         )
                         .unwrap(),
                     )
-                })
+                });
             },
         );
     }

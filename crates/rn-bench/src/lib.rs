@@ -1,2 +1,4 @@
 //! Criterion benchmark crate. All content lives in `benches/`; this library
 //! target exists only so the crate participates in the workspace.
+
+#![forbid(unsafe_code)]

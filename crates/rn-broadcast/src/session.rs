@@ -56,6 +56,7 @@ use crate::messages::{BMessage, SourceMessage, TaggedPayload};
 use crate::multi::MultiNode;
 use crate::verify;
 use rn_graph::{Graph, NodeId};
+use rn_labeling::collection::CollectionPlan;
 use rn_labeling::gossip::GossipScheme;
 use rn_labeling::multi::MultiLambdaScheme;
 use rn_labeling::{
@@ -659,6 +660,24 @@ impl Session {
     /// running never re-labels the session's own graph/source pair.
     pub fn labeling(&self) -> &Labeling {
         self.prepared.labeling()
+    }
+
+    /// The resolved coordinator: the `111`-labeled node for λ_arb and the
+    /// collection root for multi/gossip (node 0 for schemes that have no
+    /// coordinator concept). Static analyzers certify against this value.
+    pub fn coordinator(&self) -> NodeId {
+        self.coordinator
+    }
+
+    /// The collection schedule of a multi-broadcast or gossip session
+    /// (`None` for every single-message scheme). Exposed so certificate
+    /// checkers can audit the exact plan the relay protocol will drive.
+    pub fn collection_plan(&self) -> Option<&CollectionPlan> {
+        match &self.prepared.kind {
+            PreparedKind::Multi { scheme, .. } => Some(scheme.plan()),
+            PreparedKind::Gossip { scheme, .. } => Some(scheme.plan()),
+            _ => None,
+        }
     }
 
     /// Runs the session with its configured source and message.

@@ -13,10 +13,90 @@
 //!   time; in round `2i` exactly the `x2`-labeled nodes of `NEW_i` transmit
 //!   "stay".
 
-use crate::messages::BMessage;
+use crate::messages::{BMessage, MultiMessage};
 use rn_labeling::{Labeling, SequenceConstruction};
 use rn_radio::message::RadioMessage;
 use rn_radio::trace::{NodeEvent, Trace};
+
+/// Replays a multi-message trace's absorb semantics: which messages each
+/// node holds after each heard event. Returns, per node, the first round it
+/// held message `j`, seeding each source with its own message at round 0.
+fn replay_holdings(
+    trace: &Trace<MultiMessage>,
+    node_count: usize,
+    sources: &[usize],
+) -> Vec<Vec<Option<u64>>> {
+    let k = sources.len();
+    let mut acquired: Vec<Vec<Option<u64>>> = vec![vec![None; k]; node_count];
+    for (j, &s) in sources.iter().enumerate() {
+        acquired[s][j] = Some(0);
+    }
+    for round in &trace.rounds {
+        for (v, event) in round.events.iter().enumerate() {
+            let NodeEvent::Heard { message, .. } = event else {
+                continue;
+            };
+            match message {
+                MultiMessage::Relay { source_index, .. } => {
+                    let j = *source_index as usize;
+                    if j < k && acquired[v][j].is_none() {
+                        acquired[v][j] = Some(round.round);
+                    }
+                }
+                MultiMessage::Token(bundle) | MultiMessage::Bundle(bundle) => {
+                    for &(j, _) in bundle.iter() {
+                        let j = j as usize;
+                        if j < k && acquired[v][j].is_none() {
+                            acquired[v][j] = Some(round.round);
+                        }
+                    }
+                }
+                MultiMessage::Stay => {}
+            }
+        }
+    }
+    acquired
+}
+
+/// Round in which each node first held **all** `k` messages of a
+/// multi-broadcast or gossip trace (a source of every message reads as
+/// `Some(0)`); `None` for nodes that never complete.
+///
+/// This is the multi-message analogue of [`first_payload_rounds`] (which is
+/// already generic over the message type but answers a single-payload
+/// question): it replays the absorb semantics of [`MultiMessage`] — a
+/// `Relay` delivers one source's message, a `Token` or `Bundle` delivers
+/// every message it carries, a `Stay` delivers nothing.
+pub fn holds_all_rounds(
+    trace: &Trace<MultiMessage>,
+    node_count: usize,
+    sources: &[usize],
+) -> Vec<Option<u64>> {
+    replay_holdings(trace, node_count, sources)
+        .iter()
+        .map(|row| completion_round(row))
+        .collect()
+}
+
+/// For each source (in `sources` order), the round by which **every** node
+/// held that source's message, or `None` if it never fully propagated —
+/// the trace-replay counterpart of
+/// [`RunReport::message_completion_rounds`](crate::session::RunReport::message_completion_rounds).
+pub fn message_completion_rounds(
+    trace: &Trace<MultiMessage>,
+    node_count: usize,
+    sources: &[usize],
+) -> Vec<(usize, Option<u64>)> {
+    let acquired = replay_holdings(trace, node_count, sources);
+    sources
+        .iter()
+        .enumerate()
+        .map(|(j, &s)| {
+            let column: Vec<Option<u64>> = (0..node_count).map(|v| acquired[v][j]).collect();
+            (s, completion_round(&column))
+        })
+        .collect()
+}
 
 /// Round in which each node first received a message satisfying `is_payload`
 /// (the source gets `Some(0)`).
@@ -267,5 +347,77 @@ mod tests {
         assert_eq!(completion_round(&[Some(0), None, Some(3)]), None);
         assert_eq!(completion_round(&[Some(0), Some(1)]), Some(1));
         assert_eq!(completion_round(&[]), Some(0));
+    }
+
+    #[test]
+    fn multi_trace_replay_agrees_with_session_report() {
+        use crate::multi::MultiNode;
+        use crate::session::{Scheme, Session};
+        use rn_labeling::multi;
+
+        let g = generators::grid(4, 5);
+        let sources = vec![0usize, 7, 19];
+        let session = Session::builder(
+            Scheme::MultiLambda { k: sources.len() },
+            std::sync::Arc::new(g.clone()),
+        )
+        .sources(&sources)
+        .build()
+        .unwrap();
+        let report = session.run();
+
+        // Re-execute the same deterministic protocol with a raw simulator to
+        // get at the trace, then replay it through the oracles.
+        let scheme = multi::construct(&g, &sources).unwrap();
+        let payloads: Vec<_> = (0..sources.len() as u64)
+            .map(|j| report.message + j)
+            .collect();
+        let nodes = MultiNode::network(&scheme, &payloads);
+        let mut sim = Simulator::new(g.clone(), nodes);
+        sim.run_until(StopCondition::QuietFor { quiet: 3, cap: 600 }, |_| false);
+
+        let informed = holds_all_rounds(sim.trace(), g.node_count(), &sources);
+        assert_eq!(informed, report.informed_rounds);
+        assert_eq!(completion_round(&informed), report.completion_round);
+        let per_message = message_completion_rounds(sim.trace(), g.node_count(), &sources);
+        assert_eq!(Some(per_message), report.message_completion_rounds);
+    }
+
+    #[test]
+    fn gossip_trace_replay_agrees_with_session_report() {
+        use crate::gossip::GossipNode;
+        use crate::session::{Scheme, Session};
+        use rn_labeling::gossip;
+
+        let g = generators::gnp_connected(14, 0.25, 6).unwrap();
+        let sources: Vec<usize> = (0..g.node_count()).collect();
+        let session = Session::builder(Scheme::Gossip, std::sync::Arc::new(g.clone()))
+            .build()
+            .unwrap();
+        let report = session.run();
+
+        let scheme = gossip::construct(&g).unwrap();
+        let payloads: Vec<_> = (0..sources.len() as u64)
+            .map(|j| report.message + j)
+            .collect();
+        let nodes = GossipNode::network(&scheme, &payloads);
+        let mut sim = Simulator::new(g.clone(), nodes);
+        sim.run_until(StopCondition::QuietFor { quiet: 3, cap: 600 }, |_| false);
+
+        let informed = holds_all_rounds(sim.trace(), g.node_count(), &sources);
+        assert_eq!(informed, report.informed_rounds);
+        assert_eq!(completion_round(&informed), report.completion_round);
+        let per_message = message_completion_rounds(sim.trace(), g.node_count(), &sources);
+        assert_eq!(Some(per_message), report.message_completion_rounds);
+    }
+
+    #[test]
+    fn holds_all_rounds_seeds_sources_and_reports_stragglers() {
+        // An empty trace: only the seeded sources hold anything.
+        let trace: Trace<MultiMessage> = Trace::new();
+        let informed = holds_all_rounds(&trace, 3, &[1]);
+        assert_eq!(informed, vec![None, Some(0), None]);
+        let per_message = message_completion_rounds(&trace, 3, &[1]);
+        assert_eq!(per_message, vec![(1, None)]);
     }
 }

@@ -1,0 +1,427 @@
+//! `analyze` — the static-analysis gate: certify every labeling scheme on
+//! the whole topology registry without trusting the simulator, then (by
+//! default) cross-check the certified predictions against real simulations.
+//!
+//! Usage:
+//!
+//! ```text
+//! analyze                            # 18 families x all general schemes, sizes 16/32
+//! analyze --json report.json         # also write the machine-readable report
+//! analyze --sizes 16,32,64 --seed 3  # change the instance grid
+//! analyze --no-simulate              # static certification only (no cross-check)
+//! analyze --corrupt                  # fault injection: every corrupted labeling
+//!                                    # must yield a *located* finding
+//! ```
+//!
+//! Exit status: in certification mode, `0` iff every point certifies (and,
+//! unless `--no-simulate`, every prediction matches its simulation); in
+//! `--corrupt` mode, `0` iff every seeded corruption is caught with a
+//! finding that names a node. Either way a non-zero exit means the gate
+//! fails — CI wires this binary in directly.
+
+use rn_analyze::{analyze_session, certify_labeled, Certificate, Finding};
+use rn_broadcast::session::{Scheme, Session};
+use rn_experiments::Table;
+use rn_graph::generators::TopologyFamily;
+use rn_graph::Graph;
+use rn_labeling::label::{Label, Labeling};
+use std::sync::Arc;
+
+struct Args {
+    sizes: Vec<usize>,
+    seed: u64,
+    json: Option<String>,
+    simulate: bool,
+    corrupt: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sizes: vec![16, 32],
+        seed: 1,
+        json: None,
+        simulate: true,
+        corrupt: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            "--sizes" => {
+                let v = it.next().ok_or("--sizes requires a comma-separated list")?;
+                args.sizes = v
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad size {s:?}")))
+                    .collect::<Result<_, _>>()?;
+                if args.sizes.is_empty() {
+                    return Err("--sizes requires at least one size".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json requires a path")?);
+            }
+            "--no-simulate" => args.simulate = false,
+            "--corrupt" => args.corrupt = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "analyze — statically certify every labeling scheme on the topology registry\n\
+         \n\
+         USAGE:\n\
+         \tanalyze [--sizes N,N,..] [--seed S] [--json PATH] [--no-simulate] [--corrupt]\n\
+         \n\
+         OPTIONS:\n\
+         \t--sizes N,..     instance sizes to certify (default: 16,32)\n\
+         \t--seed S         instance seed for the randomised families (default: 1)\n\
+         \t--json PATH      write the machine-readable analysis report\n\
+         \t--no-simulate    skip the static-vs-dynamic cross-check\n\
+         \t--corrupt        fault-injection mode: corrupt one label per point and\n\
+         \t                 require a located finding (node + violated rule)"
+    );
+}
+
+/// One analyzed (family, size, scheme) point, flattened for the report.
+struct PointOutcome {
+    family: &'static str,
+    n: usize,
+    scheme: &'static str,
+    /// Certification mode: the point certified (and cross-checked, when
+    /// simulation is on). Corruption mode: the seeded corruption was caught
+    /// with a located finding.
+    ok: bool,
+    predicted: Option<u64>,
+    simulated: Option<u64>,
+    bound: Option<u64>,
+    findings: Vec<Finding>,
+}
+
+/// Seeds one deterministic label corruption appropriate to the scheme and
+/// returns the corrupted labeling plus a description of what was broken.
+fn corrupt_labeling(session: &Session, graph: &Graph) -> (Labeling, String) {
+    let mut labels = session.labeling().labels().to_vec();
+    let scheme = session.scheme();
+    let name = session.labeling().scheme();
+    match scheme {
+        // The baselines certify label structure directly: a duplicated id /
+        // a colour shared inside distance 2 must trip the slot checks.
+        Scheme::UniqueIds => {
+            labels[0] = Label::from_value(labels[1].value(), labels[0].len());
+            (
+                Labeling::new(labels, name),
+                "node 0 copies node 1's id".into(),
+            )
+        }
+        Scheme::SquareColoring => {
+            let u = graph.neighbors(0)[0];
+            labels[0] = Label::from_value(labels[u].value(), labels[0].len());
+            (
+                Labeling::new(labels, name),
+                format!("node 0 copies adjacent node {u}'s colour"),
+            )
+        }
+        // The coordinator-bearing schemes lose their coordinator's bits.
+        Scheme::LambdaArb | Scheme::MultiLambda { .. } | Scheme::Gossip => {
+            let r = session.coordinator();
+            labels[r] = Label::from_value(0, labels[r].len());
+            (
+                Labeling::new(labels, name),
+                format!("coordinator {r}'s label zeroed"),
+            )
+        }
+        // λ / λ_ack: strand a stratum by clearing the highest-indexed
+        // transmitter bit (the labelings are minimal, so every x1 node is
+        // load-bearing).
+        _ => {
+            let v = (0..labels.len())
+                .rev()
+                .find(|&v| labels[v].x1())
+                .expect("every labeling marks at least the source with x1");
+            labels[v] = Label::from_value(0, labels[v].len());
+            (
+                Labeling::new(labels, name),
+                format!("transmitter {v}'s label zeroed"),
+            )
+        }
+    }
+}
+
+fn analyze_point(
+    family: TopologyFamily,
+    n: usize,
+    seed: u64,
+    scheme: Scheme,
+    simulate: bool,
+    corrupt: bool,
+) -> Result<PointOutcome, String> {
+    let graph = family
+        .generate(n, seed)
+        .map_err(|e| format!("generating {} (n = {n}): {e}", family.name()))?;
+    let graph = Arc::new(graph);
+    let session = Session::builder(scheme, Arc::clone(&graph))
+        .build()
+        .map_err(|e| {
+            format!(
+                "labeling {} (n = {n}) with {}: {e}",
+                family.name(),
+                scheme.name()
+            )
+        })?;
+
+    if corrupt {
+        let (corrupted, what) = corrupt_labeling(&session, &graph);
+        let result = certify_labeled(
+            scheme,
+            &graph,
+            &corrupted,
+            session.source(),
+            session.sources(),
+            session.coordinator(),
+            session.collection_plan(),
+        );
+        let (ok, findings) = match result {
+            // A corrupted labeling that still certifies is a gate failure.
+            Ok(_) => (false, Vec::new()),
+            Err(findings) => {
+                let located = findings.iter().any(Finding::is_located);
+                (located, findings)
+            }
+        };
+        if !ok {
+            eprintln!(
+                "MISSED: {} n={} {}: {what} not caught with a located finding",
+                family.name(),
+                session.graph().node_count(),
+                scheme.name()
+            );
+        }
+        return Ok(PointOutcome {
+            family: family.name(),
+            n: graph.node_count(),
+            scheme: scheme.name(),
+            ok,
+            predicted: None,
+            simulated: None,
+            bound: None,
+            findings,
+        });
+    }
+
+    let (cert, mut findings): (Option<Certificate>, Vec<Finding>) = match analyze_session(&session)
+    {
+        Ok(cert) => (Some(cert), Vec::new()),
+        Err(findings) => (None, findings),
+    };
+    let mut simulated = None;
+    if let Some(cert) = &cert {
+        if simulate {
+            let report = session.run();
+            simulated = report.completion_round;
+            findings.extend(cert.cross_check(&report));
+        }
+    }
+    let ok = findings.is_empty() && cert.is_some();
+    if !ok {
+        for f in &findings {
+            eprintln!(
+                "FINDING: {} n={} {}: {f}",
+                family.name(),
+                graph.node_count(),
+                scheme.name()
+            );
+        }
+    }
+    Ok(PointOutcome {
+        family: family.name(),
+        n: graph.node_count(),
+        scheme: scheme.name(),
+        ok,
+        predicted: cert.as_ref().and_then(|c| c.completion_round),
+        simulated,
+        bound: cert.as_ref().map(|c| c.round_bound),
+        findings,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt(x: Option<u64>) -> String {
+    x.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\": \"{}\", \"node\": {}, \"round\": {}, \"detail\": \"{}\"}}",
+        f.rule.name(),
+        f.node.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        json_opt(f.round),
+        json_escape(&f.detail)
+    )
+}
+
+fn report_json(args: &Args, points: &[PointOutcome]) -> String {
+    let sizes: Vec<String> = args.sizes.iter().map(ToString::to_string).collect();
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let findings: Vec<String> = p.findings.iter().map(finding_json).collect();
+        rows.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"scheme\": \"{}\", \"ok\": {}, \
+             \"predicted_completion_round\": {}, \"simulated_completion_round\": {}, \
+             \"round_bound\": {}, \"findings\": [{}]}}",
+            json_escape(p.family),
+            p.n,
+            json_escape(p.scheme),
+            p.ok,
+            json_opt(p.predicted),
+            json_opt(p.simulated),
+            json_opt(p.bound),
+            findings.join(", "),
+        ));
+    }
+    let ok = points.iter().filter(|p| p.ok).count();
+    format!(
+        "{{\n  \"mode\": \"{}\",\n  \"sizes\": [{}],\n  \"seed\": {},\n  \
+         \"simulate\": {},\n  \"points\": [\n{}\n  ],\n  \
+         \"summary\": {{\"points\": {}, \"ok\": {}, \"failed\": {}}}\n}}\n",
+        if args.corrupt { "corrupt" } else { "certify" },
+        sizes.join(", "),
+        args.seed,
+        args.simulate && !args.corrupt,
+        rows,
+        points.len(),
+        ok,
+        points.len() - ok,
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let schemes = Scheme::GENERAL;
+    eprintln!(
+        "{} {} families x {} sizes x {} schemes (seed {})",
+        if args.corrupt {
+            "fault-injecting"
+        } else {
+            "certifying"
+        },
+        TopologyFamily::PRESETS.len(),
+        args.sizes.len(),
+        schemes.len(),
+        args.seed
+    );
+    let mut points = Vec::new();
+    for family in TopologyFamily::PRESETS {
+        for &n in &args.sizes {
+            for scheme in schemes {
+                match analyze_point(family, n, args.seed, scheme, args.simulate, args.corrupt) {
+                    Ok(p) => points.push(p),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-family summary table: one row per (family, size).
+    let mut table = Table::new(
+        if args.corrupt {
+            format!("analyze --corrupt: {} corrupted points", points.len())
+        } else {
+            format!("analyze: {} certified points", points.len())
+        },
+        &[
+            "family",
+            "n",
+            if args.corrupt { "caught" } else { "certified" },
+            "findings",
+        ],
+    );
+    let mut keys: Vec<(&str, usize)> = Vec::new();
+    for p in &points {
+        if !keys.contains(&(p.family, p.n)) {
+            keys.push((p.family, p.n));
+        }
+    }
+    for (family, n) in keys {
+        let group: Vec<&PointOutcome> = points
+            .iter()
+            .filter(|p| p.family == family && p.n == n)
+            .collect();
+        let ok = group.iter().filter(|p| p.ok).count();
+        let findings: usize = group.iter().map(|p| p.findings.len()).sum();
+        table.push_row(vec![
+            family.to_string(),
+            n.to_string(),
+            format!("{ok}/{}", group.len()),
+            findings.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report_json(&args, &points)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let failed = points.iter().filter(|p| !p.ok).count();
+    if failed > 0 {
+        eprintln!(
+            "{failed}/{} points {}",
+            points.len(),
+            if args.corrupt {
+                "escaped fault injection"
+            } else {
+                "failed certification"
+            }
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all {} points {}",
+        points.len(),
+        if args.corrupt {
+            "caught with located findings"
+        } else {
+            "certified (static == simulated)"
+        }
+    );
+}

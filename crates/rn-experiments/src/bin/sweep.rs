@@ -10,6 +10,7 @@
 //! sweep families --csv records.csv   # also write the per-run CSV
 //! sweep scaling --quick              # shrink sizes/seeds for a fast pass
 //! sweep smoke --threads 2            # cap the worker threads
+//! sweep smoke --verify-static        # certify every point statically first
 //! ```
 //!
 //! Reports are deterministic: the same sweep name and code version produce
@@ -24,6 +25,7 @@ struct Args {
     csv: Option<String>,
     quick: bool,
     threads: Option<usize>,
+    verify_static: bool,
     list: bool,
 }
 
@@ -34,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         csv: None,
         quick: false,
         threads: None,
+        verify_static: false,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => args.list = true,
             "--quick" => args.quick = true,
+            "--verify-static" => args.verify_static = true,
             "--json" => {
                 args.json = Some(it.next().ok_or("--json requires a path")?);
             }
@@ -74,7 +78,7 @@ fn print_help() {
         "sweep — run a named topology/scheme sweep\n\
          \n\
          USAGE:\n\
-         \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N]\n\
+         \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N] [--verify-static]\n\
          \tsweep --list\n\
          \n\
          OPTIONS:\n\
@@ -82,6 +86,8 @@ fn print_help() {
          \t--csv PATH    write the per-run records as CSV\n\
          \t--quick       shrink sizes and seeds for a fast smoke pass\n\
          \t--threads N   worker threads (default: one per core, capped; RN_THREADS overrides)\n\
+         \t--verify-static  statically certify every point (rn-analyze) before trusting its run;\n\
+         \t              any finding or static-vs-dynamic mismatch aborts the sweep\n\
          \t--list        list the named sweeps"
     );
 }
@@ -120,6 +126,9 @@ fn main() {
     if let Some(threads) = args.threads {
         spec = spec.threads(threads);
     }
+    if args.verify_static {
+        spec = spec.verify_static(true);
+    }
     eprintln!(
         "sweep {name:?}: {} families x {} sizes x {} schemes x {} seeds = {} runs",
         spec.families.len(),
@@ -136,6 +145,17 @@ fn main() {
         }
     };
     println!("{}", report.summary_table());
+    if spec.verify_static {
+        let certified = report
+            .records
+            .iter()
+            .filter(|r| r.predicted_completion_round.is_some())
+            .count();
+        eprintln!(
+            "static preflight: {certified}/{} records certified (predicted == simulated completion)",
+            report.records.len()
+        );
+    }
     if let Some(path) = args.json {
         if let Err(e) = std::fs::write(&path, emit::to_json(&report)) {
             eprintln!("error: writing {path}: {e}");

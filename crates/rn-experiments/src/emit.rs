@@ -79,17 +79,27 @@ fn spec_json(spec: &SweepSpec) -> String {
         .iter()
         .map(|s| format!("\"{}\"", json_escape(s.name())))
         .collect();
-    let sizes: Vec<String> = spec.sizes.iter().map(|n| n.to_string()).collect();
-    let seeds: Vec<String> = spec.seeds.iter().map(|s| s.to_string()).collect();
+    let sizes: Vec<String> = spec
+        .sizes
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    let seeds: Vec<String> = spec
+        .seeds
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     format!(
         "{{\n    \"families\": [{}],\n    \"sizes\": [{}],\n    \"schemes\": [{}],\n    \
-         \"seeds\": [{}],\n    \"sources_per_point\": {},\n    \"record_traces\": {}\n  }}",
+         \"seeds\": [{}],\n    \"sources_per_point\": {},\n    \"record_traces\": {},\n    \
+         \"verify_static\": {}\n  }}",
         families.join(", "),
         sizes.join(", "),
         schemes.join(", "),
         seeds.join(", "),
         spec.sources_per_point,
-        spec.record_traces
+        spec.record_traces,
+        spec.verify_static
     )
 }
 
@@ -105,6 +115,7 @@ pub fn to_json(report: &SweepReport) -> String {
              \"n\": {}, \"edges\": {}, \"max_degree\": {}, \"avg_degree\": {}, \
              \"seed\": {}, \"scheme\": \"{}\", \"source\": {}, \"k_sources\": {}, \
              \"label_length\": {}, \"distinct_labels\": {}, \"completion_round\": {}, \
+             \"predicted_completion_round\": {}, \
              \"message_completion_rounds\": {}, \"rounds_executed\": {}, \
              \"transmissions\": {}, \"collisions\": {}, \"silent_rounds\": {}}}",
             json_escape(r.family),
@@ -121,6 +132,7 @@ pub fn to_json(report: &SweepReport) -> String {
             r.label_length,
             r.distinct_labels,
             json_opt(r.completion_round),
+            json_opt(r.predicted_completion_round),
             json_rounds(&r.message_completion_rounds),
             r.rounds_executed,
             r.transmissions,
@@ -184,7 +196,8 @@ pub fn to_json(report: &SweepReport) -> String {
 /// The CSV header matching [`to_csv`]'s rows.
 pub const CSV_HEADER: &str = "family,family_params,n_requested,n,edges,max_degree,avg_degree,\
 seed,scheme,source,k_sources,label_length,distinct_labels,completion_round,\
-message_completion_rounds,rounds_executed,transmissions,collisions,silent_rounds";
+predicted_completion_round,message_completion_rounds,rounds_executed,transmissions,collisions,\
+silent_rounds";
 
 /// Escapes one CSV field (quotes it when it contains a comma or quote).
 fn csv_field(s: &str) -> String {
@@ -201,7 +214,7 @@ pub fn to_csv(report: &SweepReport) -> String {
     out.push('\n');
     for r in &report.records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(r.family),
             csv_field(&r.family_params),
             r.n_requested,
@@ -216,6 +229,8 @@ pub fn to_csv(report: &SweepReport) -> String {
             r.label_length,
             r.distinct_labels,
             r.completion_round
+                .map_or_else(String::new, |c| c.to_string()),
+            r.predicted_completion_round
                 .map_or_else(String::new, |c| c.to_string()),
             csv_rounds(&r.message_completion_rounds),
             r.rounds_executed,
@@ -384,7 +399,7 @@ mod tests {
         assert!(csv.lines().next().unwrap().contains("k_sources"));
         // The per-message field is `;`-joined, e.g. "12;15;9".
         let row = csv.lines().nth(1).unwrap();
-        let field = row.split(',').nth(14).unwrap();
+        let field = row.split(',').nth(15).unwrap();
         assert_eq!(field.split(';').count(), 3, "{row}");
 
         // A message that never propagated serialises as null / "-".

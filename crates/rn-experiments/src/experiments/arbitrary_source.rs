@@ -80,11 +80,10 @@ pub fn run(config: &ExperimentConfig) -> Table {
         ],
     );
     for p in &points {
-        let per_n = p
-            .result
-            .worst_common_knowledge
-            .map(|c| format!("{:.2}", c as f64 / p.result.n as f64))
-            .unwrap_or_else(|| "-".into());
+        let per_n = p.result.worst_common_knowledge.map_or_else(
+            || "-".into(),
+            |c| format!("{:.2}", c as f64 / p.result.n as f64),
+        );
         table.push_row(vec![
             p.workload.family.name().to_string(),
             p.result.n.to_string(),

@@ -60,6 +60,15 @@ pub struct SweepSpec {
     /// provide the collision / transmission statistics; without them those
     /// columns are zero.
     pub record_traces: bool,
+    /// Whether to statically certify every point before trusting its
+    /// simulation: each run is preflighted through
+    /// [`rn_analyze::analyze_and_cross_check`], so a labeling violation or
+    /// any static-vs-dynamic disagreement aborts the sweep with
+    /// [`SweepError::Static`] instead of silently producing wrong rows.
+    /// Certified runs carry the analyzer's exact prediction in
+    /// [`SweepRecord::predicted_completion_round`]. The 1-bit delay-relay
+    /// schemes are outside the analyzer's scope and are skipped.
+    pub verify_static: bool,
 }
 
 impl SweepSpec {
@@ -76,6 +85,7 @@ impl SweepSpec {
             sources_per_point: 1,
             threads: 0,
             record_traces: true,
+            verify_static: false,
         }
     }
 
@@ -118,6 +128,13 @@ impl SweepSpec {
     /// Enables or disables trace recording.
     pub fn record_traces(mut self, record: bool) -> Self {
         self.record_traces = record;
+        self
+    }
+
+    /// Enables or disables the static certification preflight (see the
+    /// [`verify_static`](Self::verify_static) field).
+    pub fn verify_static(mut self, verify: bool) -> Self {
+        self.verify_static = verify;
         self
     }
 
@@ -203,8 +220,9 @@ impl SweepSpec {
         } else {
             self.threads
         };
+        let verify = self.verify_static;
         let results = rn_radio::batch::run_parallel(jobs, threads, |(family, n, seed)| {
-            run_point(family, n, seed, &schemes, sources, trace)
+            run_point(family, n, seed, &schemes, sources, trace, verify)
         });
         let mut records = Vec::with_capacity(self.run_count());
         let mut histograms: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
@@ -252,6 +270,19 @@ pub enum SweepError {
         /// Underlying labeling error.
         source: LabelingError,
     },
+    /// The static certification preflight rejected a point: the analyzer
+    /// found a labeling/schedule violation, or its exact predictions
+    /// disagreed with the simulated report.
+    Static {
+        /// Family of the instance.
+        family: String,
+        /// Scheme whose certification failed.
+        scheme: &'static str,
+        /// Actual node count of the instance.
+        n: usize,
+        /// The located findings, rendered one per `; `-joined clause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -269,6 +300,15 @@ impl fmt::Display for SweepError {
                 n,
                 source,
             } => write!(f, "labeling {family} (n = {n}) with {scheme}: {source}"),
+            SweepError::Static {
+                family,
+                scheme,
+                n,
+                detail,
+            } => write!(
+                f,
+                "static certification of {family} (n = {n}) with {scheme} failed: {detail}"
+            ),
         }
     }
 }
@@ -313,6 +353,11 @@ pub struct SweepRecord {
     pub distinct_labels: usize,
     /// Round by which every node was informed, if broadcast completed.
     pub completion_round: Option<u64>,
+    /// The static analyzer's exact predicted completion round, when the
+    /// sweep ran with [`SweepSpec::verify_static`] and the scheme is in the
+    /// analyzer's scope. A certified record always has this equal to
+    /// `completion_round` — the preflight aborts the sweep otherwise.
+    pub predicted_completion_round: Option<u64>,
     /// Rounds the simulation executed (including the quiet tail).
     pub rounds_executed: u64,
     /// Total transmissions (0 when traces are disabled).
@@ -351,6 +396,7 @@ impl SweepRecord {
             label_length: report.label_length,
             distinct_labels: report.distinct_labels,
             completion_round: report.completion_round,
+            predicted_completion_round: None,
             rounds_executed: report.rounds_executed,
             transmissions: report.stats.transmissions,
             collisions: report.stats.collisions,
@@ -379,6 +425,7 @@ fn run_point(
     schemes: &[Scheme],
     sources_per_point: usize,
     trace: TracePolicy,
+    verify_static: bool,
 ) -> Result<PointResult, SweepError> {
     let graph = family
         .generate(n, seed)
@@ -427,7 +474,7 @@ fn run_point(
                     .labeling()
                     .labels()
                     .iter()
-                    .map(|l| l.len())
+                    .map(rn_labeling::Label::len)
                     .collect(),
             ));
             // A multi-message run (multi_lambda, gossip) ignores the
@@ -443,8 +490,28 @@ fn run_point(
             // The point itself is one parallel job, so the inner batch runs
             // inline (threads = 1); parallelism lives at the instance level.
             let reports = session.run_batch(&specs, 1).map_err(label_err)?;
+            // The 1-bit delay-relay schemes are outside the analyzer's
+            // scope (rn_analyze reports them Unsupported), so the preflight
+            // skips them rather than failing the sweep.
+            let in_scope = !matches!(scheme, Scheme::OneBitCycle | Scheme::OneBitGrid { .. });
             for report in &reports {
-                records.push(SweepRecord::from_report(family, n, seed, &graph, report));
+                let mut record = SweepRecord::from_report(family, n, seed, &graph, report);
+                if verify_static && in_scope {
+                    let cert = rn_analyze::analyze_and_cross_check(&session, report).map_err(
+                        |findings| SweepError::Static {
+                            family: family.name().to_string(),
+                            scheme: scheme.name(),
+                            n: actual_n,
+                            detail: findings
+                                .iter()
+                                .map(std::string::ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join("; "),
+                        },
+                    )?;
+                    record.predicted_completion_round = cert.completion_round;
+                }
+                records.push(record);
             }
         }
     }
@@ -735,7 +802,7 @@ mod tests {
         let report = tiny_spec().run().unwrap();
         // 2 families x 1 size x 1 scheme x 2 seeds.
         assert_eq!(report.records.len(), 4);
-        assert!(report.records.iter().all(|r| r.completed()));
+        assert!(report.records.iter().all(super::SweepRecord::completed));
         assert!(report.records.iter().all(|r| r.label_length == 2));
         assert!(report.records.iter().all(|r| r.transmissions > 0));
     }
@@ -776,7 +843,7 @@ mod tests {
         assert_eq!(report.records.len(), 3);
         let sources: Vec<usize> = report.records.iter().map(|r| r.source).collect();
         assert_eq!(sources, vec![0, 4, 8]);
-        assert!(report.records.iter().all(|r| r.completed()));
+        assert!(report.records.iter().all(super::SweepRecord::completed));
     }
 
     #[test]
@@ -797,7 +864,7 @@ mod tests {
         assert_eq!(arb, 12);
         // Both schemes still produce one record per source.
         assert_eq!(report.records.len(), 6);
-        assert!(report.records.iter().all(|r| r.completed()));
+        assert!(report.records.iter().all(super::SweepRecord::completed));
     }
 
     #[test]
@@ -861,7 +928,7 @@ mod tests {
     fn disabled_traces_zero_the_collision_columns() {
         let report = tiny_spec().record_traces(false).run().unwrap();
         assert!(report.records.iter().all(|r| r.collisions == 0));
-        assert!(report.records.iter().all(|r| r.completed()));
+        assert!(report.records.iter().all(super::SweepRecord::completed));
     }
 
     #[test]
@@ -954,6 +1021,48 @@ mod tests {
         assert!(text.contains("grid"));
         assert!(text.contains("lambda"));
         assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn verify_static_certifies_and_fills_the_predicted_column() {
+        let spec = SweepSpec::new("preflight")
+            .families(&[
+                TopologyFamily::Grid,
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+            ])
+            .sizes(&[16])
+            .schemes(&[
+                Scheme::Lambda,
+                Scheme::LambdaArb,
+                Scheme::UniqueIds,
+                Scheme::MultiLambda { k: 3 },
+                Scheme::Gossip,
+            ])
+            .seeds(&[1])
+            .sources_per_point(2)
+            .verify_static(true)
+            .threads(1);
+        let report = spec.run().expect("every point certifies");
+        assert!(!report.records.is_empty());
+        // The certified prediction is byte-identical to the simulation on
+        // every record — the preflight would have errored otherwise.
+        for r in &report.records {
+            assert_eq!(
+                r.predicted_completion_round, r.completion_round,
+                "{} / {}",
+                r.family, r.scheme
+            );
+            assert!(r.predicted_completion_round.is_some());
+        }
+    }
+
+    #[test]
+    fn verify_static_defaults_off_and_leaves_the_column_empty() {
+        let report = tiny_spec().run().unwrap();
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.predicted_completion_round.is_none()));
     }
 
     #[test]

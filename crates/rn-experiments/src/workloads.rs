@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn family_names_are_distinct() {
-        let mut names: Vec<_> = GraphFamily::ALL.iter().map(|f| f.name()).collect();
+        let mut names: Vec<_> = GraphFamily::ALL
+            .iter()
+            .map(super::GraphFamily::name)
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), GraphFamily::ALL.len());

@@ -446,7 +446,10 @@ mod tests {
 
     #[test]
     fn preset_names_are_unique_and_parse_back() {
-        let mut names: Vec<&str> = TopologyFamily::PRESETS.iter().map(|f| f.name()).collect();
+        let mut names: Vec<&str> = TopologyFamily::PRESETS
+            .iter()
+            .map(super::TopologyFamily::name)
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), TopologyFamily::PRESETS.len());

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn scheme_names_are_distinct() {
-        let mut names: Vec<_> = SchemeKind::ALL.iter().map(|s| s.name()).collect();
+        let mut names: Vec<_> = SchemeKind::ALL
+            .iter()
+            .map(super::LabelingScheme::name)
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SchemeKind::ALL.len());

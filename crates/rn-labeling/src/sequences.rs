@@ -177,6 +177,12 @@ impl SequenceConstruction {
         self.stage(i).map_or(&[], |s| &s.new)
     }
 
+    /// `FRONTIER_i` for any `i ≥ 1` (empty for `i ≥ ℓ`): the uninformed
+    /// neighbourhood of `INF_{i-1}` that `DOM_i` dominates.
+    pub fn frontier(&self, i: usize) -> &[NodeId] {
+        self.stage(i).map_or(&[], |s| &s.frontier)
+    }
+
     /// Whether node `v` belongs to `DOM_i` for some `i`.
     pub fn in_some_dom(&self, v: NodeId) -> bool {
         self.stages.iter().any(|s| s.dom.binary_search(&v).is_ok())

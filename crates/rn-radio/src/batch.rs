@@ -102,9 +102,7 @@ pub fn default_threads_for(jobs: usize) -> usize {
     if let Some(t) = env_thread_override() {
         return t;
     }
-    let available = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let cap = if jobs >= LARGE_BATCH_JOBS {
         MAX_DEFAULT_THREADS
     } else {

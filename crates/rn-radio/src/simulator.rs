@@ -600,7 +600,7 @@ mod tests {
             NodeEvent::Collision {
                 transmitting_neighbors,
             } => {
-                assert_eq!(*transmitting_neighbors, 2)
+                assert_eq!(*transmitting_neighbors, 2);
             }
             other => panic!("expected collision, got {other:?}"),
         }

@@ -14,7 +14,8 @@
 //! | [`radio`] | `rn-radio` | the synchronous collision-model simulator, traces, statistics, and the parallel batch executor |
 //! | [`labeling`] | `rn-labeling` | the λ / λ_ack / λ_arb schemes, folklore baselines, 1-bit schemes, and the multi-message schemes (`multi_lambda`, `gossip`) with their shared `CollectionPlan`s |
 //! | [`broadcast`] | `rn-broadcast` | the universal algorithms (B, B_ack, B_arb, …) and the **session API** |
-//! | [`experiments`] | `rn-experiments` | the paper-table experiments (`repro`) and the scenario sweep harness (`sweep`) |
+//! | [`analyze`] | `rn-analyze` | the static analyzer: symbolic schedule derivation, certified round bounds, located findings |
+//! | [`experiments`] | `rn-experiments` | the paper-table experiments (`repro`), the scenario sweep harness (`sweep`), and the analysis gate (`analyze`) |
 //!
 //! ## Quickstart: the session API
 //!
@@ -85,6 +86,7 @@
 //! assert!(report.label_length_histograms["lambda"].keys().all(|&bits| bits <= 2));
 //! ```
 
+pub use rn_analyze as analyze;
 pub use rn_broadcast as broadcast;
 pub use rn_experiments as experiments;
 pub use rn_graph as graph;

@@ -110,7 +110,7 @@ fn dropping_the_x2_bit_breaks_long_paths() {
     // Removing x2 may or may not matter depending on the graph; on a path it
     // is harmless — assert only that the oracle agrees with whatever happened.
     if let Some(c) = verify::completion_round(&informed_stripped) {
-        assert!(c <= 2 * 30 - 3)
+        assert!(c <= 2 * 30 - 3);
     }
 }
 

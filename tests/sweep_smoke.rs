@@ -5,6 +5,7 @@
 
 use radio_labeling::experiments::emit;
 use radio_labeling::experiments::scenario;
+use radio_labeling::experiments::scenario::SweepRecord;
 
 #[test]
 fn named_smoke_sweep_runs_end_to_end_and_emits_reports() {
@@ -18,7 +19,7 @@ fn named_smoke_sweep_runs_end_to_end_and_emits_reports() {
     let families: std::collections::BTreeSet<&str> =
         report.records.iter().map(|r| r.family).collect();
     assert_eq!(families.len(), spec.families.len());
-    assert!(report.records.iter().all(|r| r.completed()));
+    assert!(report.records.iter().all(SweepRecord::completed));
     assert!(report.records.iter().all(|r| r.label_length == 2));
     // Theorem 2.9: completion within 2n - 3 rounds on every topology.
     for r in &report.records {
@@ -58,7 +59,7 @@ fn multi_sweep_quick_is_byte_identical_across_thread_counts() {
     let a = one.run().expect("multi sweep runs cleanly");
     let b = four.run().unwrap();
     assert!(!a.records.is_empty());
-    assert!(a.records.iter().all(|r| r.completed()));
+    assert!(a.records.iter().all(SweepRecord::completed));
     assert_eq!(a.records, b.records);
     assert_eq!(emit::to_json(&a), emit::to_json(&b));
     assert_eq!(emit::to_csv(&a), emit::to_csv(&b));
@@ -76,7 +77,7 @@ fn gossip_sweep_quick_is_byte_identical_across_thread_counts() {
     let a = one.run().expect("gossip sweep runs cleanly");
     let b = four.run().unwrap();
     assert!(!a.records.is_empty());
-    assert!(a.records.iter().all(|r| r.completed()));
+    assert!(a.records.iter().all(SweepRecord::completed));
     // Every node is a source: the existing k_sources / per-message columns
     // carry the n-message shape.
     assert!(a.records.iter().all(|r| r.k_sources == r.n));
