@@ -187,21 +187,25 @@ impl RadioNode for MultiNode {
         self.tick();
         self.local_round += 1;
 
-        // Collection phase: fire this node's scheduled relays. The schedule
-        // guarantees the payload arrived in an earlier round (the previous
-        // hop was the sole transmitter of its round).
+        // Collection phase: fire this node's scheduled relays. In a
+        // fault-free run the schedule guarantees the payload arrived in an
+        // earlier round (the previous hop was the sole transmitter of its
+        // round); an injected fault (crashed hop, jammed slot) can break
+        // that guarantee, in which case the node skips its relay slot and
+        // the message simply fails to propagate — degradation the run
+        // report surfaces as an incomplete `message_completion_rounds`
+        // entry, never a panic.
         if let Some(&(round, payload)) = self.slots.get(self.next_slot) {
             if round == self.local_round {
                 self.next_slot += 1;
                 return match payload {
-                    TokenPayload::Source(j) => {
-                        let payload = self.received[j as usize]
-                            .expect("collection schedule delivers the payload before each relay");
-                        Action::Transmit(MultiMessage::Relay {
+                    TokenPayload::Source(j) => match self.received[j as usize] {
+                        Some(payload) => Action::Transmit(MultiMessage::Relay {
                             source_index: j,
                             payload,
-                        })
-                    }
+                        }),
+                        None => Action::Listen,
+                    },
                     TokenPayload::Accumulated => {
                         let token: Vec<(u32, SourceMessage)> = self
                             .received
@@ -217,18 +221,15 @@ impl RadioNode for MultiNode {
 
         // The coordinator opens the broadcast phase: assemble the bundle of
         // all k messages and transmit it, exactly like B's source transmits
-        // µ in its first round.
+        // µ in its first round. Collection funnels every message here in a
+        // fault-free run; under injected faults some may be missing, and
+        // the coordinator broadcasts whatever subset it holds.
         if self.coordinator_start == Some(self.local_round - 1) {
             let bundle: Vec<(u32, SourceMessage)> = self
                 .received
                 .iter()
                 .enumerate()
-                .map(|(j, p)| {
-                    (
-                        j as u32,
-                        p.expect("collection funnelled every message to the coordinator"),
-                    )
-                })
+                .filter_map(|(j, p)| p.map(|p| (j as u32, p)))
                 .collect();
             self.bundle = Some(Arc::new(bundle));
             return self.transmit_bundle();

@@ -62,7 +62,9 @@ use rn_labeling::multi::MultiLambdaScheme;
 use rn_labeling::{
     baselines, gossip, lambda, lambda_ack, lambda_arb, multi, onebit, Labeling, LabelingError,
 };
-use rn_radio::{Engine, ExecutionStats, RadioNode, RoundScratch, Simulator, StopCondition};
+use rn_radio::{
+    Engine, ExecutionStats, FaultPlan, RadioNode, RoundScratch, Simulator, StopCondition,
+};
 use std::sync::{Arc, Mutex};
 
 /// Which labeling scheme / broadcast algorithm pair a session executes.
@@ -399,6 +401,18 @@ pub struct RunReport {
     pub rounds_executed: u64,
     /// Communication statistics of the execution.
     pub stats: ExecutionStats,
+    /// Robustness: fraction of **non-crashed** nodes that ended the run
+    /// informed (for multi-message schemes: fully informed). Nodes the fault
+    /// plan crashed within the executed rounds are excluded from both sides
+    /// of the ratio; a fault-free completed run reports exactly 1.0.
+    pub delivery_rate: f64,
+    /// Robustness: the last round in which any node became newly informed —
+    /// the round after which the broadcast made no further progress. `None`
+    /// when no node was ever informed within the executed rounds.
+    pub stalled_at: Option<u64>,
+    /// Robustness: number of scheduled fault events whose effect had begun
+    /// by the end of the run (0 for a fault-free run).
+    pub faults_injected: usize,
 }
 
 impl RunReport {
@@ -446,6 +460,7 @@ pub struct SessionBuilder {
     trace: TracePolicy,
     round_cap: RoundCapPolicy,
     engine: Engine,
+    faults: FaultPlan,
 }
 
 impl SessionBuilder {
@@ -462,6 +477,7 @@ impl SessionBuilder {
             trace: TracePolicy::default(),
             round_cap: RoundCapPolicy::default(),
             engine: Engine::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -523,6 +539,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a [`FaultPlan`] (default [`FaultPlan::none`]): every run of
+    /// the session replays the same deterministic fault schedule through the
+    /// simulator (see `rn_radio::fault`), and the report's robustness
+    /// columns ([`RunReport::delivery_rate`], [`RunReport::stalled_at`],
+    /// [`RunReport::faults_injected`]) measure the damage. An empty plan
+    /// leaves every run byte-identical to an unfaulted session.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Constructs the labeling and the per-node protocol templates.
     ///
     /// This is the expensive step (BFS layering, sequence construction,
@@ -571,6 +598,14 @@ impl SessionBuilder {
         if source >= node_count {
             return Err(LabelingError::SourceOutOfRange { source, node_count });
         }
+        if let Some(max) = self.faults.max_node() {
+            if max >= node_count {
+                return Err(LabelingError::FaultTargetOutOfRange {
+                    node: max,
+                    node_count,
+                });
+            }
+        }
         let coordinator = match (self.scheme, self.coordinator) {
             (_, Some(c)) => c,
             (Scheme::MultiLambda { .. }, None) => multi::choose_coordinator(&self.graph, &sources)?,
@@ -596,6 +631,7 @@ impl SessionBuilder {
             trace: self.trace,
             round_cap: self.round_cap,
             engine: self.engine,
+            faults: self.faults,
             prepared,
             scratch_pool: Mutex::new(Vec::new()),
         })
@@ -619,6 +655,9 @@ pub struct Session {
     trace: TracePolicy,
     round_cap: RoundCapPolicy,
     engine: Engine,
+    /// The deterministic fault schedule every run replays (empty by
+    /// default); validated against the graph at build time.
+    faults: FaultPlan,
     prepared: Prepared,
     /// Recycled per-round simulator buffers: every run borrows a scratch
     /// from here and returns it afterwards, so repeat and batch runs
@@ -667,6 +706,12 @@ impl Session {
     /// coordinator concept). Static analyzers certify against this value.
     pub fn coordinator(&self) -> NodeId {
         self.coordinator
+    }
+
+    /// The fault schedule every run of this session replays (empty unless
+    /// [`SessionBuilder::faults`] installed one).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The collection schedule of a multi-broadcast or gossip session
@@ -808,6 +853,9 @@ impl Session {
             common_knowledge_round: None,
             rounds_executed: 0,
             stats: ExecutionStats::default(),
+            delivery_rate: 0.0,
+            stalled_at: None,
+            faults_injected: 0,
         };
 
         match &prepared.kind {
@@ -948,7 +996,37 @@ impl Session {
                 );
             }
         }
+        self.fill_robustness(&mut report);
         report
+    }
+
+    /// Fills the robustness columns from the informed rounds and the fault
+    /// plan. Cheap and scheme-agnostic, so it runs for every report; with
+    /// the default empty plan it reduces to `informed / n`, the last
+    /// informed round, and zero faults.
+    fn fill_robustness(&self, report: &mut RunReport) {
+        let mut eligible = 0usize;
+        let mut delivered = 0usize;
+        for (v, informed) in report.informed_rounds.iter().enumerate() {
+            let crashed = self
+                .faults
+                .crash_round(v)
+                .is_some_and(|r| r <= report.rounds_executed);
+            if !crashed {
+                eligible += 1;
+                if informed.is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        // Every node crashed: delivery is vacuously complete.
+        report.delivery_rate = if eligible == 0 {
+            1.0
+        } else {
+            delivered as f64 / eligible as f64
+        };
+        report.stalled_at = report.informed_rounds.iter().flatten().copied().max();
+        report.faults_injected = self.faults.injected_by(report.rounds_executed);
     }
 
     /// Runs a multi-message (collection + bundle broadcast) execution and
@@ -1225,7 +1303,8 @@ impl<'g, N: RadioNode> Execution<'g, N> {
         };
         let mut sim = Simulator::new(Arc::clone(&self.session.graph), self.nodes)
             .with_engine(self.session.engine)
-            .with_scratch(scratch);
+            .with_scratch(scratch)
+            .with_faults(&self.session.faults);
         if !self.record {
             sim = sim.without_trace();
         }
@@ -1298,6 +1377,84 @@ impl<N: RadioNode> Finished<N> {
 mod tests {
     use super::*;
     use rn_graph::generators;
+
+    #[test]
+    fn fault_free_reports_carry_trivial_robustness_columns() {
+        let g = generators::grid(4, 5);
+        let session = Session::builder(Scheme::Lambda, g).build().unwrap();
+        let r = session.run();
+        assert!(r.completed());
+        assert!((r.delivery_rate - 1.0).abs() < 1e-12);
+        assert_eq!(r.stalled_at, r.completion_round);
+        assert_eq!(r.faults_injected, 0);
+    }
+
+    #[test]
+    fn none_plan_sessions_report_byte_identically() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 5).unwrap());
+        for scheme in Scheme::GENERAL {
+            let plain = Session::builder(scheme, Arc::clone(&g)).build().unwrap();
+            let with_none = Session::builder(scheme, Arc::clone(&g))
+                .faults(FaultPlan::none())
+                .build()
+                .unwrap();
+            assert_eq!(plain.run(), with_none.run(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn crashed_relay_starves_the_far_side_and_lowers_delivery_rate() {
+        // Path 0..12 with source 0: node 5 dies immediately, so nodes 6..
+        // can never be informed; 0..=4 still are. Eligible = 11 non-crashed
+        // nodes, delivered = 5.
+        let g = generators::path(12);
+        let session = Session::builder(Scheme::Lambda, g)
+            .faults(FaultPlan::none().crash(5, 1))
+            .build()
+            .unwrap();
+        let r = session.run();
+        assert!(!r.completed());
+        assert_eq!(r.faults_injected, 1);
+        assert!(r.informed_rounds[4].is_some());
+        assert!(r.informed_rounds[6].is_none());
+        assert!((r.delivery_rate - 5.0 / 11.0).abs() < 1e-12);
+        assert_eq!(r.stalled_at, r.informed_rounds[4]);
+    }
+
+    #[test]
+    fn repeated_faulted_runs_are_deterministic_and_engines_agree() {
+        let g = Arc::new(generators::grid(3, 4));
+        let plan = FaultPlan::none().crash(5, 3).jam(0, 2, 2).late_wake(11, 4);
+        let build = |engine: Engine| {
+            Session::builder(Scheme::Lambda, Arc::clone(&g))
+                .faults(plan.clone())
+                .engine(engine)
+                .build()
+                .unwrap()
+        };
+        let fast = build(Engine::TransmitterCentric);
+        let reference = build(Engine::ListenerCentric);
+        let a = fast.run();
+        assert_eq!(a, fast.run(), "same session, same plan, same report");
+        assert_eq!(a, reference.run(), "engines must agree under faults");
+        assert!(a.faults_injected > 0);
+    }
+
+    #[test]
+    fn builder_rejects_fault_plans_targeting_missing_nodes() {
+        let g = generators::path(3);
+        let result = Session::builder(Scheme::Lambda, g)
+            .faults(FaultPlan::none().crash(9, 1))
+            .build();
+        match result {
+            Err(LabelingError::FaultTargetOutOfRange { node, node_count }) => {
+                assert_eq!(node, 9);
+                assert_eq!(node_count, 3);
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+            Ok(_) => panic!("build accepted an out-of-range fault target"),
+        }
+    }
 
     #[test]
     fn lambda_session_matches_theorem_2_9() {

@@ -11,20 +11,25 @@
 //! analyze --no-simulate              # static certification only (no cross-check)
 //! analyze --corrupt                  # fault injection: every corrupted labeling
 //!                                    # must yield a *located* finding
+//! analyze --faults                   # run-time fault injection: a crashed node
+//!                                    # must make the cross-check fail, located
 //! ```
 //!
 //! Exit status: in certification mode, `0` iff every point certifies (and,
 //! unless `--no-simulate`, every prediction matches its simulation); in
 //! `--corrupt` mode, `0` iff every seeded corruption is caught with a
-//! finding that names a node. Either way a non-zero exit means the gate
-//! fails — CI wires this binary in directly.
+//! finding that names a node; in `--faults` mode, `0` iff every injected
+//! run-time fault that perturbs the timeline makes the static cross-check
+//! fail with a finding that names a node. Either way a non-zero exit means
+//! the gate fails — CI wires this binary in directly.
 
-use rn_analyze::{analyze_session, certify_labeled, Certificate, Finding};
+use rn_analyze::{analyze_and_cross_check, analyze_session, certify_labeled, Certificate, Finding};
 use rn_broadcast::session::{Scheme, Session};
 use rn_experiments::Table;
 use rn_graph::generators::TopologyFamily;
 use rn_graph::Graph;
 use rn_labeling::label::{Label, Labeling};
+use rn_radio::FaultPlan;
 use std::sync::Arc;
 
 struct Args {
@@ -33,6 +38,7 @@ struct Args {
     json: Option<String>,
     simulate: bool,
     corrupt: bool,
+    faults: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         simulate: true,
         corrupt: false,
+        faults: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,8 +76,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-simulate" => args.simulate = false,
             "--corrupt" => args.corrupt = true,
+            "--faults" => args.faults = true,
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    if args.corrupt && args.faults {
+        return Err("--corrupt and --faults are separate gates; run them one at a time".into());
     }
     Ok(args)
 }
@@ -88,7 +99,10 @@ fn print_help() {
          \t--json PATH      write the machine-readable analysis report\n\
          \t--no-simulate    skip the static-vs-dynamic cross-check\n\
          \t--corrupt        fault-injection mode: corrupt one label per point and\n\
-         \t                 require a located finding (node + violated rule)"
+         \t                 require a located finding (node + violated rule)\n\
+         \t--faults         run-time fault-injection mode: crash the last-informed\n\
+         \t                 node per point and require the static cross-check to\n\
+         \t                 fail with a located finding"
     );
 }
 
@@ -157,6 +171,7 @@ fn corrupt_labeling(session: &Session, graph: &Graph) -> (Labeling, String) {
     }
 }
 
+#[allow(clippy::too_many_lines)]
 fn analyze_point(
     family: TopologyFamily,
     n: usize,
@@ -164,6 +179,7 @@ fn analyze_point(
     scheme: Scheme,
     simulate: bool,
     corrupt: bool,
+    faults: bool,
 ) -> Result<PointOutcome, String> {
     let graph = family
         .generate(n, seed)
@@ -213,6 +229,79 @@ fn analyze_point(
             ok,
             predicted: None,
             simulated: None,
+            bound: None,
+            findings,
+        });
+    }
+
+    if faults {
+        // Run-time fault injection: crash the node the fault-free run
+        // informs last, at round 1. The baseline informed it, so the crash
+        // is guaranteed to perturb the timeline — and the static
+        // certificate (which describes the fault-free schedule) must then
+        // disagree with the faulted run, with a finding naming a node.
+        let baseline = session.run();
+        let victim = baseline
+            .informed_rounds
+            .iter()
+            .enumerate()
+            .filter(|&(v, r)| v != session.source() && r.is_some())
+            .max_by_key(|&(_, r)| *r)
+            .map(|(v, _)| v)
+            .ok_or_else(|| {
+                format!(
+                    "{} n={}: no non-source node was informed, nothing to crash",
+                    family.name(),
+                    graph.node_count()
+                )
+            })?;
+        let faulted_session = Session::builder(scheme, Arc::clone(&graph))
+            .faults(FaultPlan::none().crash(victim, 1))
+            .build()
+            .map_err(|e| {
+                format!(
+                    "labeling {} (n = {n}) with {}: {e}",
+                    family.name(),
+                    scheme.name()
+                )
+            })?;
+        let report = faulted_session.run();
+        let perturbed = report.informed_rounds != baseline.informed_rounds;
+        let (ok, findings) = if perturbed {
+            match analyze_and_cross_check(&faulted_session, &report) {
+                // A perturbed run the cross-check still accepts is exactly
+                // the blind spot this gate exists to catch.
+                Ok(_) => (false, Vec::new()),
+                Err(findings) => {
+                    let located = findings.iter().any(Finding::is_located);
+                    (located, findings)
+                }
+            }
+        } else {
+            // Cannot happen with this plan; flag it rather than vacuously
+            // passing.
+            (false, Vec::new())
+        };
+        if !ok {
+            eprintln!(
+                "MISSED: {} n={} {}: crashing node {victim} at round 1 {}",
+                family.name(),
+                session.graph().node_count(),
+                scheme.name(),
+                if perturbed {
+                    "perturbed the run but the cross-check produced no located finding"
+                } else {
+                    "did not perturb the run"
+                }
+            );
+        }
+        return Ok(PointOutcome {
+            family: family.name(),
+            n: graph.node_count(),
+            scheme: scheme.name(),
+            ok,
+            predicted: None,
+            simulated: report.completion_round,
             bound: None,
             findings,
         });
@@ -311,10 +400,16 @@ fn report_json(args: &Args, points: &[PointOutcome]) -> String {
         "{{\n  \"mode\": \"{}\",\n  \"sizes\": [{}],\n  \"seed\": {},\n  \
          \"simulate\": {},\n  \"points\": [\n{}\n  ],\n  \
          \"summary\": {{\"points\": {}, \"ok\": {}, \"failed\": {}}}\n}}\n",
-        if args.corrupt { "corrupt" } else { "certify" },
+        if args.corrupt {
+            "corrupt"
+        } else if args.faults {
+            "faults"
+        } else {
+            "certify"
+        },
         sizes.join(", "),
         args.seed,
-        args.simulate && !args.corrupt,
+        (args.simulate && !args.corrupt) || args.faults,
         rows,
         points.len(),
         ok,
@@ -334,6 +429,8 @@ fn main() {
     eprintln!(
         "{} {} families x {} sizes x {} schemes (seed {})",
         if args.corrupt {
+            "label-corrupting"
+        } else if args.faults {
             "fault-injecting"
         } else {
             "certifying"
@@ -347,7 +444,15 @@ fn main() {
     for family in TopologyFamily::PRESETS {
         for &n in &args.sizes {
             for scheme in schemes {
-                match analyze_point(family, n, args.seed, scheme, args.simulate, args.corrupt) {
+                match analyze_point(
+                    family,
+                    n,
+                    args.seed,
+                    scheme,
+                    args.simulate,
+                    args.corrupt,
+                    args.faults,
+                ) {
                     Ok(p) => points.push(p),
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -362,13 +467,19 @@ fn main() {
     let mut table = Table::new(
         if args.corrupt {
             format!("analyze --corrupt: {} corrupted points", points.len())
+        } else if args.faults {
+            format!("analyze --faults: {} fault-injected points", points.len())
         } else {
             format!("analyze: {} certified points", points.len())
         },
         &[
             "family",
             "n",
-            if args.corrupt { "caught" } else { "certified" },
+            if args.corrupt || args.faults {
+                "caught"
+            } else {
+                "certified"
+            },
             "findings",
         ],
     );
@@ -407,7 +518,7 @@ fn main() {
         eprintln!(
             "{failed}/{} points {}",
             points.len(),
-            if args.corrupt {
+            if args.corrupt || args.faults {
                 "escaped fault injection"
             } else {
                 "failed certification"
@@ -418,7 +529,7 @@ fn main() {
     eprintln!(
         "all {} points {}",
         points.len(),
-        if args.corrupt {
+        if args.corrupt || args.faults {
             "caught with located findings"
         } else {
             "certified (static == simulated)"

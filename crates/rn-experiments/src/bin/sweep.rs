@@ -11,12 +11,15 @@
 //! sweep scaling --quick              # shrink sizes/seeds for a fast pass
 //! sweep smoke --threads 2            # cap the worker threads
 //! sweep smoke --verify-static        # certify every point statically first
+//! sweep smoke --faults               # add the default fault presets as an axis
+//! sweep smoke --faults crash:20,jam:2  # or a custom preset list
 //! ```
 //!
 //! Reports are deterministic: the same sweep name and code version produce
 //! byte-identical JSON/CSV, regardless of `--threads`.
 
 use rn_experiments::emit;
+use rn_experiments::faults::FaultSpec;
 use rn_experiments::scenario::{self, SweepSpec};
 
 struct Args {
@@ -26,7 +29,14 @@ struct Args {
     quick: bool,
     threads: Option<usize>,
     verify_static: bool,
+    faults: Option<Vec<FaultSpec>>,
     list: bool,
+}
+
+/// Parses a comma-separated preset list (`crash:20,jam:2`); `None` if any
+/// entry is not a valid preset.
+fn parse_fault_list(s: &str) -> Option<Vec<FaultSpec>> {
+    s.split(',').map(FaultSpec::parse).collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,9 +47,10 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         threads: None,
         verify_static: false,
+        faults: None,
         list: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -49,6 +60,20 @@ fn parse_args() -> Result<Args, String> {
             "--list" => args.list = true,
             "--quick" => args.quick = true,
             "--verify-static" => args.verify_static = true,
+            "--faults" => {
+                // An optional value: `--faults crash:20,jam:2` names the
+                // presets; a bare `--faults` installs the default set. A
+                // following token that is not a preset list (e.g. the sweep
+                // name) is left for the positional parser.
+                let presets = it.peek().and_then(|next| parse_fault_list(next));
+                args.faults = match presets {
+                    Some(list) => {
+                        it.next();
+                        Some(list)
+                    }
+                    None => Some(FaultSpec::DEFAULT_PRESETS.to_vec()),
+                };
+            }
             "--json" => {
                 args.json = Some(it.next().ok_or("--json requires a path")?);
             }
@@ -79,6 +104,7 @@ fn print_help() {
          \n\
          USAGE:\n\
          \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N] [--verify-static]\n\
+         \t             [--faults [LIST]]\n\
          \tsweep --list\n\
          \n\
          OPTIONS:\n\
@@ -88,6 +114,9 @@ fn print_help() {
          \t--threads N   worker threads (default: one per core, capped; RN_THREADS overrides)\n\
          \t--verify-static  statically certify every point (rn-analyze) before trusting its run;\n\
          \t              any finding or static-vs-dynamic mismatch aborts the sweep\n\
+         \t--faults [LIST]  add fault presets as a sweep axis; LIST is comma-separated\n\
+         \t              (none, crash:P, jam:K, latewake:P — P a percentage, K a node count);\n\
+         \t              a bare --faults uses the default set none,crash:15,jam:1,latewake:25\n\
          \t--list        list the named sweeps"
     );
 }
@@ -129,12 +158,16 @@ fn main() {
     if args.verify_static {
         spec = spec.verify_static(true);
     }
+    if let Some(faults) = &args.faults {
+        spec = spec.faults(faults);
+    }
     eprintln!(
-        "sweep {name:?}: {} families x {} sizes x {} schemes x {} seeds = {} runs",
+        "sweep {name:?}: {} families x {} sizes x {} schemes x {} seeds x {} fault presets = {} runs",
         spec.families.len(),
         spec.sizes.len(),
         spec.schemes.len(),
         spec.seeds.len(),
+        spec.faults.len(),
         spec.run_count()
     );
     let report = match spec.run() {

@@ -63,6 +63,14 @@ fn json_f64(x: f64) -> String {
 }
 
 fn spec_json(spec: &SweepSpec) -> String {
+    // The faults axis is always emitted — a default spec renders as
+    // ["none"], so a plain sweep and an explicit `--faults none` sweep
+    // produce byte-identical documents.
+    let faults: Vec<String> = spec
+        .faults
+        .iter()
+        .map(|f| format!("\"{}\"", json_escape(&f.to_string())))
+        .collect();
     let families: Vec<String> = spec
         .families
         .iter()
@@ -91,12 +99,13 @@ fn spec_json(spec: &SweepSpec) -> String {
         .collect();
     format!(
         "{{\n    \"families\": [{}],\n    \"sizes\": [{}],\n    \"schemes\": [{}],\n    \
-         \"seeds\": [{}],\n    \"sources_per_point\": {},\n    \"record_traces\": {},\n    \
-         \"verify_static\": {}\n  }}",
+         \"seeds\": [{}],\n    \"faults\": [{}],\n    \"sources_per_point\": {},\n    \
+         \"record_traces\": {},\n    \"verify_static\": {}\n  }}",
         families.join(", "),
         sizes.join(", "),
         schemes.join(", "),
         seeds.join(", "),
+        faults.join(", "),
         spec.sources_per_point,
         spec.record_traces,
         spec.verify_static
@@ -117,7 +126,9 @@ pub fn to_json(report: &SweepReport) -> String {
              \"label_length\": {}, \"distinct_labels\": {}, \"completion_round\": {}, \
              \"predicted_completion_round\": {}, \
              \"message_completion_rounds\": {}, \"rounds_executed\": {}, \
-             \"transmissions\": {}, \"collisions\": {}, \"silent_rounds\": {}}}",
+             \"transmissions\": {}, \"collisions\": {}, \"silent_rounds\": {}, \
+             \"fault_spec\": \"{}\", \"delivery_rate\": {}, \"stalled_at\": {}, \
+             \"faults_injected\": {}}}",
             json_escape(r.family),
             json_escape(&r.family_params),
             r.n_requested,
@@ -138,6 +149,10 @@ pub fn to_json(report: &SweepReport) -> String {
             r.transmissions,
             r.collisions,
             r.silent_rounds,
+            json_escape(&r.fault_spec),
+            json_f64(r.delivery_rate),
+            json_opt(r.stalled_at),
+            r.faults_injected,
         ));
     }
     let mut histograms = String::new();
@@ -197,7 +212,7 @@ pub fn to_json(report: &SweepReport) -> String {
 pub const CSV_HEADER: &str = "family,family_params,n_requested,n,edges,max_degree,avg_degree,\
 seed,scheme,source,k_sources,label_length,distinct_labels,completion_round,\
 predicted_completion_round,message_completion_rounds,rounds_executed,transmissions,collisions,\
-silent_rounds";
+silent_rounds,fault_spec,delivery_rate,stalled_at,faults_injected";
 
 /// Escapes one CSV field (quotes it when it contains a comma or quote).
 fn csv_field(s: &str) -> String {
@@ -214,7 +229,7 @@ pub fn to_csv(report: &SweepReport) -> String {
     out.push('\n');
     for r in &report.records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{}\n",
             csv_field(r.family),
             csv_field(&r.family_params),
             r.n_requested,
@@ -237,6 +252,10 @@ pub fn to_csv(report: &SweepReport) -> String {
             r.transmissions,
             r.collisions,
             r.silent_rounds,
+            csv_field(&r.fault_spec),
+            r.delivery_rate,
+            r.stalled_at.map_or_else(String::new, |c| c.to_string()),
+            r.faults_injected,
         ));
     }
     out
@@ -245,6 +264,7 @@ pub fn to_csv(report: &SweepReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSpec;
     use crate::scenario::SweepSpec;
     use rn_broadcast::session::Scheme;
     use rn_graph::generators::TopologyFamily;
@@ -376,6 +396,49 @@ mod tests {
         let csv = to_csv(&report);
         // The empty completion_round field leaves two adjacent commas.
         assert!(csv.lines().nth(1).unwrap().contains(",,"));
+    }
+
+    #[test]
+    fn fault_columns_ride_at_the_end_of_both_formats() {
+        let report = SweepSpec::new("faults-emit")
+            .families(&[TopologyFamily::Path])
+            .sizes(&[12])
+            .schemes(&[Scheme::Lambda])
+            .seeds(&[1])
+            .faults(&[FaultSpec::None, FaultSpec::Crash { percent: 30 }])
+            .threads(1)
+            .run()
+            .unwrap();
+        let json = to_json(&report);
+        assert!(json.contains("\"faults\": [\"none\", \"crash:30\"]"));
+        assert!(json.contains("\"fault_spec\": \"none\""));
+        assert!(json.contains("\"fault_spec\": \"crash:30\""));
+        assert!(json.contains("\"delivery_rate\": 1.0000"));
+        assert!(json.contains("\"faults_injected\": "));
+
+        let csv = to_csv(&report);
+        let header = csv.lines().next().unwrap();
+        // New columns append at the end; every historical column index is
+        // untouched (downstream parsers index by position).
+        assert!(header.ends_with(",fault_spec,delivery_rate,stalled_at,faults_injected"));
+        assert_eq!(
+            CSV_HEADER.split(',').nth(15).unwrap(),
+            "message_completion_rounds"
+        );
+        let columns = CSV_HEADER.split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), columns, "{line}");
+        }
+        let faulted = csv.lines().find(|l| l.contains("crash:30")).unwrap();
+        assert_eq!(faulted.split(',').nth(20).unwrap(), "crash:30");
+    }
+
+    #[test]
+    fn default_spec_always_emits_the_faults_axis() {
+        // A plain sweep and an explicit `faults = [none]` sweep must render
+        // byte-identically, so the axis appears even in its default state.
+        let json = to_json(&small_report());
+        assert!(json.contains("\"faults\": [\"none\"]"));
     }
 
     #[test]

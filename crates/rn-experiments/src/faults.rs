@@ -1,0 +1,250 @@
+//! Fault presets for sweeps: compact, named recipes that resolve
+//! deterministically into concrete [`FaultPlan`]s per instance.
+//!
+//! A sweep cannot carry an explicit [`FaultPlan`] per point — the plan's
+//! node indices and rounds depend on the instance. Instead the spec carries
+//! a [`FaultSpec`] preset (`none`, `crash:P`, `jam:K`, `latewake:P`) and
+//! each point resolves it against its own `(n, seed, source)` with a
+//! SplitMix64 hash, so:
+//!
+//! * the same `(preset, instance)` always yields the same plan — reports
+//!   stay byte-identical across thread counts and reruns;
+//! * the broadcast source of the run is never a victim (crashing the
+//!   source trivially zeroes every run; the presets measure how the
+//!   *relay* fabric degrades);
+//! * fault rounds spread over `[1, 2n]`, the natural timescale of the
+//!   paper's `O(n)` broadcasts, so early, mid-, and late-run faults all
+//!   occur across a sweep.
+
+use rn_radio::FaultPlan;
+use std::fmt;
+
+/// SplitMix64: the repository's standard seedable hash (also used by the
+/// chaos protocols in `rn_radio::testing`). Deterministic and
+/// platform-independent.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A named fault preset: the sweep axis value that resolves to a concrete
+/// [`FaultPlan`] per instance (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// No faults: resolves to [`FaultPlan::none`], so runs are
+    /// byte-identical to a sweep without the axis.
+    None,
+    /// Crash roughly `percent`% of the non-source nodes, each at an
+    /// independent hash-chosen round in `[1, 2n]`. At least one node
+    /// crashes whenever `percent > 0` and the graph has a non-source node.
+    Crash {
+        /// Percentage (0–100) of non-source nodes to crash.
+        percent: u8,
+    },
+    /// Turn `k` hash-chosen non-source nodes into adversarial jammers,
+    /// each for a window of about `n / 2` rounds starting at a hash-chosen
+    /// round in `[1, n]`.
+    Jam {
+        /// Number of jamming nodes.
+        k: usize,
+    },
+    /// Keep roughly `percent`% of the non-source nodes asleep until a
+    /// hash-chosen wake round in `[2, 2n]`. At least one node sleeps
+    /// whenever `percent > 0` and the graph has a non-source node.
+    LateWake {
+        /// Percentage (0–100) of non-source nodes waking late.
+        percent: u8,
+    },
+}
+
+impl FaultSpec {
+    /// The default preset set installed by a bare `sweep ... --faults`
+    /// flag: one of each fault family plus the fault-free control.
+    pub const DEFAULT_PRESETS: [FaultSpec; 4] = [
+        FaultSpec::None,
+        FaultSpec::Crash { percent: 15 },
+        FaultSpec::Jam { k: 1 },
+        FaultSpec::LateWake { percent: 25 },
+    ];
+
+    /// Parses a preset name: `none`, `crash:P`, `jam:K`, or `latewake:P`
+    /// (`P` a percentage 0–100, `K` a node count).
+    pub fn parse(s: &str) -> Option<FaultSpec> {
+        if s == "none" {
+            return Some(FaultSpec::None);
+        }
+        let (kind, arg) = s.split_once(':')?;
+        match kind {
+            "crash" => {
+                let percent: u8 = arg.parse().ok()?;
+                (percent <= 100).then_some(FaultSpec::Crash { percent })
+            }
+            "jam" => arg.parse().ok().map(|k| FaultSpec::Jam { k }),
+            "latewake" => {
+                let percent: u8 = arg.parse().ok()?;
+                (percent <= 100).then_some(FaultSpec::LateWake { percent })
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolves the preset into a concrete plan for one run.
+    ///
+    /// `n` is the instance's node count, `seed` its instance seed, and
+    /// `protect` the run's broadcast source, which is never targeted. The
+    /// result depends on nothing else, so it is reproducible from the
+    /// record metadata alone.
+    pub fn resolve(&self, n: usize, seed: u64, protect: usize) -> FaultPlan {
+        let horizon = (2 * n as u64).max(4);
+        match *self {
+            FaultSpec::None => FaultPlan::none(),
+            FaultSpec::Crash { percent } => pick_victims(n, seed ^ 0xC4A5, protect, percent)
+                .into_iter()
+                .fold(FaultPlan::none(), |plan, (v, h)| {
+                    plan.crash(v, 1 + splitmix64(h) % horizon)
+                }),
+            FaultSpec::Jam { k } => {
+                let window = (horizon / 4).max(2);
+                pick_k(n, seed ^ 0x1A44, protect, k)
+                    .into_iter()
+                    .fold(FaultPlan::none(), |plan, (v, h)| {
+                        plan.jam(v, 1 + splitmix64(h) % (n as u64).max(1), window)
+                    })
+            }
+            FaultSpec::LateWake { percent } => pick_victims(n, seed ^ 0x1E7E, protect, percent)
+                .into_iter()
+                .fold(FaultPlan::none(), |plan, (v, h)| {
+                    plan.late_wake(v, 2 + splitmix64(h) % horizon)
+                }),
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultSpec::None => write!(f, "none"),
+            FaultSpec::Crash { percent } => write!(f, "crash:{percent}"),
+            FaultSpec::Jam { k } => write!(f, "jam:{k}"),
+            FaultSpec::LateWake { percent } => write!(f, "latewake:{percent}"),
+        }
+    }
+}
+
+/// Per-node victim selection: every non-source node joins with probability
+/// `percent`% under an independent hash. Guarantees at least one victim
+/// when `percent > 0` and a candidate exists (tiny instances would
+/// otherwise routinely resolve a fault preset to an empty plan).
+fn pick_victims(n: usize, salt: u64, protect: usize, percent: u8) -> Vec<(usize, u64)> {
+    if percent == 0 {
+        return Vec::new();
+    }
+    let mut victims = Vec::new();
+    let mut fallback: Option<(usize, u64)> = None;
+    for v in (0..n).filter(|&v| v != protect) {
+        let h = splitmix64(salt ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if h % 100 < u64::from(percent) {
+            victims.push((v, h));
+        }
+        if fallback.is_none_or(|(_, best)| h % 100 < best % 100) {
+            fallback = Some((v, h));
+        }
+    }
+    if victims.is_empty() {
+        victims.extend(fallback);
+    }
+    victims
+}
+
+/// Picks the `k` non-source nodes with the smallest hashes (ties broken by
+/// node id, so the choice is total and deterministic).
+fn pick_k(n: usize, salt: u64, protect: usize, k: usize) -> Vec<(usize, u64)> {
+    let mut ranked: Vec<(usize, u64)> = (0..n)
+        .filter(|&v| v != protect)
+        .map(|v| {
+            (
+                v,
+                splitmix64(salt ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        })
+        .collect();
+    ranked.sort_by_key(|&(v, h)| (h, v));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_display_names() {
+        for spec in [
+            FaultSpec::None,
+            FaultSpec::Crash { percent: 15 },
+            FaultSpec::Jam { k: 2 },
+            FaultSpec::LateWake { percent: 25 },
+        ] {
+            assert_eq!(FaultSpec::parse(&spec.to_string()), Some(spec));
+        }
+        assert_eq!(FaultSpec::parse("crash:101"), None);
+        assert_eq!(FaultSpec::parse("meteor:3"), None);
+        assert_eq!(FaultSpec::parse("crash"), None);
+    }
+
+    #[test]
+    fn resolution_is_deterministic_and_protects_the_source() {
+        for spec in [
+            FaultSpec::Crash { percent: 30 },
+            FaultSpec::Jam { k: 3 },
+            FaultSpec::LateWake { percent: 30 },
+        ] {
+            let a = spec.resolve(20, 7, 4);
+            assert_eq!(a, spec.resolve(20, 7, 4), "{spec}");
+            assert!(!a.is_empty(), "{spec}");
+            assert!(a.events().iter().all(|e| e.node() != 4), "{spec}");
+            assert_ne!(a, spec.resolve(20, 8, 4), "{spec}: seed must matter");
+        }
+    }
+
+    #[test]
+    fn none_resolves_to_the_empty_plan() {
+        assert!(FaultSpec::None.resolve(50, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn nonzero_percent_always_finds_a_victim() {
+        // 1% of 3 candidates rounds to zero victims almost surely; the
+        // fallback must still produce one so the preset is never a no-op.
+        for seed in 0..20 {
+            let plan = FaultSpec::Crash { percent: 1 }.resolve(4, seed, 0);
+            assert_eq!(plan.len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn jam_takes_exactly_k_distinct_nodes() {
+        let plan = FaultSpec::Jam { k: 3 }.resolve(10, 5, 2);
+        assert_eq!(plan.len(), 3);
+        let mut nodes: Vec<usize> = plan
+            .events()
+            .iter()
+            .map(rn_radio::FaultEvent::node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn scheduled_rounds_stay_within_the_documented_windows() {
+        let n = 16;
+        let plan = FaultSpec::Crash { percent: 50 }.resolve(n, 3, 0);
+        for e in plan.events() {
+            let r = e.effective_round().unwrap();
+            assert!((1..=2 * n as u64).contains(&r), "{e:?}");
+        }
+    }
+}

@@ -21,12 +21,14 @@
 
 pub mod emit;
 pub mod experiments;
+pub mod faults;
 pub mod report;
 pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod workloads;
 
+pub use faults::FaultSpec;
 pub use report::Table;
 pub use scenario::{SweepRecord, SweepReport, SweepSpec};
 pub use workloads::{GraphFamily, Workload};

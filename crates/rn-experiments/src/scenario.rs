@@ -22,6 +22,7 @@
 //! cargo run -p rn-experiments --bin sweep -- radio --json report.json
 //! ```
 
+use crate::faults::FaultSpec;
 use crate::stats::Summary;
 use crate::Table;
 use rn_broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
@@ -47,6 +48,13 @@ pub struct SweepSpec {
     pub schemes: Vec<Scheme>,
     /// Instance seeds (each seed is one instance of a randomised family).
     pub seeds: Vec<u64>,
+    /// Fault presets applied as a sweep axis: every run executes once per
+    /// preset, each resolved deterministically against the instance (see
+    /// [`FaultSpec::resolve`]). Defaults to `[FaultSpec::None]`, which
+    /// resolves to the empty plan — the simulator then takes its exact
+    /// fault-free code paths, so reports stay byte-identical to a sweep
+    /// without the axis.
+    pub faults: Vec<FaultSpec>,
     /// Broadcast sources per instance, spread evenly over the node range;
     /// the runs of one instance go through [`Session::run_batch`]. Requests
     /// beyond the instance size collapse to one run per node (see
@@ -82,6 +90,7 @@ impl SweepSpec {
             sizes: Vec::new(),
             schemes: Vec::new(),
             seeds: Vec::new(),
+            faults: vec![FaultSpec::None],
             sources_per_point: 1,
             threads: 0,
             record_traces: true,
@@ -110,6 +119,17 @@ impl SweepSpec {
     /// Sets the seeds.
     pub fn seeds(mut self, seeds: &[u64]) -> Self {
         self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the fault presets (an empty slice resets to the fault-free
+    /// default, so the axis always has at least one value).
+    pub fn faults(mut self, faults: &[FaultSpec]) -> Self {
+        self.faults = if faults.is_empty() {
+            vec![FaultSpec::None]
+        } else {
+            faults.to_vec()
+        };
         self
     }
 
@@ -190,7 +210,7 @@ impl SweepSpec {
                 .sum()
         };
         let per_size: usize = self.sizes.iter().map(|&n| per_scheme_runs(n)).sum();
-        self.families.len() * self.seeds.len() * per_size
+        self.families.len() * self.seeds.len() * per_size * self.faults.len().max(1)
     }
 
     /// Runs the sweep. See the [module docs](self) for the determinism
@@ -221,8 +241,22 @@ impl SweepSpec {
             self.threads
         };
         let verify = self.verify_static;
+        let fault_specs = if self.faults.is_empty() {
+            vec![FaultSpec::None]
+        } else {
+            self.faults.clone()
+        };
         let results = rn_radio::batch::run_parallel(jobs, threads, |(family, n, seed)| {
-            run_point(family, n, seed, &schemes, sources, trace, verify)
+            run_point(
+                family,
+                n,
+                seed,
+                &schemes,
+                sources,
+                trace,
+                verify,
+                &fault_specs,
+            )
         });
         let mut records = Vec::with_capacity(self.run_count());
         let mut histograms: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
@@ -366,6 +400,18 @@ pub struct SweepRecord {
     pub collisions: usize,
     /// Rounds in which nobody transmitted (0 when traces are disabled).
     pub silent_rounds: u64,
+    /// Name of the fault preset this run executed under (`"none"` for a
+    /// fault-free run).
+    pub fault_spec: String,
+    /// Fraction of non-crashed nodes informed by the end of the run
+    /// (1.0 for every completed fault-free run).
+    pub delivery_rate: f64,
+    /// The last round in which any node became informed — where progress
+    /// stopped, whether or not the broadcast completed.
+    pub stalled_at: Option<u64>,
+    /// Number of scheduled fault events that took effect within the
+    /// executed rounds (0 for fault-free runs).
+    pub faults_injected: usize,
 }
 
 impl SweepRecord {
@@ -375,6 +421,7 @@ impl SweepRecord {
         seed: u64,
         graph: &rn_graph::Graph,
         report: &RunReport,
+        fault_spec: &FaultSpec,
     ) -> Self {
         SweepRecord {
             family: family.name(),
@@ -401,6 +448,10 @@ impl SweepRecord {
             transmissions: report.stats.transmissions,
             collisions: report.stats.collisions,
             silent_rounds: report.stats.silent_rounds,
+            fault_spec: fault_spec.to_string(),
+            delivery_rate: report.delivery_rate,
+            stalled_at: report.stalled_at,
+            faults_injected: report.faults_injected,
         }
     }
 
@@ -417,7 +468,9 @@ struct PointResult {
     label_lengths: Vec<(&'static str, Vec<usize>)>,
 }
 
-/// Generates one instance and executes every scheme on it.
+/// Generates one instance and executes every scheme on it, once per fault
+/// preset.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     family: TopologyFamily,
     n: usize,
@@ -426,6 +479,7 @@ fn run_point(
     sources_per_point: usize,
     trace: TracePolicy,
     verify_static: bool,
+    fault_specs: &[FaultSpec],
 ) -> Result<PointResult, SweepError> {
     let graph = family
         .generate(n, seed)
@@ -462,56 +516,111 @@ fn run_point(
             } else {
                 &source_nodes[..1]
             };
-        for &session_source in session_sources {
-            let session = Session::builder(scheme, Arc::clone(&graph))
-                .source(session_source)
-                .trace(trace)
-                .build()
-                .map_err(label_err)?;
-            label_lengths.push((
-                scheme.name(),
-                session
-                    .labeling()
-                    .labels()
-                    .iter()
-                    .map(rn_labeling::Label::len)
-                    .collect(),
-            ));
-            // A multi-message run (multi_lambda, gossip) ignores the
-            // per-spec source (its source *set* is fixed at build time), so
-            // fanning the spread sources out would only duplicate identical
-            // rows: it runs once.
-            let one_run = scheme.is_multi_message();
-            let specs: Vec<RunSpec> = if one_run || session_sources.len() > 1 {
-                vec![RunSpec::new(session_source, 7)]
-            } else {
-                source_nodes.iter().map(|&s| RunSpec::new(s, 7)).collect()
-            };
-            // The point itself is one parallel job, so the inner batch runs
-            // inline (threads = 1); parallelism lives at the instance level.
-            let reports = session.run_batch(&specs, 1).map_err(label_err)?;
-            // The 1-bit delay-relay schemes are outside the analyzer's
-            // scope (rn_analyze reports them Unsupported), so the preflight
-            // skips them rather than failing the sweep.
-            let in_scope = !matches!(scheme, Scheme::OneBitCycle | Scheme::OneBitGrid { .. });
-            for report in &reports {
-                let mut record = SweepRecord::from_report(family, n, seed, &graph, report);
-                if verify_static && in_scope {
-                    let cert = rn_analyze::analyze_and_cross_check(&session, report).map_err(
-                        |findings| SweepError::Static {
-                            family: family.name().to_string(),
-                            scheme: scheme.name(),
-                            n: actual_n,
-                            detail: findings
+        for (preset_index, fspec) in fault_specs.iter().enumerate() {
+            // A fault plan never changes the labeling, so the histograms
+            // count each labeling once (under the first preset only).
+            let count_labels = preset_index == 0;
+            if *fspec == FaultSpec::None {
+                for &session_source in session_sources {
+                    let session = Session::builder(scheme, Arc::clone(&graph))
+                        .source(session_source)
+                        .trace(trace)
+                        .build()
+                        .map_err(label_err)?;
+                    if count_labels {
+                        label_lengths.push((
+                            scheme.name(),
+                            session
+                                .labeling()
+                                .labels()
                                 .iter()
-                                .map(std::string::ToString::to_string)
-                                .collect::<Vec<_>>()
-                                .join("; "),
-                        },
-                    )?;
-                    record.predicted_completion_round = cert.completion_round;
+                                .map(rn_labeling::Label::len)
+                                .collect(),
+                        ));
+                    }
+                    // A multi-message run (multi_lambda, gossip) ignores the
+                    // per-spec source (its source *set* is fixed at build
+                    // time), so fanning the spread sources out would only
+                    // duplicate identical rows: it runs once.
+                    let one_run = scheme.is_multi_message();
+                    let specs: Vec<RunSpec> = if one_run || session_sources.len() > 1 {
+                        vec![RunSpec::new(session_source, 7)]
+                    } else {
+                        source_nodes.iter().map(|&s| RunSpec::new(s, 7)).collect()
+                    };
+                    // The point itself is one parallel job, so the inner
+                    // batch runs inline (threads = 1); parallelism lives at
+                    // the instance level.
+                    let reports = session.run_batch(&specs, 1).map_err(label_err)?;
+                    // The 1-bit delay-relay schemes are outside the
+                    // analyzer's scope (rn_analyze reports them
+                    // Unsupported), so the preflight skips them rather than
+                    // failing the sweep.
+                    let in_scope =
+                        !matches!(scheme, Scheme::OneBitCycle | Scheme::OneBitGrid { .. });
+                    for report in &reports {
+                        let mut record =
+                            SweepRecord::from_report(family, n, seed, &graph, report, fspec);
+                        if verify_static && in_scope {
+                            let cert = rn_analyze::analyze_and_cross_check(&session, report)
+                                .map_err(|findings| SweepError::Static {
+                                    family: family.name().to_string(),
+                                    scheme: scheme.name(),
+                                    n: actual_n,
+                                    detail: findings
+                                        .iter()
+                                        .map(std::string::ToString::to_string)
+                                        .collect::<Vec<_>>()
+                                        .join("; "),
+                                })?;
+                            record.predicted_completion_round = cert.completion_round;
+                        }
+                        records.push(record);
+                    }
                 }
-                records.push(record);
+            } else {
+                // Faulted runs: the resolved plan is source-aware (it never
+                // targets the run's source), so every run gets its own
+                // session, whether or not the labeling depends on the
+                // source. The static preflight is skipped here by design —
+                // the analyzer certifies the fault-free timeline, which a
+                // perturbing fault is *supposed* to diverge from (the
+                // `analyze --faults` gate asserts exactly that divergence).
+                let run_sources: Vec<usize> = if scheme.is_multi_message() {
+                    vec![source_nodes[0]]
+                } else {
+                    source_nodes.clone()
+                };
+                for &run_source in &run_sources {
+                    let plan = fspec.resolve(actual_n, seed, run_source);
+                    let session = Session::builder(scheme, Arc::clone(&graph))
+                        .source(run_source)
+                        .trace(trace)
+                        .faults(plan)
+                        .build()
+                        .map_err(label_err)?;
+                    if count_labels
+                        && (scheme.labeling_depends_on_source() || run_source == run_sources[0])
+                    {
+                        label_lengths.push((
+                            scheme.name(),
+                            session
+                                .labeling()
+                                .labels()
+                                .iter()
+                                .map(rn_labeling::Label::len)
+                                .collect(),
+                        ));
+                    }
+                    let reports = session
+                        .run_batch(&[RunSpec::new(run_source, 7)], 1)
+                        .map_err(label_err)?;
+                    for report in &reports {
+                        records.push(SweepRecord::from_report(
+                            family, n, seed, &graph, report, fspec,
+                        ));
+                    }
+                }
             }
         }
     }
@@ -629,7 +738,7 @@ impl SweepReport {
 
 /// The registry of named sweeps, with a one-line purpose each. The `sweep`
 /// binary lists exactly these.
-pub const SWEEP_NAMES: [(&str, &str); 8] = [
+pub const SWEEP_NAMES: [(&str, &str); 9] = [
     (
         "smoke",
         "6 families, tiny sizes, lambda only — the CI end-to-end check",
@@ -661,6 +770,10 @@ pub const SWEEP_NAMES: [(&str, &str); 8] = [
     (
         "gossip",
         "all-to-all gossip (token-walk collection, n messages in flight) across eight families",
+    ),
+    (
+        "faults",
+        "crash / jam / late-wake presets against four schemes on six families (delivery_rate, stalled_at)",
     ),
 ];
 
@@ -765,6 +878,24 @@ pub fn named(name: &str) -> Option<SweepSpec> {
                 Scheme::MultiLambda { k: 8 },
             ])
             .seeds(&[1, 2]),
+        "faults" => SweepSpec::new("faults")
+            .families(&[
+                TopologyFamily::Path,
+                TopologyFamily::Grid,
+                TopologyFamily::Torus,
+                TopologyFamily::RandomTree,
+                TopologyFamily::StarOfCliques { clique_size: 4 },
+                TopologyFamily::GnpAvgDegree { avg_degree: 8.0 },
+            ])
+            .sizes(&[16, 32])
+            .schemes(&[
+                Scheme::Lambda,
+                Scheme::LambdaAck,
+                Scheme::LambdaArb,
+                Scheme::UniqueIds,
+            ])
+            .seeds(&[1, 2])
+            .faults(&FaultSpec::DEFAULT_PRESETS),
         "gossip" => SweepSpec::new("gossip")
             .families(&[
                 TopologyFamily::Path,
@@ -996,6 +1127,103 @@ mod tests {
         let report = spec.run().unwrap();
         assert_eq!(report.records.len(), 1);
         assert_eq!(report.records[0].k_sources, 10);
+    }
+
+    #[test]
+    fn default_faults_axis_changes_nothing() {
+        let plain = tiny_spec().run().unwrap();
+        let explicit = tiny_spec().faults(&[FaultSpec::None]).run().unwrap();
+        assert_eq!(plain.records, explicit.records);
+        assert!(plain.records.iter().all(|r| r.fault_spec == "none"));
+        assert!(plain
+            .records
+            .iter()
+            .all(|r| (r.delivery_rate - 1.0).abs() < 1e-12 && r.faults_injected == 0));
+        assert!(plain
+            .records
+            .iter()
+            .all(|r| r.stalled_at == r.completion_round));
+    }
+
+    #[test]
+    fn faults_axis_multiplies_runs_and_fills_the_robustness_columns() {
+        let spec = tiny_spec().faults(&[FaultSpec::None, FaultSpec::Crash { percent: 25 }]);
+        assert_eq!(spec.run_count(), 2 * tiny_spec().run_count());
+        let report = spec.run().unwrap();
+        assert_eq!(report.records.len(), spec.run_count());
+        let crashed: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.fault_spec == "crash:25")
+            .collect();
+        assert_eq!(crashed.len(), report.records.len() / 2);
+        assert!(crashed.iter().any(|r| r.faults_injected > 0));
+        assert!(crashed.iter().all(|r| r.delivery_rate <= 1.0));
+        // The fault-free half is byte-identical to a sweep without the axis.
+        let baseline = tiny_spec().run().unwrap();
+        let fault_free: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.fault_spec == "none")
+            .cloned()
+            .collect();
+        assert_eq!(fault_free, baseline.records);
+    }
+
+    #[test]
+    fn faulted_sweeps_are_thread_deterministic() {
+        let spec = || {
+            SweepSpec::new("det")
+                .families(&[TopologyFamily::Grid, TopologyFamily::RandomTree])
+                .sizes(&[16])
+                .schemes(&[Scheme::Lambda, Scheme::LambdaArb])
+                .seeds(&[1, 2])
+                .faults(&FaultSpec::DEFAULT_PRESETS)
+        };
+        let seq = spec().threads(1).run().unwrap();
+        let par = spec().threads(4).run().unwrap();
+        assert_eq!(seq.records, par.records);
+    }
+
+    #[test]
+    fn faults_named_sweep_covers_schemes_and_presets() {
+        let report = named("faults").unwrap().quick().threads(1).run().unwrap();
+        let presets: std::collections::BTreeSet<&str> = report
+            .records
+            .iter()
+            .map(|r| r.fault_spec.as_str())
+            .collect();
+        assert_eq!(
+            presets.into_iter().collect::<Vec<_>>(),
+            vec!["crash:15", "jam:1", "latewake:25", "none"]
+        );
+        let schemes: std::collections::BTreeSet<&str> =
+            report.records.iter().map(|r| r.scheme).collect();
+        assert_eq!(schemes.len(), 4);
+        // Each preset injects somewhere in the sweep (a single run may
+        // legitimately report 0 when its scheduled rounds all fall after
+        // the run already finished), and a crash somewhere actually costs
+        // delivery.
+        for preset in ["crash:15", "jam:1", "latewake:25"] {
+            assert!(
+                report
+                    .records
+                    .iter()
+                    .filter(|r| r.fault_spec == preset)
+                    .any(|r| r.faults_injected > 0),
+                "{preset} never injected"
+            );
+        }
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.fault_spec.starts_with("crash") && r.delivery_rate < 1.0));
+        // Fault-free control rows stay perfect.
+        assert!(report
+            .records
+            .iter()
+            .filter(|r| r.fault_spec == "none")
+            .all(|r| r.completed() && (r.delivery_rate - 1.0).abs() < 1e-12));
     }
 
     #[test]

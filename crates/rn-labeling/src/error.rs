@@ -19,6 +19,14 @@ pub enum LabelingError {
     },
     /// A multi-broadcast construction was given an empty source set.
     NoSources,
+    /// A fault plan targets a node that is not in the graph (raised by the
+    /// session layer when validating an injected `FaultPlan` at build time).
+    FaultTargetOutOfRange {
+        /// The offending fault-target node.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
     /// The scheme is only defined on a restricted graph class and the given
     /// graph is not in that class (e.g. the 1-bit grid scheme on a non-grid).
     UnsupportedGraphClass {
@@ -43,6 +51,10 @@ impl fmt::Display for LabelingError {
             LabelingError::NoSources => {
                 write!(f, "multi-broadcast requires at least one source node")
             }
+            LabelingError::FaultTargetOutOfRange { node, node_count } => write!(
+                f,
+                "fault plan targets node {node}, out of range for a graph with {node_count} nodes"
+            ),
             LabelingError::UnsupportedGraphClass { scheme, required } => {
                 write!(f, "scheme {scheme} requires {required}")
             }

@@ -29,13 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fault;
 pub mod message;
 pub mod node;
 pub mod scratch;
 pub mod simulator;
 pub mod stats;
+#[cfg(any(test, feature = "testing"))]
+pub mod testing;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use message::RadioMessage;
 pub use node::{Action, RadioNode};
 pub use scratch::RoundScratch;

@@ -17,6 +17,20 @@ pub trait RadioMessage: Clone {
     /// to use any consistent convention — the experiments only compare
     /// relative sizes.
     fn bit_size(&self) -> usize;
+
+    /// A deterministically garbled copy of this message, used by the fault
+    /// injector (see [`crate::fault`]) to model receive-side corruption:
+    /// `Some(garbled)` means the listener decodes a *wrong* message,
+    /// `None` means the corruption is undecodable and the listener observes
+    /// silence.
+    ///
+    /// The default is `None` — the safe choice for structured protocol
+    /// messages, where an arbitrary bitflip rarely yields a valid frame.
+    /// The result must be a pure function of `self` so faulted runs stay
+    /// byte-identical across engines and thread counts.
+    fn corrupted(&self) -> Option<Self> {
+        None
+    }
 }
 
 /// Number of bits needed to write `value` in binary (at least 1).
@@ -27,6 +41,13 @@ pub fn bits_for(value: u64) -> usize {
 impl RadioMessage for u64 {
     fn bit_size(&self) -> usize {
         bits_for(*self)
+    }
+
+    /// Garbles by flipping the lowest payload bit — deterministic and always
+    /// decodable, so corruption faults on raw `u64` protocols deliver a
+    /// *wrong* value rather than silence.
+    fn corrupted(&self) -> Option<Self> {
+        Some(*self ^ 1)
     }
 }
 
@@ -67,6 +88,13 @@ mod tests {
     fn string_bit_size() {
         assert_eq!("stay".to_string().bit_size(), 32);
         assert_eq!(String::new().bit_size(), 0);
+    }
+
+    #[test]
+    fn corrupted_default_is_undecodable_and_u64_flips_a_bit() {
+        assert_eq!("x".to_string().corrupted(), None);
+        assert_eq!(7u64.corrupted(), Some(6));
+        assert_eq!(6u64.corrupted(), Some(7));
     }
 
     #[test]

@@ -63,11 +63,20 @@
 //! it is the executable specification the equivalence suite checks the fast
 //! engine against, round for round and event for event.
 
+use crate::fault::{CompiledFaults, FaultKind, FaultPlan, RxFault};
+use crate::message::RadioMessage;
 use crate::node::{Action, RadioNode};
 use crate::scratch::RoundScratch;
 use crate::trace::{NodeEvent, RoundRecord, Trace};
 use rn_graph::{Graph, NodeId};
 use std::sync::Arc;
+
+/// Sentinel `tx_index` marking a jamming node in the decide pass: a jammer
+/// occupies a transmitter slot (it keeps the channel busy) but has no entry
+/// in the message buffer. Real indices cannot collide with it — the message
+/// buffer holds at most one entry per node and node counts are bounded far
+/// below `u32::MAX` by the CSR offsets.
+const JAMMER: u32 = u32::MAX;
 
 /// Which delivery engine [`Simulator::step_round`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,6 +144,10 @@ pub struct Simulator<N: RadioNode> {
     /// Listeners never touch it — the round's memory traffic is proportional
     /// to the number of transmitters, not to `n`.
     tx_messages: Vec<N::Msg>,
+    /// Compiled fault schedule, `None` for fault-free runs (the common case:
+    /// every fault check below starts with this cheap `Option` test, and an
+    /// empty [`FaultPlan`] never compiles to `Some`).
+    faults: Option<CompiledFaults>,
 }
 
 impl<N: RadioNode> Simulator<N> {
@@ -165,7 +178,27 @@ impl<N: RadioNode> Simulator<N> {
             // thrown away on every pooled run.
             scratch: RoundScratch::new(),
             tx_messages: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a [`FaultPlan`] (see [`crate::fault`]): the scheduled events
+    /// are applied by the engine — identically in both [`Engine`]s — while
+    /// the nodes keep running their unmodified protocol.
+    ///
+    /// An empty plan installs nothing at all, so a simulator given
+    /// [`FaultPlan::none`] is byte-identical in behaviour (traces,
+    /// observations, statistics) to one that was never given a plan.
+    ///
+    /// # Panics
+    /// Panics if the plan targets a node outside this graph.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(CompiledFaults::compile(plan, self.graph.node_count()))
+        };
+        self
     }
 
     /// Disables trace recording (saves memory for very long benchmark runs).
@@ -237,18 +270,34 @@ impl<N: RadioNode> Simulator<N> {
     /// docs for the three-phase design and its invariants).
     fn step_round_transmitter_centric(&mut self) -> usize {
         self.round += 1;
+        let round = self.round;
         let n = self.graph.node_count();
         let scratch = &mut self.scratch;
         scratch.ensure_nodes(n);
         scratch.generation += 1;
         let generation = scratch.generation;
+        let faults = self.faults.as_ref();
 
         // Phase 1: every node decides. Transmitters are recorded sparsely —
         // node id, generation mark, and the message moved into the reused
-        // message buffer; a listening node writes nothing at all.
+        // message buffer; a listening node writes nothing at all. An inert
+        // (crashed/asleep) node is never stepped; a jamming node's protocol
+        // is suspended and it occupies a transmitter slot with the JAMMER
+        // sentinel instead of a message.
         self.tx_messages.clear();
         scratch.transmitters.clear();
         for (v, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(f) = faults {
+                if f.inert_kind(v, round).is_some() {
+                    continue;
+                }
+                if f.is_jamming(v, round) {
+                    scratch.tx_stamp[v] = generation;
+                    scratch.tx_index[v] = JAMMER;
+                    scratch.transmitters.push(v);
+                    continue;
+                }
+            }
             match node.step() {
                 Action::Transmit(m) => {
                     scratch.tx_stamp[v] = generation;
@@ -277,27 +326,81 @@ impl<N: RadioNode> Simulator<N> {
 
         // Phase 3: observe. A listener hears a message iff exactly one
         // neighbour transmitted; the message travels by reference, and the
-        // trace (when recording) makes the only clone.
+        // trace (when recording) makes the only clone. Fault handling, all
+        // behind the `Option` test: an inert node is deaf (no `receive`), a
+        // jammer observes nothing and leaves only a trace marker, a sole
+        // jamming "sender" is an undecodable collision, and receive-side
+        // Drop/Corrupt faults rewrite a successful reception.
         let mut events: Vec<NodeEvent<N::Msg>> =
             Vec::with_capacity(if self.record_trace { n } else { 0 });
         let tx_stamp = &scratch.tx_stamp[..n];
         let stamp = &scratch.stamp[..n];
+        let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
         for (v, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(f) = faults {
+                if let Some(kind) = f.inert_kind(v, round) {
+                    if self.record_trace {
+                        events.push(NodeEvent::Faulted(kind));
+                    }
+                    continue;
+                }
+            }
             if tx_stamp[v] == generation {
-                if self.record_trace {
+                if scratch.tx_index[v] == JAMMER {
+                    if self.record_trace {
+                        events.push(NodeEvent::Faulted(FaultKind::Jamming));
+                    }
+                } else if self.record_trace {
                     let m = &self.tx_messages[scratch.tx_index[v] as usize];
                     events.push(NodeEvent::Transmitted(m.clone()));
                 }
             } else if stamp[v] == generation {
                 if scratch.hit_count[v] == 1 {
                     let w = scratch.last_sender[v];
-                    let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                    node.receive(Some(msg));
-                    if self.record_trace {
-                        events.push(NodeEvent::Heard {
-                            from: w,
-                            message: msg.clone(),
-                        });
+                    if scratch.tx_index[w] == JAMMER {
+                        // The only transmitting neighbour is a jammer: the
+                        // channel is busy but carries nothing decodable.
+                        node.receive(None);
+                        if self.record_trace {
+                            events.push(NodeEvent::Collision {
+                                transmitting_neighbors: 1,
+                            });
+                        }
+                    } else {
+                        let msg = &self.tx_messages[scratch.tx_index[w] as usize];
+                        match CompiledFaults::rx_fault(rx_window, v) {
+                            Some(RxFault::Drop) => {
+                                node.receive(None);
+                                if self.record_trace {
+                                    events.push(NodeEvent::Faulted(FaultKind::Dropped));
+                                }
+                            }
+                            Some(RxFault::Corrupt) => {
+                                if let Some(garbled) = msg.corrupted() {
+                                    node.receive(Some(&garbled));
+                                    if self.record_trace {
+                                        events.push(NodeEvent::Heard {
+                                            from: w,
+                                            message: garbled,
+                                        });
+                                    }
+                                } else {
+                                    node.receive(None);
+                                    if self.record_trace {
+                                        events.push(NodeEvent::Faulted(FaultKind::Corrupted));
+                                    }
+                                }
+                            }
+                            None => {
+                                node.receive(Some(msg));
+                                if self.record_trace {
+                                    events.push(NodeEvent::Heard {
+                                        from: w,
+                                        message: msg.clone(),
+                                    });
+                                }
+                            }
+                        }
                     }
                 } else {
                     // Collision: indistinguishable from silence for the
@@ -336,18 +439,58 @@ impl<N: RadioNode> Simulator<N> {
     /// workloads against; production paths never call it.
     pub fn step_round_reference(&mut self) -> usize {
         self.round += 1;
+        let round = self.round;
         let n = self.graph.node_count();
+        let faults = self.faults.as_ref();
 
-        // Phase 1: every node decides.
-        let actions: Vec<Action<N::Msg>> = self.nodes.iter_mut().map(RadioNode::step).collect();
-        let transmitting: Vec<bool> = actions.iter().map(Action::is_transmit).collect();
+        // Phase 1: every node decides. Fault semantics mirror the fast
+        // engine exactly: an inert (crashed/asleep) node is never stepped,
+        // and a jamming node's protocol is suspended while it occupies the
+        // channel — both stand in as `Listen` in the action vector, with
+        // side masks carrying their true roles.
+        let mut inert: Vec<Option<FaultKind>> = vec![None; n];
+        let mut jamming: Vec<bool> = vec![false; n];
+        let mut actions: Vec<Action<N::Msg>> = Vec::with_capacity(n);
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(f) = faults {
+                if let Some(kind) = f.inert_kind(v, round) {
+                    inert[v] = Some(kind);
+                    actions.push(Action::Listen);
+                    continue;
+                }
+                if f.is_jamming(v, round) {
+                    jamming[v] = true;
+                    actions.push(Action::Listen);
+                    continue;
+                }
+            }
+            actions.push(node.step());
+        }
+        let transmitting: Vec<bool> = actions
+            .iter()
+            .enumerate()
+            .map(|(v, a)| a.is_transmit() || jamming[v])
+            .collect();
         let transmitter_count = transmitting.iter().filter(|&&t| t).count();
 
         // Phase 2: delivery. A listener hears a message iff exactly one
         // neighbour transmitted.
+        let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
         let mut events: Vec<NodeEvent<N::Msg>> =
             Vec::with_capacity(if self.record_trace { n } else { 0 });
         for v in 0..n {
+            if let Some(kind) = inert[v] {
+                if self.record_trace {
+                    events.push(NodeEvent::Faulted(kind));
+                }
+                continue;
+            }
+            if jamming[v] {
+                if self.record_trace {
+                    events.push(NodeEvent::Faulted(FaultKind::Jamming));
+                }
+                continue;
+            }
             match &actions[v] {
                 Action::Transmit(m) => {
                     if self.record_trace {
@@ -364,14 +507,50 @@ impl<N: RadioNode> Simulator<N> {
                     let first: Option<NodeId> = tx_neighbors.next();
                     let second: Option<NodeId> = tx_neighbors.next();
                     match (first, second) {
+                        (Some(w), None) if jamming[w] => {
+                            // The only transmitting neighbour is a jammer:
+                            // busy channel, nothing decodable.
+                            self.nodes[v].receive(None);
+                            if self.record_trace {
+                                events.push(NodeEvent::Collision {
+                                    transmitting_neighbors: 1,
+                                });
+                            }
+                        }
                         (Some(w), None) => {
                             let msg = actions[w].message().expect("w transmits");
-                            self.nodes[v].receive(Some(msg));
-                            if self.record_trace {
-                                events.push(NodeEvent::Heard {
-                                    from: w,
-                                    message: msg.clone(),
-                                });
+                            match CompiledFaults::rx_fault(rx_window, v) {
+                                Some(RxFault::Drop) => {
+                                    self.nodes[v].receive(None);
+                                    if self.record_trace {
+                                        events.push(NodeEvent::Faulted(FaultKind::Dropped));
+                                    }
+                                }
+                                Some(RxFault::Corrupt) => {
+                                    if let Some(garbled) = msg.corrupted() {
+                                        self.nodes[v].receive(Some(&garbled));
+                                        if self.record_trace {
+                                            events.push(NodeEvent::Heard {
+                                                from: w,
+                                                message: garbled,
+                                            });
+                                        }
+                                    } else {
+                                        self.nodes[v].receive(None);
+                                        if self.record_trace {
+                                            events.push(NodeEvent::Faulted(FaultKind::Corrupted));
+                                        }
+                                    }
+                                }
+                                None => {
+                                    self.nodes[v].receive(Some(msg));
+                                    if self.record_trace {
+                                        events.push(NodeEvent::Heard {
+                                            from: w,
+                                            message: msg.clone(),
+                                        });
+                                    }
+                                }
                             }
                         }
                         (Some(_), Some(_)) => {
@@ -765,6 +944,167 @@ mod tests {
         sim.step_round();
         assert_eq!(sim.current_round(), 2);
         assert_eq!(sim.nodes()[1].heard, Some(42));
+    }
+
+    #[test]
+    fn none_plan_is_byte_identical_to_no_plan() {
+        let g = generators::path(5);
+        let mut plain = one_shot_sim(g.clone());
+        plain.run_rounds(4);
+        let nodes: Vec<OneShot> = (0..5).map(|v| OneShot::new(v == 0)).collect();
+        let mut with_none = Simulator::new(g, nodes).with_faults(&FaultPlan::none());
+        assert!(with_none.faults.is_none(), "empty plan must compile away");
+        with_none.run_rounds(4);
+        assert_eq!(plain.trace().rounds, with_none.trace().rounds);
+        for (a, b) in plain.nodes().iter().zip(with_none.nodes()) {
+            assert_eq!(a.listen_outcomes, b.listen_outcomes);
+        }
+    }
+
+    #[test]
+    fn crashed_source_never_transmits_and_trace_marks_it() {
+        let g = generators::star(4);
+        let nodes: Vec<OneShot> = (0..4).map(|v| OneShot::new(v == 0)).collect();
+        let plan = FaultPlan::none().crash(0, 1);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        sim.run_rounds(3);
+        for v in 1..4 {
+            assert_eq!(sim.nodes()[v].heard, None, "leaf {v} heard a dead source");
+        }
+        assert_eq!(sim.trace().fault_rounds(0), vec![1, 2, 3]);
+        assert!(matches!(
+            sim.trace().rounds[0].events[0],
+            NodeEvent::Faulted(FaultKind::Crashed)
+        ));
+        // The dead node's step() was never called, so its transmit flag is
+        // still pending.
+        assert!(!sim.nodes()[0].sent);
+    }
+
+    #[test]
+    fn late_wake_defers_the_first_transmission() {
+        let g = generators::path(3);
+        let nodes: Vec<OneShot> = (0..3).map(|v| OneShot::new(v == 0)).collect();
+        let plan = FaultPlan::none().late_wake(0, 3);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        sim.run_rounds(4);
+        assert_eq!(sim.trace().fault_rounds(0), vec![1, 2]);
+        assert_eq!(sim.trace().transmit_rounds(0), vec![3]);
+        assert_eq!(sim.trace().first_receive_round(1), Some(3));
+    }
+
+    #[test]
+    fn jamming_neighbour_forces_collisions_and_counts_as_transmitter() {
+        // Path 0 - 1 - 2: node 2 jams round 1, so node 1 sees a collision
+        // (source + jammer) and node 0's broadcast is lost on it.
+        let g = generators::path(3);
+        let nodes: Vec<OneShot> = (0..3).map(|v| OneShot::new(v == 0)).collect();
+        let plan = FaultPlan::none().jam(2, 1, 1);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        let transmitters = sim.step_round();
+        assert_eq!(transmitters, 2, "source + jammer both occupy the channel");
+        assert_eq!(sim.nodes()[1].heard, None);
+        assert!(matches!(
+            sim.trace().rounds[0].events[1],
+            NodeEvent::Collision {
+                transmitting_neighbors: 2
+            }
+        ));
+        assert!(matches!(
+            sim.trace().rounds[0].events[2],
+            NodeEvent::Faulted(FaultKind::Jamming)
+        ));
+    }
+
+    #[test]
+    fn lone_jammer_reads_as_undecodable_collision() {
+        let g = generators::path(2);
+        let nodes: Vec<OneShot> = (0..2).map(|_| OneShot::new(false)).collect();
+        let plan = FaultPlan::none().jam(0, 1, 1);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        sim.step_round();
+        assert_eq!(sim.nodes()[1].heard, None);
+        assert!(matches!(
+            sim.trace().rounds[0].events[1],
+            NodeEvent::Collision {
+                transmitting_neighbors: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn drop_and_corrupt_rewrite_successful_receptions() {
+        // Star with centre 0 transmitting in round 1: leaf 1 drops it, leaf 2
+        // decodes a garbled copy (u64 corruption flips the low bit), leaf 3
+        // hears it intact.
+        let g = generators::star(4);
+        let nodes: Vec<OneShot> = (0..4).map(|v| OneShot::new(v == 0)).collect();
+        let plan = FaultPlan::none().drop_message(1, 1).corrupt(2, 1);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        sim.step_round();
+        assert_eq!(sim.nodes()[1].heard, None);
+        assert_eq!(sim.nodes()[2].heard, Some(43));
+        assert_eq!(sim.nodes()[3].heard, Some(42));
+        assert!(matches!(
+            sim.trace().rounds[0].events[1],
+            NodeEvent::Faulted(FaultKind::Dropped)
+        ));
+        assert!(matches!(
+            sim.trace().rounds[0].events[2],
+            NodeEvent::Heard {
+                from: 0,
+                message: 43
+            }
+        ));
+    }
+
+    #[test]
+    fn rx_faults_are_noops_without_a_reception() {
+        // Node 2 on a path never hears the round-1 broadcast (it is two hops
+        // away), so dropping its round-1 reception changes nothing.
+        let g = generators::path(3);
+        let nodes: Vec<OneShot> = (0..3).map(|v| OneShot::new(v == 0)).collect();
+        let plan = FaultPlan::none().drop_message(2, 1);
+        let mut sim = Simulator::new(g, nodes).with_faults(&plan);
+        sim.step_round();
+        assert!(matches!(
+            sim.trace().rounds[0].events[2],
+            NodeEvent::Silence
+        ));
+    }
+
+    #[test]
+    fn engines_agree_under_every_fault_kind() {
+        let g = generators::grid(3, 4);
+        let plan = FaultPlan::none()
+            .crash(5, 2)
+            .jam(7, 1, 3)
+            .late_wake(0, 2)
+            .drop_message(2, 2)
+            .corrupt(6, 3);
+        let make = |engine: Engine| {
+            let nodes: Vec<OneShot> = (0..12).map(|v| OneShot::new(v == 1)).collect();
+            Simulator::new(g.clone(), nodes)
+                .with_engine(engine)
+                .with_faults(&plan)
+        };
+        let mut fast = make(Engine::TransmitterCentric);
+        let mut reference = make(Engine::ListenerCentric);
+        for _ in 0..6 {
+            assert_eq!(fast.step_round(), reference.step_round());
+        }
+        assert_eq!(fast.trace().rounds, reference.trace().rounds);
+        for (a, b) in fast.nodes().iter().zip(reference.nodes()) {
+            assert_eq!(a.listen_outcomes, b.listen_outcomes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "targets node 9")]
+    fn with_faults_rejects_out_of_range_nodes() {
+        let g = generators::path(3);
+        let nodes: Vec<OneShot> = (0..3).map(|v| OneShot::new(v == 0)).collect();
+        let _ = Simulator::new(g, nodes).with_faults(&FaultPlan::none().crash(9, 1));
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl ExecutionStats {
                     }
                     NodeEvent::Heard { .. } => stats.receptions += 1,
                     NodeEvent::Collision { .. } => stats.collisions += 1,
-                    NodeEvent::Silence => {}
+                    // Fault markers are harness bookkeeping, not protocol
+                    // traffic: a jammer transmits no protocol bits and a
+                    // dropped reception is not a reception. Robustness
+                    // accounting lives in the run reports, not here.
+                    NodeEvent::Silence | NodeEvent::Faulted(_) => {}
                 }
             }
             if tx_this_round == 0 {

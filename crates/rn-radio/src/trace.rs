@@ -6,6 +6,7 @@
 //! characterisation of Lemma 2.8 (exactly the DOM_i nodes transmit in round
 //! 2i−1, exactly the NEW_i nodes are newly informed).
 
+use crate::fault::FaultKind;
 use crate::message::RadioMessage;
 use rn_graph::NodeId;
 
@@ -30,6 +31,11 @@ pub enum NodeEvent<M> {
     },
     /// The node listened and heard nothing because no neighbour transmitted.
     Silence,
+    /// The node's round was consumed by an injected fault (see
+    /// [`crate::fault`]): it was dead, asleep, jamming, or its reception was
+    /// dropped or garbled beyond decoding. Fault-free executions never
+    /// record this event.
+    Faulted(FaultKind),
 }
 
 /// Complete record of one round.
@@ -135,6 +141,16 @@ impl<M: RadioMessage> Trace<M> {
         self.rounds
             .iter()
             .filter(|r| matches!(r.events.get(v), Some(NodeEvent::Collision { .. })))
+            .map(|r| r.round)
+            .collect()
+    }
+
+    /// All rounds in which an injected fault consumed node `v`'s round
+    /// (see [`NodeEvent::Faulted`]); empty for fault-free executions.
+    pub fn fault_rounds(&self, v: NodeId) -> Vec<u64> {
+        self.rounds
+            .iter()
+            .filter(|r| matches!(r.events.get(v), Some(NodeEvent::Faulted(_))))
             .map(|r| r.round)
             .collect()
     }

@@ -11,7 +11,8 @@
 
 use radio_labeling::broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
 use radio_labeling::graph::{generators, Graph};
-use radio_labeling::radio::{Action, Engine, RadioNode, Simulator, StopCondition};
+use radio_labeling::radio::testing::ChaosNode;
+use radio_labeling::radio::{Engine, FaultPlan, Simulator, StopCondition};
 use std::sync::Arc;
 
 /// Seeded workload families: name, graph, and the sources to broadcast from.
@@ -288,61 +289,9 @@ fn gossip_raw_traces_identical_across_engines() {
     }
 }
 
-/// An adversarial protocol for raw-simulator equivalence: each node
-/// transmits on a pseudo-random schedule derived from its id and how many
-/// rounds it has seen, producing dense collision patterns no real scheme
-/// would. The per-node state advances on *observations* only (the simulator
-/// never leaks the round number), exactly like a real protocol.
-#[derive(Clone)]
-struct ChaosNode {
-    id: u64,
-    local_round: u64,
-    /// Fires roughly every `1/density` rounds.
-    density: u64,
-    observations: Vec<Option<u64>>,
-}
-
-impl ChaosNode {
-    fn network(n: usize, density: u64) -> Vec<ChaosNode> {
-        (0..n)
-            .map(|id| ChaosNode {
-                id: id as u64,
-                local_round: 0,
-                density,
-                observations: Vec::new(),
-            })
-            .collect()
-    }
-
-    /// SplitMix64 — deterministic, seeded by (id, local_round).
-    fn hash(&self) -> u64 {
-        let mut z = self
-            .id
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(self.local_round.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-}
-
-impl RadioNode for ChaosNode {
-    type Msg = u64;
-
-    fn step(&mut self) -> Action<u64> {
-        let fire = self.hash().is_multiple_of(self.density);
-        self.local_round += 1;
-        if fire {
-            Action::Transmit(self.id * 1000 + self.local_round)
-        } else {
-            Action::Listen
-        }
-    }
-
-    fn receive(&mut self, heard: Option<&u64>) {
-        self.observations.push(heard.copied());
-    }
-}
+// The adversarial pseudo-random protocol lives in `rn_radio::testing`
+// (shared with the in-crate fault suites); this file used to carry its own
+// copy.
 
 #[test]
 fn raw_traces_and_observations_identical_under_chaos() {
@@ -369,6 +318,106 @@ fn raw_traces_and_observations_identical_under_chaos() {
                     "{label} d={density}: node {v} observations differ"
                 );
             }
+        }
+    }
+}
+
+/// A deterministic seeded fault plan exercising every adversary the
+/// simulator supports at once: one crash, one jam window, and one late
+/// waker, each picked by a SplitMix64 hash (never the source, so the
+/// broadcast at least starts). Victims may coincide — the fault semantics
+/// are total either way, and both engines must agree regardless.
+fn seeded_plan(n: usize, seed: u64, source: usize) -> FaultPlan {
+    let pick = |salt: u64| -> usize {
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let v = (z % n as u64) as usize;
+        if v == source {
+            (v + 1) % n
+        } else {
+            v
+        }
+    };
+    let n64 = n as u64;
+    FaultPlan::none()
+        .crash(pick(1), 1 + seed % n64)
+        .jam(pick(2), 2 + seed % 3, (n64 / 2).max(2))
+        .late_wake(pick(3), 3 + seed % n64)
+}
+
+#[test]
+fn all_general_schemes_agree_under_seeded_fault_plans() {
+    // The fault path rewires both engines' inner loops (inert nodes, jammer
+    // slots, receive-side rewrites); this replays every GENERAL scheme under
+    // a crash + jam + late-wake plan and demands field-for-field identical
+    // RunReports — robustness columns included — plus a deterministic rerun.
+    for (label, graph, sources) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        for seed in [1u64, 5] {
+            let source = sources[0];
+            let plan = seeded_plan(n, seed, source);
+            for scheme in Scheme::GENERAL {
+                let build = |engine: Engine| {
+                    Session::builder(scheme, Arc::clone(&graph))
+                        .source(source)
+                        .message(17)
+                        .engine(engine)
+                        .faults(plan.clone())
+                        .build()
+                        .unwrap()
+                };
+                let fast = build(Engine::TransmitterCentric);
+                let reference = build(Engine::ListenerCentric);
+                let a: RunReport = fast.run();
+                let b: RunReport = reference.run();
+                assert_eq!(a, b, "{label} seed={seed}: {} faulted", scheme.name());
+                assert_eq!(
+                    a,
+                    fast.run(),
+                    "{label} seed={seed}: {} faulted rerun",
+                    scheme.name()
+                );
+                assert!(
+                    a.delivery_rate >= 0.0 && a.delivery_rate <= 1.0,
+                    "{label}: delivery_rate out of range"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_traces_and_observations_identical_under_faults() {
+    // Raw-simulator equivalence with faults active: the full trace
+    // (including `Faulted` markers) and every node's observation log must
+    // match between engines under the collision-heavy chaos protocol.
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        let plan = seeded_plan(n, 3, 0);
+        let mut fast =
+            Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3)).with_faults(&plan);
+        let mut reference = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3))
+            .with_engine(Engine::ListenerCentric)
+            .with_faults(&plan);
+        let a = fast.run_until(StopCondition::AfterRounds(60), |_| false);
+        let b = reference.run_until(StopCondition::AfterRounds(60), |_| false);
+        assert_eq!(a, b, "{label}: outcomes differ");
+        assert_eq!(
+            fast.trace().rounds,
+            reference.trace().rounds,
+            "{label}: traces differ"
+        );
+        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+            assert_eq!(
+                x.observations, y.observations,
+                "{label}: node {v} observations differ"
+            );
         }
     }
 }

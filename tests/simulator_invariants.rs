@@ -96,6 +96,9 @@ proptest! {
                     NodeEvent::Silence => {
                         prop_assert!(tx_neighbors.is_empty());
                     }
+                    NodeEvent::Faulted(_) => {
+                        prop_assert!(false, "fault marker in a fault-free run");
+                    }
                 }
             }
         }
@@ -142,6 +145,9 @@ proptest! {
                     }
                     NodeEvent::Collision { .. } | NodeEvent::Silence => {
                         prop_assert_eq!(observed.next().copied().flatten(), None);
+                    }
+                    NodeEvent::Faulted(_) => {
+                        prop_assert!(false, "fault marker in a fault-free run");
                     }
                 }
             }
