@@ -2,11 +2,13 @@
 //! emitter so the perf trajectory is recorded across PRs.
 //!
 //! Measures rounds/second of Algorithm B (λ labels) on sparse-transmission
-//! workloads, n = 10 000 with tracing off, on both the default
-//! transmitter-centric engine and the retained listener-centric reference
+//! workloads, n = 10 000 with tracing off, on all three engines: the default
+//! transmitter-centric engine, the retained listener-centric reference
 //! engine (`Engine::ListenerCentric` — the pre-change delivery algorithm,
-//! verbatim), and writes the results including the speedup ratio to
-//! `BENCH_simulator.json` at the workspace root.
+//! verbatim), and the event-driven frontier engine
+//! (`Engine::EventDriven` — wake-hint driven, with silent-round elision).
+//! Results including both speedup ratios go to `BENCH_simulator.json` at
+//! the workspace root.
 //!
 //! Workloads: the original ladder — a path, a uniform random tree, and
 //! G(n, p) graphs of average degree 8 and 32 — plus one case per family the
@@ -57,11 +59,16 @@ struct Measurement {
     rounds_per_sample: u64,
     fast_rounds_per_sec: f64,
     reference_rounds_per_sec: f64,
+    event_rounds_per_sec: f64,
 }
 
 impl Measurement {
     fn speedup(&self) -> f64 {
         self.fast_rounds_per_sec / self.reference_rounds_per_sec
+    }
+
+    fn event_speedup(&self) -> f64 {
+        self.event_rounds_per_sec / self.reference_rounds_per_sec
     }
 }
 
@@ -133,6 +140,13 @@ fn bench_case<N: RadioNode>(
         rounds,
         cfg.samples,
     );
+    let event = measure(
+        &graph,
+        &make_nodes,
+        Engine::EventDriven,
+        rounds,
+        cfg.samples,
+    );
     let m = Measurement {
         workload: name,
         scheme,
@@ -141,15 +155,19 @@ fn bench_case<N: RadioNode>(
         rounds_per_sample: rounds,
         fast_rounds_per_sec: fast,
         reference_rounds_per_sec: reference,
+        event_rounds_per_sec: event,
     };
     println!(
         "round_throughput/{name}/n={} ({scheme}, avg deg {:.1}): transmitter-centric \
-         {:.0} rounds/s, listener-centric {:.0} rounds/s, speedup {:.2}x",
+         {:.0} rounds/s, listener-centric {:.0} rounds/s, event-driven {:.0} rounds/s, \
+         speedup {:.2}x, event speedup {:.2}x",
         m.n,
         m.avg_degree,
         m.fast_rounds_per_sec,
         m.reference_rounds_per_sec,
-        m.speedup()
+        m.event_rounds_per_sec,
+        m.speedup(),
+        m.event_speedup()
     );
     m
 }
@@ -219,7 +237,9 @@ fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std:
              \"scheme\": \"{}\", \"tracing\": false, \"rounds_per_sample\": {}, \
              \"transmitter_centric_rounds_per_sec\": {:.1}, \
              \"listener_centric_rounds_per_sec\": {:.1}, \
-             \"speedup\": {:.3}}}",
+             \"event_driven_rounds_per_sec\": {:.1}, \
+             \"speedup\": {:.3}, \
+             \"event_driven_speedup\": {:.3}}}",
             m.workload,
             m.n,
             m.avg_degree,
@@ -227,7 +247,9 @@ fn emit_json(measurements: &[Measurement], cfg: &Config) -> std::io::Result<std:
             m.rounds_per_sample,
             m.fast_rounds_per_sec,
             m.reference_rounds_per_sec,
-            m.speedup()
+            m.event_rounds_per_sec,
+            m.speedup(),
+            m.event_speedup()
         ));
     }
     let json = format!(
@@ -333,5 +355,12 @@ fn main() {
         .iter()
         .map(Measurement::speedup)
         .fold(0.0_f64, f64::max);
-    println!("best speedup over the listener-centric engine: {best:.2}x");
+    let best_event = measurements
+        .iter()
+        .map(Measurement::event_speedup)
+        .fold(0.0_f64, f64::max);
+    println!(
+        "best speedup over the listener-centric engine: transmitter-centric \
+         {best:.2}x, event-driven {best_event:.2}x"
+    );
 }

@@ -81,16 +81,28 @@ impl BNode {
         self.sourcemsg
     }
 
+    /// Age a counter is pinned at once it can no longer trigger any rule:
+    /// every rule in [`step`](RadioNode::step) tests equality against 1 or
+    /// 2, so saturating at 3 changes no decision — and it makes a settled
+    /// node's state invariant under further ticks, which is exactly the
+    /// frozen-state promise [`wake_hint`](RadioNode::wake_hint) relies on.
+    const SETTLED_AGE: u64 = 3;
+
     fn tick(&mut self) {
         if let Some(a) = &mut self.informed_age {
-            *a += 1;
+            *a = (*a + 1).min(Self::SETTLED_AGE);
         }
         if let Some(a) = &mut self.last_data_transmit_age {
-            *a += 1;
+            *a = (*a + 1).min(Self::SETTLED_AGE);
         }
         if let Some(a) = &mut self.stay_age {
-            *a += 1;
+            *a = (*a + 1).min(Self::SETTLED_AGE);
         }
+    }
+
+    /// Whether this age counter can still trigger a rule in a future round.
+    fn settled(age: Option<u64>) -> bool {
+        age.is_none_or(|a| a >= Self::SETTLED_AGE)
     }
 
     fn transmit_data(&mut self) -> Action<BMessage> {
@@ -133,6 +145,26 @@ impl RadioNode for BNode {
             return self.transmit_data();
         }
         Action::Listen
+    }
+
+    fn wake_hint(&self) -> u64 {
+        if self.sourcemsg.is_some() && !self.ever_acted {
+            // The source's first round: it is about to transmit µ.
+            return 0;
+        }
+        if Self::settled(self.informed_age)
+            && Self::settled(self.last_data_transmit_age)
+            && Self::settled(self.stay_age)
+        {
+            // All counters are pinned: `tick` is a no-op, no rule can ever
+            // fire again, and `receive(None)` returns immediately — the node
+            // is frozen until it hears something.
+            u64::MAX
+        } else {
+            // Recently active: stay driven every round until the counters
+            // settle (at most three rounds later).
+            0
+        }
     }
 
     fn receive(&mut self, heard: Option<&BMessage>) {
@@ -287,5 +319,69 @@ mod tests {
         let g = generators::path(3);
         let scheme = lambda::construct(&g, 0).unwrap();
         let _ = BNode::network(scheme.labeling(), 5, MSG);
+    }
+
+    #[test]
+    fn wake_hint_tracks_activity() {
+        // A fresh source is about to transmit: it must be driven now.
+        let source = BNode::new(Label::two_bits(true, false), Some(MSG));
+        assert_eq!(source.wake_hint(), 0);
+        // A fresh uninformed node is frozen until it hears something.
+        let mut node = BNode::new(Label::two_bits(true, true), None);
+        assert_eq!(node.wake_hint(), u64::MAX);
+        // Hearing µ makes it active (it may transmit within two rounds)...
+        node.receive(Some(&BMessage::Data(5)));
+        assert_eq!(node.wake_hint(), 0);
+        // ...and a few rounds later every counter is pinned and it parks.
+        for _ in 0..5 {
+            node.step();
+            node.receive(None);
+        }
+        assert_eq!(node.wake_hint(), u64::MAX);
+    }
+
+    #[test]
+    fn parked_node_state_is_frozen() {
+        // The wake-hint contract: once the hint is MAX, step/receive(None)
+        // pairs must not change the node at all.
+        let mut node = BNode::new(Label::two_bits(true, true), None);
+        node.receive(Some(&BMessage::Data(5)));
+        for _ in 0..6 {
+            node.step();
+            node.receive(None);
+        }
+        assert_eq!(node.wake_hint(), u64::MAX);
+        let before = format!("{node:?}");
+        for _ in 0..10 {
+            assert_eq!(node.step(), Action::Listen);
+            node.receive(None);
+        }
+        assert_eq!(format!("{node:?}"), before);
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_algorithm_b() {
+        use rn_radio::Engine;
+        let g = generators::path(16);
+        let scheme = lambda::construct(&g, 0).unwrap();
+        let run = |engine: Engine| {
+            let nodes = BNode::network(scheme.labeling(), 0, MSG);
+            let mut sim = rn_radio::Simulator::new(g.clone(), nodes).with_engine(engine);
+            let outcome = sim.run_until(
+                rn_radio::StopCondition::QuietFor { quiet: 8, cap: 200 },
+                |_| false,
+            );
+            (outcome, sim)
+        };
+        let (out_fast, fast) = run(Engine::TransmitterCentric);
+        let (out_ref, reference) = run(Engine::ListenerCentric);
+        let (out_event, event) = run(Engine::EventDriven);
+        assert_eq!(out_fast, out_ref);
+        assert_eq!(out_fast, out_event);
+        assert_eq!(fast.trace().rounds, reference.trace().rounds);
+        assert_eq!(fast.trace().rounds, event.trace().rounds);
+        for (a, b) in fast.nodes().iter().zip(event.nodes()) {
+            assert_eq!(a.sourcemsg(), b.sourcemsg());
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! sweep smoke --verify-static        # certify every point statically first
 //! sweep smoke --faults               # add the default fault presets as an axis
 //! sweep smoke --faults crash:20,jam:2  # or a custom preset list
+//! sweep smoke --engine event-driven  # run on an alternative delivery engine
 //! ```
 //!
 //! Reports are deterministic: the same sweep name and code version produce
@@ -21,6 +22,7 @@
 use rn_experiments::emit;
 use rn_experiments::faults::FaultSpec;
 use rn_experiments::scenario::{self, SweepSpec};
+use rn_radio::Engine;
 
 struct Args {
     name: Option<String>,
@@ -30,7 +32,19 @@ struct Args {
     threads: Option<usize>,
     verify_static: bool,
     faults: Option<Vec<FaultSpec>>,
+    engine: Option<Engine>,
     list: bool,
+}
+
+/// Parses an engine name. The engine changes throughput, never results, so
+/// any report is comparable byte-for-byte across these choices.
+fn parse_engine(s: &str) -> Option<Engine> {
+    match s {
+        "transmitter-centric" | "transmitter" => Some(Engine::TransmitterCentric),
+        "listener-centric" | "listener" => Some(Engine::ListenerCentric),
+        "event-driven" | "event" => Some(Engine::EventDriven),
+        _ => None,
+    }
 }
 
 /// Parses a comma-separated preset list (`crash:20,jam:2`); `None` if any
@@ -48,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         verify_static: false,
         faults: None,
+        engine: None,
         list: false,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -84,6 +99,12 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads requires a count")?;
                 args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
             }
+            "--engine" => {
+                let v = it.next().ok_or("--engine requires a name")?;
+                args.engine = Some(parse_engine(&v).ok_or(format!(
+                    "unknown engine {v:?} (transmitter-centric | listener-centric | event-driven)"
+                ))?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"));
             }
@@ -104,7 +125,7 @@ fn print_help() {
          \n\
          USAGE:\n\
          \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N] [--verify-static]\n\
-         \t             [--faults [LIST]]\n\
+         \t             [--faults [LIST]] [--engine NAME]\n\
          \tsweep --list\n\
          \n\
          OPTIONS:\n\
@@ -117,6 +138,8 @@ fn print_help() {
          \t--faults [LIST]  add fault presets as a sweep axis; LIST is comma-separated\n\
          \t              (none, crash:P, jam:K, latewake:P — P a percentage, K a node count);\n\
          \t              a bare --faults uses the default set none,crash:15,jam:1,latewake:25\n\
+         \t--engine NAME simulator delivery engine: transmitter-centric (default),\n\
+         \t              listener-centric, or event-driven; results are engine-independent\n\
          \t--list        list the named sweeps"
     );
 }
@@ -160,6 +183,9 @@ fn main() {
     }
     if let Some(faults) = &args.faults {
         spec = spec.faults(faults);
+    }
+    if let Some(engine) = args.engine {
+        spec = spec.engine(engine);
     }
     eprintln!(
         "sweep {name:?}: {} families x {} sizes x {} schemes x {} seeds x {} fault presets = {} runs",

@@ -29,6 +29,7 @@ use rn_broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
 use rn_graph::generators::TopologyFamily;
 use rn_graph::GraphError;
 use rn_labeling::LabelingError;
+use rn_radio::Engine;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -77,6 +78,14 @@ pub struct SweepSpec {
     /// [`SweepRecord::predicted_completion_round`]. The 1-bit delay-relay
     /// schemes are outside the analyzer's scope and are skipped.
     pub verify_static: bool,
+    /// Simulator delivery engine every run executes on (default
+    /// [`Engine::TransmitterCentric`]). The engine never changes the
+    /// physics, only how fast rounds are driven, so reports produced under
+    /// different engines must be identical — the CI equivalence gate runs
+    /// the same sweep on two engines and `cmp`s the reports byte for byte
+    /// (the engine is deliberately left out of the serialised spec metadata
+    /// for exactly that comparison).
+    pub engine: Engine,
 }
 
 impl SweepSpec {
@@ -95,6 +104,7 @@ impl SweepSpec {
             threads: 0,
             record_traces: true,
             verify_static: false,
+            engine: Engine::default(),
         }
     }
 
@@ -155,6 +165,13 @@ impl SweepSpec {
     /// [`verify_static`](Self::verify_static) field).
     pub fn verify_static(mut self, verify: bool) -> Self {
         self.verify_static = verify;
+        self
+    }
+
+    /// Sets the simulator delivery engine (see the
+    /// [`engine`](Self::engine) field).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -246,6 +263,7 @@ impl SweepSpec {
         } else {
             self.faults.clone()
         };
+        let engine = self.engine;
         let results = rn_radio::batch::run_parallel(jobs, threads, |(family, n, seed)| {
             run_point(
                 family,
@@ -255,6 +273,7 @@ impl SweepSpec {
                 sources,
                 trace,
                 verify,
+                engine,
                 &fault_specs,
             )
         });
@@ -479,6 +498,7 @@ fn run_point(
     sources_per_point: usize,
     trace: TracePolicy,
     verify_static: bool,
+    engine: Engine,
     fault_specs: &[FaultSpec],
 ) -> Result<PointResult, SweepError> {
     let graph = family
@@ -525,6 +545,7 @@ fn run_point(
                     let session = Session::builder(scheme, Arc::clone(&graph))
                         .source(session_source)
                         .trace(trace)
+                        .engine(engine)
                         .build()
                         .map_err(label_err)?;
                     if count_labels {
@@ -596,6 +617,7 @@ fn run_point(
                     let session = Session::builder(scheme, Arc::clone(&graph))
                         .source(run_source)
                         .trace(trace)
+                        .engine(engine)
                         .faults(plan)
                         .build()
                         .map_err(label_err)?;
@@ -943,6 +965,29 @@ mod tests {
         let seq = tiny_spec().run().unwrap();
         let par = tiny_spec().threads(4).run().unwrap();
         assert_eq!(seq.records, par.records);
+    }
+
+    #[test]
+    fn reports_are_identical_on_every_engine() {
+        // The engine is a throughput knob, not a physics knob: the same
+        // sweep on any engine must produce identical records, histograms,
+        // and summaries — the in-process version of the CI gate that
+        // `cmp`s whole report files across engines. Faults ride along so
+        // the inert/jam paths are covered too.
+        let spec = |engine: Engine| {
+            tiny_spec()
+                .faults(&[FaultSpec::None, FaultSpec::Crash { percent: 15 }])
+                .engine(engine)
+        };
+        let reference = spec(Engine::TransmitterCentric).run().unwrap();
+        for engine in [Engine::ListenerCentric, Engine::EventDriven] {
+            let report = spec(engine).run().unwrap();
+            assert_eq!(report.records, reference.records, "[{engine:?}]");
+            assert_eq!(
+                report.label_length_histograms, reference.label_length_histograms,
+                "[{engine:?}]"
+            );
+        }
     }
 
     #[test]

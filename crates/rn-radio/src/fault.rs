@@ -5,7 +5,7 @@
 //! [`FaultPlan`] lets the harness measure how each labeling scheme degrades
 //! when that assumption is broken, without touching the protocols themselves:
 //! the plan is a deterministic schedule of [`FaultEvent`]s that the
-//! *simulator* applies — identically in both engines — while the nodes keep
+//! *simulator* applies — identically in every engine — while the nodes keep
 //! running the unmodified protocol and never learn a fault happened.
 //!
 //! # Event taxonomy
@@ -348,6 +348,23 @@ impl CompiledFaults {
         } else {
             None
         }
+    }
+
+    /// The first round in which node `v` participates (its late-wake round;
+    /// 1 when it was never delayed). The event-driven engine seeds its wake
+    /// queue from this so a sleeping node costs nothing until it wakes.
+    #[inline]
+    pub(crate) fn wake_round(&self, v: NodeId) -> u64 {
+        self.wake_round[v]
+    }
+
+    /// The compiled jam intervals as `(node, first_round, last_round)`,
+    /// inclusive. The event-driven engine seeds forced wake-ups from the
+    /// interval starts: a jammer occupies the channel (and resets quiet
+    /// detection) even while its protocol is otherwise dormant.
+    #[inline]
+    pub(crate) fn jam_intervals(&self) -> &[(NodeId, u64, u64)] {
+        &self.jams
     }
 
     /// Whether node `v` spends `round` jamming. Inertness outranks jamming;

@@ -59,6 +59,32 @@ pub trait RadioNode {
 
     /// Observe the outcome of a listening round.
     fn receive(&mut self, heard: Option<&Self::Msg>);
+
+    /// How many upcoming rounds this node is guaranteed to be *dormant*,
+    /// as a hint to the event-driven engine
+    /// ([`Engine::EventDriven`](crate::Engine)).
+    ///
+    /// Returning `h` promises that — unless a decodable message is
+    /// delivered to the node first — each of its next `h` [`step`] calls
+    /// would return [`Action::Listen`], and that skipping those `h`
+    /// `step`/`receive(None)` call pairs leaves the node in exactly the
+    /// state it would reach if they were made (its state is *frozen*:
+    /// `step` and `receive(None)` are no-ops for those rounds). The
+    /// engine may then elide the calls entirely and only wake the node
+    /// early when it hears something (`receive(Some(_))`), after which
+    /// the hint is queried again. `u64::MAX` means "dormant until I hear
+    /// something".
+    ///
+    /// The default of `0` makes no promise at all — the node is driven
+    /// every round, exactly like the per-round engines drive it — so any
+    /// protocol is correct without implementing this. Override it only
+    /// where the frozen-state contract genuinely holds; the three-engine
+    /// equivalence suite will catch a hint that overpromises.
+    ///
+    /// [`step`]: RadioNode::step
+    fn wake_hint(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

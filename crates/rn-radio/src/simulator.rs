@@ -62,6 +62,33 @@
 //! [`Simulator::step_round_reference`] behind [`Engine::ListenerCentric`]:
 //! it is the executable specification the equivalence suite checks the fast
 //! engine against, round for round and event for event.
+//!
+//! # Event-driven frontier engine
+//!
+//! The paper's protocols spend most of a long execution dormant: on a path,
+//! Algorithm B's wave involves a handful of nodes per round and the quiet
+//! tail involves none, yet both per-round engines still pay O(n) `step`/
+//! `receive` driving every round. [`Engine::EventDriven`] removes that
+//! floor. Nodes advertise dormancy through [`RadioNode::wake_hint`] — a
+//! *frozen-state* promise that their next `h` rounds would be silent
+//! listening with no state change — and the engine keeps a wake queue
+//! (`next_wake` array + lazily-deleted min-heap, with a swap buffer that
+//! bypasses the heap for next-round wakes so hint-less protocols stay at
+//! O(active) per round). Each round only the **active frontier** is driven:
+//! due nodes (hints expired, jam-interval starts, late-wake rounds) are
+//! stepped, delivery runs over the same generation-stamped scratch, and a
+//! dormant listener is touched only when a transmitter marks it — woken
+//! exactly when it decodes a message. With tracing off,
+//! [`Simulator::run_until`] additionally **elides provably quiet spans**:
+//! when the earliest pending wake is `k > 1` rounds away, no node can act
+//! in between (dormant nodes are frozen, jammers are forced awake), so the
+//! clock jumps while the quiet-streak arithmetic advances exactly as if the
+//! rounds had run. Traces (tracing on disables elision and materialises
+//! every round), observations, `rounds_executed`, quiet detection and
+//! fault application are bit-identical to the per-round engines — the
+//! default hint of 0 degenerates to exact per-round driving, and the
+//! three-engine equivalence matrix in `tests/engine_equivalence.rs` pins
+//! the rest.
 
 use crate::fault::{CompiledFaults, FaultKind, FaultPlan, RxFault};
 use crate::message::RadioMessage;
@@ -69,6 +96,8 @@ use crate::node::{Action, RadioNode};
 use crate::scratch::RoundScratch;
 use crate::trace::{NodeEvent, RoundRecord, Trace};
 use rn_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Sentinel `tx_index` marking a jamming node in the decide pass: a jammer
@@ -88,8 +117,132 @@ pub enum Engine {
     /// The original listener-centric engine, retained as an executable
     /// reference implementation: every listener scans its neighbour list.
     /// Slower by design; exists so equivalence tests (and sceptical users)
-    /// can replay any workload on both engines and compare traces.
+    /// can replay any workload on every engine and compare traces.
     ListenerCentric,
+    /// The event-driven frontier engine: nodes advertise dormancy via
+    /// [`RadioNode::wake_hint`], only the active frontier is driven each
+    /// round, and — with tracing off — [`Simulator::run_until`]
+    /// batch-advances the clock over provably quiet stretches. Traces,
+    /// observations, outcomes and fault application are bit-identical to
+    /// the other two engines (see the module docs for the contract).
+    EventDriven,
+}
+
+/// Wake-queue bookkeeping of [`Engine::EventDriven`]. Message-agnostic, but
+/// deliberately kept on the [`Simulator`] rather than inside the pooled
+/// [`RoundScratch`]: scratch instances migrate across simulations, while a
+/// wake queue is meaningful only for the run that seeded it.
+struct EventState {
+    /// Authoritative next round each node must be driven in; `u64::MAX`
+    /// means dormant until a decodable reception wakes it.
+    next_wake: Vec<u64>,
+    /// The round each node's live queue entry targets; deduplicates pushes.
+    /// An entry whose round no longer matches `next_wake` is stale and is
+    /// dropped lazily when it surfaces.
+    enqueued_for: Vec<u64>,
+    /// The round each node was last put on the due list; keeps a node from
+    /// being driven twice when several queues wake it at once.
+    due_stamp: Vec<u64>,
+    /// Min-heap of `(wake_round, node)` for wake-ups two or more rounds out
+    /// (plus the initial all-nodes seeding).
+    heap: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// Forced wake-ups at jam-interval starts: a jammer occupies the
+    /// channel (and resets quiet detection) even while its protocol is
+    /// dormant, so elision must never skip a jam round.
+    fault_wakes: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// The current round's due list (reused across rounds).
+    due: Vec<NodeId>,
+    /// Nodes scheduled for the immediately following round. Bypasses the
+    /// heap so a hint-less protocol (every node due every round) costs
+    /// O(n) per round, not O(n log n).
+    due_next: Vec<NodeId>,
+    /// Which round `due_next` currently collects for.
+    due_next_round: u64,
+    /// Dormant nodes marked by this round's transmitters (tracing off
+    /// only): the complete set of wake-by-reception candidates.
+    touched: Vec<NodeId>,
+}
+
+impl EventState {
+    /// Records that node `v` must next be driven in round `wake`
+    /// (`u64::MAX` parks it) and queues an entry unless one targeting
+    /// exactly that round is already live. `round` is the round currently
+    /// executing; a `wake` of `round + 1` takes the cheap swap buffer, any
+    /// later round goes through the heap.
+    fn schedule(&mut self, v: NodeId, round: u64, wake: u64) {
+        self.next_wake[v] = wake;
+        if wake == u64::MAX || self.enqueued_for[v] == wake {
+            return;
+        }
+        self.enqueued_for[v] = wake;
+        if wake == round + 1 {
+            if self.due_next_round != wake {
+                self.due_next.clear();
+                self.due_next_round = wake;
+            }
+            self.due_next.push(v);
+        } else {
+            self.heap.push(Reverse((wake, v)));
+        }
+    }
+}
+
+/// The round a node driven in `round` with dormancy hint `hint` must next
+/// be driven in (`u64::MAX` = parked until a reception wakes it).
+#[inline]
+fn wake_after(round: u64, hint: u64) -> u64 {
+    round.saturating_add(1).saturating_add(hint)
+}
+
+/// Delivers one successful reception through the receive-side fault filter —
+/// the single copy of the Drop/Corrupt/clean logic all three engines share.
+///
+/// Returns `(decoded, event)`: whether the node was actually handed a
+/// message (`receive(Some(_))` — the event-driven engine wakes dormant
+/// listeners exactly on this), and the trace event describing the outcome
+/// (`None` when `record` is off; the message is cloned only for the trace).
+fn deliver_with_rx_faults<N: RadioNode>(
+    node: &mut N,
+    v: NodeId,
+    sender: NodeId,
+    msg: &N::Msg,
+    rx_window: &[(u64, NodeId, RxFault)],
+    record: bool,
+) -> (bool, Option<NodeEvent<N::Msg>>) {
+    match CompiledFaults::rx_fault(rx_window, v) {
+        Some(RxFault::Drop) => {
+            node.receive(None);
+            (
+                false,
+                record.then(|| NodeEvent::Faulted(FaultKind::Dropped)),
+            )
+        }
+        Some(RxFault::Corrupt) => match msg.corrupted() {
+            Some(garbled) => {
+                node.receive(Some(&garbled));
+                let event = record.then(|| NodeEvent::Heard {
+                    from: sender,
+                    message: garbled,
+                });
+                (true, event)
+            }
+            None => {
+                node.receive(None);
+                (
+                    false,
+                    record.then(|| NodeEvent::Faulted(FaultKind::Corrupted)),
+                )
+            }
+        },
+        None => {
+            node.receive(Some(msg));
+            let event = record.then(|| NodeEvent::Heard {
+                from: sender,
+                message: msg.clone(),
+            });
+            (true, event)
+        }
+    }
 }
 
 /// When the simulation should stop.
@@ -148,6 +301,9 @@ pub struct Simulator<N: RadioNode> {
     /// every fault check below starts with this cheap `Option` test, and an
     /// empty [`FaultPlan`] never compiles to `Some`).
     faults: Option<CompiledFaults>,
+    /// Wake-queue state of [`Engine::EventDriven`], seeded lazily on the
+    /// first event-driven round; `None` under the per-round engines.
+    event: Option<EventState>,
 }
 
 impl<N: RadioNode> Simulator<N> {
@@ -179,12 +335,13 @@ impl<N: RadioNode> Simulator<N> {
             scratch: RoundScratch::new(),
             tx_messages: Vec::new(),
             faults: None,
+            event: None,
         }
     }
 
     /// Installs a [`FaultPlan`] (see [`crate::fault`]): the scheduled events
-    /// are applied by the engine — identically in both [`Engine`]s — while
-    /// the nodes keep running their unmodified protocol.
+    /// are applied by the engine — identically in all three [`Engine`]s —
+    /// while the nodes keep running their unmodified protocol.
     ///
     /// An empty plan installs nothing at all, so a simulator given
     /// [`FaultPlan::none`] is byte-identical in behaviour (traces,
@@ -263,6 +420,7 @@ impl<N: RadioNode> Simulator<N> {
         match self.engine {
             Engine::TransmitterCentric => self.step_round_transmitter_centric(),
             Engine::ListenerCentric => self.step_round_reference(),
+            Engine::EventDriven => self.step_round_event_driven(),
         }
     }
 
@@ -368,38 +526,10 @@ impl<N: RadioNode> Simulator<N> {
                         }
                     } else {
                         let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                        match CompiledFaults::rx_fault(rx_window, v) {
-                            Some(RxFault::Drop) => {
-                                node.receive(None);
-                                if self.record_trace {
-                                    events.push(NodeEvent::Faulted(FaultKind::Dropped));
-                                }
-                            }
-                            Some(RxFault::Corrupt) => {
-                                if let Some(garbled) = msg.corrupted() {
-                                    node.receive(Some(&garbled));
-                                    if self.record_trace {
-                                        events.push(NodeEvent::Heard {
-                                            from: w,
-                                            message: garbled,
-                                        });
-                                    }
-                                } else {
-                                    node.receive(None);
-                                    if self.record_trace {
-                                        events.push(NodeEvent::Faulted(FaultKind::Corrupted));
-                                    }
-                                }
-                            }
-                            None => {
-                                node.receive(Some(msg));
-                                if self.record_trace {
-                                    events.push(NodeEvent::Heard {
-                                        from: w,
-                                        message: msg.clone(),
-                                    });
-                                }
-                            }
+                        let (_, event) =
+                            deliver_with_rx_faults(node, v, w, msg, rx_window, self.record_trace);
+                        if let Some(e) = event {
+                            events.push(e);
                         }
                     }
                 } else {
@@ -519,38 +649,16 @@ impl<N: RadioNode> Simulator<N> {
                         }
                         (Some(w), None) => {
                             let msg = actions[w].message().expect("w transmits");
-                            match CompiledFaults::rx_fault(rx_window, v) {
-                                Some(RxFault::Drop) => {
-                                    self.nodes[v].receive(None);
-                                    if self.record_trace {
-                                        events.push(NodeEvent::Faulted(FaultKind::Dropped));
-                                    }
-                                }
-                                Some(RxFault::Corrupt) => {
-                                    if let Some(garbled) = msg.corrupted() {
-                                        self.nodes[v].receive(Some(&garbled));
-                                        if self.record_trace {
-                                            events.push(NodeEvent::Heard {
-                                                from: w,
-                                                message: garbled,
-                                            });
-                                        }
-                                    } else {
-                                        self.nodes[v].receive(None);
-                                        if self.record_trace {
-                                            events.push(NodeEvent::Faulted(FaultKind::Corrupted));
-                                        }
-                                    }
-                                }
-                                None => {
-                                    self.nodes[v].receive(Some(msg));
-                                    if self.record_trace {
-                                        events.push(NodeEvent::Heard {
-                                            from: w,
-                                            message: msg.clone(),
-                                        });
-                                    }
-                                }
+                            let (_, event) = deliver_with_rx_faults(
+                                &mut self.nodes[v],
+                                v,
+                                w,
+                                msg,
+                                rx_window,
+                                self.record_trace,
+                            );
+                            if let Some(e) = event {
+                                events.push(e);
                             }
                         }
                         (Some(_), Some(_)) => {
@@ -589,8 +697,339 @@ impl<N: RadioNode> Simulator<N> {
         transmitter_count
     }
 
+    /// Seeds the wake queue for [`Engine::EventDriven`] on its first round:
+    /// every node is due in the next round (or at its late-wake round, if it
+    /// starts asleep), and every jam interval registers a forced wake at its
+    /// first in-range round so elision can never skip a channel-occupying
+    /// jammer.
+    fn init_event_state(&mut self) {
+        let n = self.graph.node_count();
+        let base = self.round;
+        let faults = self.faults.as_ref();
+        let mut st = EventState {
+            next_wake: vec![0; n],
+            enqueued_for: vec![0; n],
+            due_stamp: vec![0; n],
+            heap: BinaryHeap::with_capacity(n),
+            fault_wakes: BinaryHeap::new(),
+            due: Vec::with_capacity(n),
+            due_next: Vec::new(),
+            due_next_round: 0,
+            touched: Vec::new(),
+        };
+        for v in 0..n {
+            let wake = faults.map_or(1, |f| f.wake_round(v)).max(base + 1);
+            st.next_wake[v] = wake;
+            st.enqueued_for[v] = wake;
+            st.heap.push(Reverse((wake, v)));
+        }
+        if let Some(f) = faults {
+            for &(v, first, last) in f.jam_intervals() {
+                let w = first.max(base + 1);
+                if w <= last {
+                    st.fault_wakes.push(Reverse((w, v)));
+                }
+            }
+        }
+        self.event = Some(st);
+    }
+
+    /// One round of the event-driven frontier engine: assemble the due list
+    /// from the wake queues, drive only those nodes through the decide pass,
+    /// mark the transmitters' neighbourhoods over the same generation-stamped
+    /// scratch, and deliver observations — waking a dormant listener exactly
+    /// when it decodes a message. With a trace recording, the observe pass
+    /// falls back to one linear sweep so the per-node events come out
+    /// byte-identical to the per-round engines (node driving is still
+    /// frontier-only).
+    fn step_round_event_driven(&mut self) -> usize {
+        if self.event.is_none() {
+            self.init_event_state();
+        }
+        self.round += 1;
+        let round = self.round;
+        let n = self.graph.node_count();
+        let record_trace = self.record_trace;
+        let scratch = &mut self.scratch;
+        scratch.ensure_nodes(n);
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        let faults = self.faults.as_ref();
+        let st = self.event.as_mut().expect("seeded above");
+
+        // Due assembly: the next-round swap buffer, then the wake heap, then
+        // forced jam wake-ups — deduplicated through `due_stamp` and
+        // validated against `next_wake` (a heap entry whose round no longer
+        // matches is stale and drops here).
+        st.due.clear();
+        st.touched.clear();
+        if st.due_next_round == round {
+            for i in 0..st.due_next.len() {
+                let v = st.due_next[i];
+                if st.next_wake[v] == round && st.due_stamp[v] != round {
+                    st.due_stamp[v] = round;
+                    st.due.push(v);
+                }
+            }
+        }
+        st.due_next.clear();
+        while let Some(&Reverse((w, v))) = st.heap.peek() {
+            if w > round {
+                break;
+            }
+            st.heap.pop();
+            if st.next_wake[v] == w && st.due_stamp[v] != round {
+                st.due_stamp[v] = round;
+                st.due.push(v);
+            }
+        }
+        while let Some(&Reverse((w, v))) = st.fault_wakes.peek() {
+            if w > round {
+                break;
+            }
+            st.fault_wakes.pop();
+            if st.due_stamp[v] != round {
+                st.due_stamp[v] = round;
+                st.due.push(v);
+            }
+        }
+        // The mark pass's first-hit rule assumes transmitters are visited in
+        // ascending node order, exactly like the per-round engines' decide
+        // sweeps produce them.
+        st.due.sort_unstable();
+
+        // Decide: only the due nodes act. A crashed node parks forever, an
+        // asleep node sleeps until its wake round, a jammer occupies the
+        // channel (and stays due while its interval lasts); everyone else
+        // steps, and transmitters reschedule by their post-step hint.
+        self.tx_messages.clear();
+        scratch.transmitters.clear();
+        for i in 0..st.due.len() {
+            let v = st.due[i];
+            if let Some(f) = faults {
+                match f.inert_kind(v, round) {
+                    Some(FaultKind::Crashed) => {
+                        st.next_wake[v] = u64::MAX;
+                        continue;
+                    }
+                    Some(_) => {
+                        // Asleep: dormant (and deaf) until its wake round.
+                        let wake = f.wake_round(v).max(round + 1);
+                        st.schedule(v, round, wake);
+                        continue;
+                    }
+                    None => {}
+                }
+                if f.is_jamming(v, round) {
+                    scratch.tx_stamp[v] = generation;
+                    scratch.tx_index[v] = JAMMER;
+                    scratch.transmitters.push(v);
+                    st.schedule(v, round, round + 1);
+                    continue;
+                }
+            }
+            match self.nodes[v].step() {
+                Action::Transmit(m) => {
+                    scratch.tx_stamp[v] = generation;
+                    scratch.tx_index[v] = self.tx_messages.len() as u32;
+                    scratch.transmitters.push(v);
+                    self.tx_messages.push(m);
+                    st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                }
+                Action::Listen => {} // rescheduled in observe, after receive
+            }
+        }
+
+        // Mark: identical to the fast engine, except that with tracing off
+        // the first hit on a node outside the due list records it as a
+        // wake-by-reception candidate.
+        for ti in 0..scratch.transmitters.len() {
+            let t = scratch.transmitters[ti];
+            for &w in self.graph.neighbors(t) {
+                if scratch.stamp[w] == generation {
+                    scratch.hit_count[w] += 1;
+                } else {
+                    scratch.stamp[w] = generation;
+                    scratch.hit_count[w] = 1;
+                    scratch.last_sender[w] = t;
+                    if !record_trace && st.due_stamp[w] != round {
+                        st.touched.push(w);
+                    }
+                }
+            }
+        }
+
+        // Observe.
+        let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
+        if record_trace {
+            // One linear sweep, byte-identical events to the per-round
+            // engines. A dormant listener's `receive(None)` is elided — a
+            // no-op under the wake-hint contract — but its Silence/Collision
+            // events are still materialised.
+            let mut events: Vec<NodeEvent<N::Msg>> = Vec::with_capacity(n);
+            for v in 0..n {
+                if let Some(f) = faults {
+                    if let Some(kind) = f.inert_kind(v, round) {
+                        events.push(NodeEvent::Faulted(kind));
+                        continue;
+                    }
+                }
+                if scratch.tx_stamp[v] == generation {
+                    if scratch.tx_index[v] == JAMMER {
+                        events.push(NodeEvent::Faulted(FaultKind::Jamming));
+                    } else {
+                        let m = &self.tx_messages[scratch.tx_index[v] as usize];
+                        events.push(NodeEvent::Transmitted(m.clone()));
+                    }
+                    continue;
+                }
+                let is_due = st.due_stamp[v] == round;
+                if scratch.stamp[v] == generation {
+                    if scratch.hit_count[v] == 1 {
+                        let w = scratch.last_sender[v];
+                        if scratch.tx_index[w] == JAMMER {
+                            if is_due {
+                                self.nodes[v].receive(None);
+                                st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                            }
+                            events.push(NodeEvent::Collision {
+                                transmitting_neighbors: 1,
+                            });
+                        } else {
+                            let msg = &self.tx_messages[scratch.tx_index[w] as usize];
+                            let (decoded, event) = deliver_with_rx_faults(
+                                &mut self.nodes[v],
+                                v,
+                                w,
+                                msg,
+                                rx_window,
+                                true,
+                            );
+                            events.push(event.expect("recording"));
+                            if decoded || is_due {
+                                st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                            }
+                        }
+                    } else {
+                        if is_due {
+                            self.nodes[v].receive(None);
+                            st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                        }
+                        events.push(NodeEvent::Collision {
+                            transmitting_neighbors: scratch.hit_count[v] as usize,
+                        });
+                    }
+                } else {
+                    if is_due {
+                        self.nodes[v].receive(None);
+                        st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                    }
+                    events.push(NodeEvent::Silence);
+                }
+            }
+            self.trace.rounds.push(RoundRecord { round, events });
+        } else {
+            // Tracing off: the due listeners plus the touched set cover
+            // every node whose state can change this round. Due listeners
+            // observe their outcome and reschedule by their post-receive
+            // hint; a touched (dormant) node is woken only by an actual
+            // decoded delivery.
+            for i in 0..st.due.len() {
+                let v = st.due[i];
+                if let Some(f) = faults {
+                    if f.inert_kind(v, round).is_some() {
+                        continue;
+                    }
+                }
+                if scratch.tx_stamp[v] == generation {
+                    continue; // transmitters and jammers observe nothing
+                }
+                if scratch.stamp[v] == generation
+                    && scratch.hit_count[v] == 1
+                    && scratch.tx_index[scratch.last_sender[v]] != JAMMER
+                {
+                    let w = scratch.last_sender[v];
+                    let msg = &self.tx_messages[scratch.tx_index[w] as usize];
+                    deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);
+                } else {
+                    self.nodes[v].receive(None);
+                }
+                st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+            }
+            for i in 0..st.touched.len() {
+                let v = st.touched[i];
+                if let Some(f) = faults {
+                    if f.inert_kind(v, round).is_some() {
+                        continue;
+                    }
+                }
+                if scratch.tx_stamp[v] == generation || scratch.hit_count[v] != 1 {
+                    continue; // collisions deliver None: a no-op while dormant
+                }
+                let w = scratch.last_sender[v];
+                if scratch.tx_index[w] == JAMMER {
+                    continue;
+                }
+                let msg = &self.tx_messages[scratch.tx_index[w] as usize];
+                let (decoded, _) =
+                    deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);
+                if decoded {
+                    st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
+                }
+            }
+        }
+        scratch.transmitters.len()
+    }
+
+    /// With tracing off under [`Engine::EventDriven`], the number of
+    /// upcoming rounds that are provably silent: no protocol wake, pending
+    /// next-round entry, or forced jam wake falls inside them, so no node
+    /// can transmit and no node state can change (dormant nodes are frozen
+    /// by the wake-hint contract). Returns 0 under the other engines and
+    /// whenever a trace is recording, which needs every round materialised.
+    fn provably_quiet_rounds(&mut self) -> u64 {
+        if self.engine != Engine::EventDriven || self.record_trace {
+            return 0;
+        }
+        let round = self.round;
+        let Some(st) = self.event.as_mut() else {
+            return 0;
+        };
+        if st.due_next_round == round + 1 && !st.due_next.is_empty() {
+            return 0;
+        }
+        let mut next = u64::MAX;
+        while let Some(&Reverse((w, v))) = st.heap.peek() {
+            if st.next_wake[v] == w {
+                next = w;
+                break;
+            }
+            // Stale entry: drop it, and clear the dedup stamp it may still
+            // hold so a future schedule targeting the same round is not
+            // suppressed (the physical entry is gone).
+            if st.enqueued_for[v] == w {
+                st.enqueued_for[v] = 0;
+            }
+            st.heap.pop();
+        }
+        if let Some(&Reverse((w, _))) = st.fault_wakes.peek() {
+            next = next.min(w);
+        }
+        next.saturating_sub(round + 1)
+    }
+
     /// Runs until the stop condition is met or `predicate` (evaluated after
     /// each round, with harness-level omniscience) returns true.
+    ///
+    /// Under [`Engine::EventDriven`] with tracing off, provably quiet spans
+    /// are elided: the round counter and the quiet-streak arithmetic advance
+    /// exactly as if the silent rounds had run, but the predicate is not
+    /// re-evaluated inside a span — it already returned false after the last
+    /// executed round and no node state changes during the span, so any
+    /// predicate that is a function of node states (as harness predicates
+    /// are) cannot flip. A predicate that reads the round counter itself
+    /// would observe the jump; pair such predicates with the per-round
+    /// engines or a recorded trace.
     pub fn run_until<P>(&mut self, stop: StopCondition, mut predicate: P) -> RunOutcome
     where
         P: FnMut(&Self) -> bool,
@@ -623,6 +1062,28 @@ impl<N: RadioNode> Simulator<N> {
                         predicate_satisfied: false,
                         went_quiet: true,
                     };
+                }
+            }
+            // Silent-span elision (event-driven engine, tracing off): jump
+            // the clock over rounds in which provably nothing happens,
+            // clamped so the quiet threshold and the cap trigger at exactly
+            // the same round they would if every round ran.
+            let mut span = self.provably_quiet_rounds();
+            if span > 0 {
+                span = span.min(cap - (self.round - start));
+                if let Some(needed) = quiet_needed {
+                    span = span.min(needed - quiet_streak);
+                }
+                self.round += span;
+                quiet_streak += span;
+                if let Some(needed) = quiet_needed {
+                    if quiet_streak >= needed {
+                        return RunOutcome {
+                            rounds_executed: self.round - start,
+                            predicate_satisfied: false,
+                            went_quiet: true,
+                        };
+                    }
                 }
             }
         }
@@ -1090,12 +1551,176 @@ mod tests {
         };
         let mut fast = make(Engine::TransmitterCentric);
         let mut reference = make(Engine::ListenerCentric);
+        let mut event = make(Engine::EventDriven);
         for _ in 0..6 {
-            assert_eq!(fast.step_round(), reference.step_round());
+            let tx = fast.step_round();
+            assert_eq!(tx, reference.step_round());
+            assert_eq!(tx, event.step_round());
         }
         assert_eq!(fast.trace().rounds, reference.trace().rounds);
+        assert_eq!(fast.trace().rounds, event.trace().rounds);
         for (a, b) in fast.nodes().iter().zip(reference.nodes()) {
             assert_eq!(a.listen_outcomes, b.listen_outcomes);
+        }
+        for (a, b) in fast.nodes().iter().zip(event.nodes()) {
+            assert_eq!(a.listen_outcomes, b.listen_outcomes);
+        }
+    }
+
+    /// A protocol with a real dormancy hint: the source transmits once, then
+    /// everyone is parked until woken by a decodable reception. `step` is
+    /// `Listen` and `receive(None)` is a no-op for parked nodes, so the
+    /// wake-hint frozen-state contract holds exactly.
+    struct Pulse {
+        is_source: bool,
+        sent: bool,
+        heard: Vec<u64>,
+    }
+
+    impl Pulse {
+        fn new(is_source: bool) -> Self {
+            Pulse {
+                is_source,
+                sent: false,
+                heard: Vec::new(),
+            }
+        }
+    }
+
+    impl RadioNode for Pulse {
+        type Msg = u64;
+        fn step(&mut self) -> Action<u64> {
+            if self.is_source && !self.sent {
+                self.sent = true;
+                Action::Transmit(42)
+            } else {
+                Action::Listen
+            }
+        }
+        fn receive(&mut self, heard: Option<&u64>) {
+            if let Some(m) = heard {
+                self.heard.push(*m);
+            }
+        }
+        fn wake_hint(&self) -> u64 {
+            if self.is_source && !self.sent {
+                0
+            } else {
+                u64::MAX
+            }
+        }
+    }
+
+    fn pulse_sim(g: Graph, engine: Engine) -> Simulator<Pulse> {
+        let nodes: Vec<Pulse> = (0..g.node_count()).map(|v| Pulse::new(v == 0)).collect();
+        Simulator::new(g, nodes).with_engine(engine).without_trace()
+    }
+
+    #[test]
+    fn elision_hits_quiet_for_threshold_exactly() {
+        // Round 1: source transmits, then everyone parks. QuietFor{5,100}
+        // must end at round 6 (five silent rounds after the transmission) on
+        // every engine, elided or not.
+        for engine in [
+            Engine::TransmitterCentric,
+            Engine::ListenerCentric,
+            Engine::EventDriven,
+        ] {
+            let mut sim = pulse_sim(generators::path(6), engine);
+            let outcome = sim.run_until(StopCondition::QuietFor { quiet: 5, cap: 100 }, |_| false);
+            assert!(outcome.went_quiet, "{engine:?}");
+            assert_eq!(outcome.rounds_executed, 6, "{engine:?}");
+            assert_eq!(sim.current_round(), 6, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn elision_respects_the_cap_exactly() {
+        for engine in [
+            Engine::TransmitterCentric,
+            Engine::ListenerCentric,
+            Engine::EventDriven,
+        ] {
+            let mut sim = pulse_sim(generators::path(6), engine);
+            let outcome = sim.run_until(StopCondition::QuietFor { quiet: 10, cap: 4 }, |_| false);
+            assert!(!outcome.went_quiet, "{engine:?}");
+            assert_eq!(outcome.rounds_executed, 4, "{engine:?}");
+            assert_eq!(sim.current_round(), 4, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn elision_counts_after_rounds_exactly() {
+        for engine in [
+            Engine::TransmitterCentric,
+            Engine::ListenerCentric,
+            Engine::EventDriven,
+        ] {
+            let mut sim = pulse_sim(generators::path(6), engine);
+            let outcome = sim.run_rounds(50);
+            assert_eq!(outcome.rounds_executed, 50, "{engine:?}");
+            assert_eq!(sim.current_round(), 50, "{engine:?}");
+            assert_eq!(sim.nodes()[1].heard, vec![42], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn elision_disabled_with_tracing_on() {
+        let nodes: Vec<Pulse> = (0..4).map(|v| Pulse::new(v == 0)).collect();
+        let mut event = Simulator::new(generators::path(4), nodes).with_engine(Engine::EventDriven);
+        let nodes: Vec<Pulse> = (0..4).map(|v| Pulse::new(v == 0)).collect();
+        let mut fast = Simulator::new(generators::path(4), nodes);
+        let a = event.run_until(StopCondition::QuietFor { quiet: 3, cap: 40 }, |_| false);
+        let b = fast.run_until(StopCondition::QuietFor { quiet: 3, cap: 40 }, |_| false);
+        assert_eq!(a, b);
+        assert_eq!(event.trace().rounds, fast.trace().rounds);
+        assert_eq!(event.trace().len() as u64, a.rounds_executed);
+    }
+
+    #[test]
+    fn parked_node_wakes_on_reception_and_reparks() {
+        // Pulse on a path relays nothing, so only node 1 hears the source;
+        // the interesting part is that node 1 was parked (hint MAX after
+        // round 1's step) yet still receives in round 1, and that a second
+        // run segment keeps the accumulated wake state consistent.
+        let mut sim = pulse_sim(generators::path(5), Engine::EventDriven);
+        sim.run_rounds(3);
+        assert_eq!(sim.nodes()[1].heard, vec![42]);
+        assert!(sim.nodes()[2].heard.is_empty());
+        sim.run_rounds(100);
+        assert_eq!(sim.current_round(), 103);
+        assert_eq!(sim.nodes()[1].heard, vec![42]);
+    }
+
+    #[test]
+    fn event_engine_elides_past_late_jam_and_wake_faults() {
+        // Everyone parks immediately (no source), but a jam interval at
+        // rounds 10..=11 must still occupy the channel and reset the quiet
+        // streak — elision may not jump over it.
+        let plan = FaultPlan::none().jam(1, 10, 2);
+        let make = |engine: Engine| {
+            let nodes: Vec<Pulse> = (0..3).map(|_| Pulse::new(false)).collect();
+            Simulator::new(generators::path(3), nodes)
+                .with_engine(engine)
+                .with_faults(&plan)
+                .without_trace()
+        };
+        for engine in [
+            Engine::TransmitterCentric,
+            Engine::ListenerCentric,
+            Engine::EventDriven,
+        ] {
+            let mut sim = make(engine);
+            let outcome = sim.run_until(
+                StopCondition::QuietFor {
+                    quiet: 30,
+                    cap: 1000,
+                },
+                |_| false,
+            );
+            assert!(outcome.went_quiet, "{engine:?}");
+            // Rounds 10 and 11 jam; 30 quiet rounds after that ends at 41.
+            assert_eq!(outcome.rounds_executed, 41, "{engine:?}");
         }
     }
 

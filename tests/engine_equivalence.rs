@@ -1,19 +1,29 @@
-//! Equivalence suite for the transmitter-centric simulator engine.
+//! Equivalence suite for the simulator engines.
 //!
 //! The fast engine rewrote delivery from "every listener scans its
-//! neighbourhood" to "every transmitter pushes along its CSR row"; the old
+//! neighbourhood" to "every transmitter pushes along its CSR row", and the
+//! event-driven engine (`Engine::EventDriven`) further replaces per-round
+//! polling with a wake-hint frontier plus silent-round elision; the original
 //! algorithm is retained verbatim as `Simulator::step_round_reference`
 //! (selected with `Engine::ListenerCentric`). These tests replay seeded
 //! topologies under every `Scheme` — and under an adversarial
-//! pseudo-random protocol at the raw simulator level — and assert the two
-//! engines produce **identical** traces, node observations and `RunReport`s,
-//! field for field.
+//! pseudo-random protocol at the raw simulator level — and assert all
+//! three engines produce **identical** traces, node observations and
+//! `RunReport`s, field for field.
 
 use radio_labeling::broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
 use radio_labeling::graph::{generators, Graph};
 use radio_labeling::radio::testing::ChaosNode;
 use radio_labeling::radio::{Engine, FaultPlan, Simulator, StopCondition};
 use std::sync::Arc;
+
+/// Every engine the simulator offers, reference first: each alternative
+/// engine is compared against `ListenerCentric`, the executable spec.
+const ENGINES: [Engine; 3] = [
+    Engine::ListenerCentric,
+    Engine::TransmitterCentric,
+    Engine::EventDriven,
+];
 
 /// Seeded workload families: name, graph, and the sources to broadcast from.
 fn workloads() -> Vec<(String, Graph, Vec<usize>)> {
@@ -43,7 +53,7 @@ fn workloads() -> Vec<(String, Graph, Vec<usize>)> {
     w
 }
 
-/// Runs one spec on both engines and asserts the reports are identical.
+/// Runs one spec on all three engines and asserts the reports are identical.
 fn assert_engines_agree(scheme: Scheme, graph: &Arc<Graph>, source: usize, label: &str) {
     let build = |engine: Engine| {
         Session::builder(scheme, Arc::clone(graph))
@@ -53,22 +63,27 @@ fn assert_engines_agree(scheme: Scheme, graph: &Arc<Graph>, source: usize, label
             .build()
             .unwrap()
     };
-    let fast = build(Engine::TransmitterCentric);
     let reference = build(Engine::ListenerCentric);
-
-    let a: RunReport = fast.run();
     let b: RunReport = reference.run();
-    assert_eq!(a, b, "{label}: {} from {source}", scheme.name());
     assert!(
-        a.completed(),
+        b.completed(),
         "{label}: {} from {source} should complete",
         scheme.name()
     );
-
-    // A second message through the cached labeling must agree too.
-    let a2 = fast.run_with_message(99).unwrap();
     let b2 = reference.run_with_message(99).unwrap();
-    assert_eq!(a2, b2, "{label}: {} rerun", scheme.name());
+    for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+        let session = build(engine);
+        let a: RunReport = session.run();
+        assert_eq!(
+            a,
+            b,
+            "{label}: {} from {source} [{engine:?}]",
+            scheme.name()
+        );
+        // A second message through the cached labeling must agree too.
+        let a2 = session.run_with_message(99).unwrap();
+        assert_eq!(a2, b2, "{label}: {} rerun [{engine:?}]", scheme.name());
+    }
 }
 
 #[test]
@@ -102,6 +117,9 @@ fn onebit_schemes_agree_on_their_classes() {
 
 #[test]
 fn engines_agree_with_tracing_disabled() {
+    // Tracing off is where the event-driven engine actually elides rounds,
+    // so this is the closest scrutiny of the elision arithmetic at the
+    // session level.
     let g = Arc::new(generators::gnp_connected(26, 0.16, 9).unwrap());
     for scheme in Scheme::GENERAL {
         let build = |engine: Engine| {
@@ -112,12 +130,15 @@ fn engines_agree_with_tracing_disabled() {
                 .build()
                 .unwrap()
         };
-        assert_eq!(
-            build(Engine::TransmitterCentric).run(),
-            build(Engine::ListenerCentric).run(),
-            "{} without trace",
-            scheme.name()
-        );
+        let reference = build(Engine::ListenerCentric).run();
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            assert_eq!(
+                build(engine).run(),
+                reference,
+                "{} without trace [{engine:?}]",
+                scheme.name()
+            );
+        }
     }
 }
 
@@ -133,17 +154,17 @@ fn batch_runs_agree_across_engines() {
             .build()
             .unwrap()
     };
-    let fast = build(Engine::TransmitterCentric)
-        .run_batch(&specs, 4)
-        .unwrap();
     let reference = build(Engine::ListenerCentric).run_batch(&specs, 4).unwrap();
-    assert_eq!(fast, reference);
+    for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+        let batch = build(engine).run_batch(&specs, 4).unwrap();
+        assert_eq!(batch, reference, "[{engine:?}]");
+    }
 }
 
 #[test]
 fn multi_broadcast_reports_agree_across_engines() {
     // The k-source multi-broadcast subsystem: identical RunReports (per-
-    // message completion rounds included) on both engines, for every
+    // message completion rounds included) on all engines, for every
     // workload and several k.
     for (label, graph, _) in workloads() {
         let graph = Arc::new(graph);
@@ -155,15 +176,16 @@ fn multi_broadcast_reports_agree_across_engines() {
                     .build()
                     .unwrap()
             };
-            let fast = build(Engine::TransmitterCentric).run();
             let reference = build(Engine::ListenerCentric).run();
-            assert_eq!(fast, reference, "{label} k={k}");
-            assert!(fast.completed(), "{label} k={k} should complete");
+            assert!(reference.completed(), "{label} k={k} should complete");
             assert_eq!(
-                fast.message_completion_rounds.as_ref().unwrap().len(),
+                reference.message_completion_rounds.as_ref().unwrap().len(),
                 k.min(graph.node_count()),
                 "{label} k={k}"
             );
+            for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+                assert_eq!(build(engine).run(), reference, "{label} k={k} [{engine:?}]");
+            }
         }
     }
 }
@@ -178,39 +200,39 @@ fn multi_broadcast_raw_traces_identical_across_engines() {
         let scheme = multi::construct(&graph, &sources).unwrap();
         let payloads: Vec<u64> = (0..scheme.k() as u64).map(|j| 70 + j).collect();
         let rounds = 2 * (scheme.k() as u64 + 2) * (graph.node_count() as u64 + 2);
-        let mut fast = Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads));
-        let mut reference =
-            Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads))
-                .with_engine(Engine::ListenerCentric);
         // B has legitimate isolated silent rounds mid-relay (the 2-round
         // cadence of the dominating-set wave), so quiet detection needs the
         // same 3-round window the sessions use.
-        let a = fast.run_until(
-            StopCondition::QuietFor {
-                quiet: 3,
-                cap: rounds,
-            },
-            |_| false,
-        );
-        let b = reference.run_until(
-            StopCondition::QuietFor {
-                quiet: 3,
-                cap: rounds,
-            },
-            |_| false,
-        );
-        assert_eq!(a, b, "{label}: outcomes differ");
-        assert_eq!(
-            fast.trace().rounds,
-            reference.trace().rounds,
-            "{label}: traces differ"
-        );
-        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
-            assert_eq!(x.payloads(), y.payloads(), "{label}: node {v} differs");
-            assert!(
-                x.holds_all_messages(),
-                "{label}: node {v} not fully informed"
+        let stop = StopCondition::QuietFor {
+            quiet: 3,
+            cap: rounds,
+        };
+        let mut reference =
+            Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads))
+                .with_engine(Engine::ListenerCentric);
+        let b = reference.run_until(stop, |_| false);
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim =
+                Simulator::new(Arc::clone(&graph), MultiNode::network(&scheme, &payloads))
+                    .with_engine(engine);
+            let a = sim.run_until(stop, |_| false);
+            assert_eq!(a, b, "{label} [{engine:?}]: outcomes differ");
+            assert_eq!(
+                sim.trace().rounds,
+                reference.trace().rounds,
+                "{label} [{engine:?}]: traces differ"
             );
+            for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                assert_eq!(
+                    x.payloads(),
+                    y.payloads(),
+                    "{label} [{engine:?}]: node {v} differs"
+                );
+                assert!(
+                    x.holds_all_messages(),
+                    "{label} [{engine:?}]: node {v} not fully informed"
+                );
+            }
         }
     }
 }
@@ -218,7 +240,7 @@ fn multi_broadcast_raw_traces_identical_across_engines() {
 #[test]
 fn gossip_reports_agree_across_engines() {
     // The all-to-all gossip subsystem: identical RunReports (all n
-    // per-message completion rounds included) on both engines, for every
+    // per-message completion rounds included) on all engines, for every
     // workload. (Scheme::GENERAL already replays gossip through
     // `assert_engines_agree`; this pins the n-message report shape too.)
     for (label, graph, _) in workloads() {
@@ -231,16 +253,21 @@ fn gossip_reports_agree_across_engines() {
                 .build()
                 .unwrap()
         };
-        let fast = build(Engine::TransmitterCentric).run();
         let reference = build(Engine::ListenerCentric).run();
-        assert_eq!(fast, reference, "{label}");
-        assert!(fast.completed(), "{label} should complete");
-        assert_eq!(fast.sources.len(), n, "{label}: every node is a source");
+        assert!(reference.completed(), "{label} should complete");
         assert_eq!(
-            fast.message_completion_rounds.as_ref().unwrap().len(),
+            reference.sources.len(),
+            n,
+            "{label}: every node is a source"
+        );
+        assert_eq!(
+            reference.message_completion_rounds.as_ref().unwrap().len(),
             n,
             "{label}"
         );
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            assert_eq!(build(engine).run(), reference, "{label} [{engine:?}]");
+        }
     }
 }
 
@@ -255,43 +282,44 @@ fn gossip_raw_traces_identical_across_engines() {
         let scheme = gossip::construct(&graph).unwrap();
         let payloads: Vec<u64> = (0..n as u64).map(|j| 70 + j).collect();
         let rounds = 6 * (n as u64 + 2) + 16;
-        let mut fast = Simulator::new(Arc::clone(&graph), GossipNode::network(&scheme, &payloads));
+        let stop = StopCondition::QuietFor {
+            quiet: 3,
+            cap: rounds,
+        };
         let mut reference =
             Simulator::new(Arc::clone(&graph), GossipNode::network(&scheme, &payloads))
                 .with_engine(Engine::ListenerCentric);
-        let a = fast.run_until(
-            StopCondition::QuietFor {
-                quiet: 3,
-                cap: rounds,
-            },
-            |_| false,
-        );
-        let b = reference.run_until(
-            StopCondition::QuietFor {
-                quiet: 3,
-                cap: rounds,
-            },
-            |_| false,
-        );
-        assert_eq!(a, b, "{label}: outcomes differ");
-        assert_eq!(
-            fast.trace().rounds,
-            reference.trace().rounds,
-            "{label}: traces differ"
-        );
-        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
-            assert_eq!(x.payloads(), y.payloads(), "{label}: node {v} differs");
-            assert!(
-                x.holds_all_messages(),
-                "{label}: node {v} not fully informed"
+        let b = reference.run_until(stop, |_| false);
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim =
+                Simulator::new(Arc::clone(&graph), GossipNode::network(&scheme, &payloads))
+                    .with_engine(engine);
+            let a = sim.run_until(stop, |_| false);
+            assert_eq!(a, b, "{label} [{engine:?}]: outcomes differ");
+            assert_eq!(
+                sim.trace().rounds,
+                reference.trace().rounds,
+                "{label} [{engine:?}]: traces differ"
             );
+            for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                assert_eq!(
+                    x.payloads(),
+                    y.payloads(),
+                    "{label} [{engine:?}]: node {v} differs"
+                );
+                assert!(
+                    x.holds_all_messages(),
+                    "{label} [{engine:?}]: node {v} not fully informed"
+                );
+            }
         }
     }
 }
 
 // The adversarial pseudo-random protocol lives in `rn_radio::testing`
 // (shared with the in-crate fault suites); this file used to carry its own
-// copy.
+// copy. ChaosNode keeps the default wake hint of 0, so it also pins the
+// event-driven engine's exact per-round degeneration.
 
 #[test]
 fn raw_traces_and_observations_identical_under_chaos() {
@@ -301,22 +329,25 @@ fn raw_traces_and_observations_identical_under_chaos() {
         for (label, graph, _) in workloads() {
             let graph = Arc::new(graph);
             let n = graph.node_count();
-            let mut fast = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, density));
             let mut reference = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, density))
                 .with_engine(Engine::ListenerCentric);
-            let a = fast.run_until(StopCondition::AfterRounds(60), |_| false);
             let b = reference.run_until(StopCondition::AfterRounds(60), |_| false);
-            assert_eq!(a, b, "{label} d={density}: outcomes differ");
-            assert_eq!(
-                fast.trace().rounds,
-                reference.trace().rounds,
-                "{label} d={density}: traces differ"
-            );
-            for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+            for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+                let mut sim = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, density))
+                    .with_engine(engine);
+                let a = sim.run_until(StopCondition::AfterRounds(60), |_| false);
+                assert_eq!(a, b, "{label} d={density} [{engine:?}]: outcomes differ");
                 assert_eq!(
-                    x.observations, y.observations,
-                    "{label} d={density}: node {v} observations differ"
+                    sim.trace().rounds,
+                    reference.trace().rounds,
+                    "{label} d={density} [{engine:?}]: traces differ"
                 );
+                for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                    assert_eq!(
+                        x.observations, y.observations,
+                        "{label} d={density} [{engine:?}]: node {v} observations differ"
+                    );
+                }
             }
         }
     }
@@ -326,7 +357,7 @@ fn raw_traces_and_observations_identical_under_chaos() {
 /// simulator supports at once: one crash, one jam window, and one late
 /// waker, each picked by a SplitMix64 hash (never the source, so the
 /// broadcast at least starts). Victims may coincide — the fault semantics
-/// are total either way, and both engines must agree regardless.
+/// are total either way, and all engines must agree regardless.
 fn seeded_plan(n: usize, seed: u64, source: usize) -> FaultPlan {
     let pick = |salt: u64| -> usize {
         let mut z = seed
@@ -351,10 +382,11 @@ fn seeded_plan(n: usize, seed: u64, source: usize) -> FaultPlan {
 
 #[test]
 fn all_general_schemes_agree_under_seeded_fault_plans() {
-    // The fault path rewires both engines' inner loops (inert nodes, jammer
-    // slots, receive-side rewrites); this replays every GENERAL scheme under
-    // a crash + jam + late-wake plan and demands field-for-field identical
-    // RunReports — robustness columns included — plus a deterministic rerun.
+    // The fault path rewires every engine's inner loops (inert nodes, jammer
+    // slots, receive-side rewrites, forced jam wake-ups); this replays every
+    // GENERAL scheme under a crash + jam + late-wake plan and demands
+    // field-for-field identical RunReports — robustness columns included —
+    // plus a deterministic rerun.
     for (label, graph, sources) in workloads() {
         let graph = Arc::new(graph);
         let n = graph.node_count();
@@ -371,21 +403,28 @@ fn all_general_schemes_agree_under_seeded_fault_plans() {
                         .build()
                         .unwrap()
                 };
-                let fast = build(Engine::TransmitterCentric);
                 let reference = build(Engine::ListenerCentric);
-                let a: RunReport = fast.run();
                 let b: RunReport = reference.run();
-                assert_eq!(a, b, "{label} seed={seed}: {} faulted", scheme.name());
-                assert_eq!(
-                    a,
-                    fast.run(),
-                    "{label} seed={seed}: {} faulted rerun",
-                    scheme.name()
-                );
                 assert!(
-                    a.delivery_rate >= 0.0 && a.delivery_rate <= 1.0,
+                    b.delivery_rate >= 0.0 && b.delivery_rate <= 1.0,
                     "{label}: delivery_rate out of range"
                 );
+                for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+                    let session = build(engine);
+                    let a: RunReport = session.run();
+                    assert_eq!(
+                        a,
+                        b,
+                        "{label} seed={seed}: {} faulted [{engine:?}]",
+                        scheme.name()
+                    );
+                    assert_eq!(
+                        a,
+                        session.run(),
+                        "{label} seed={seed}: {} faulted rerun [{engine:?}]",
+                        scheme.name()
+                    );
+                }
             }
         }
     }
@@ -395,29 +434,73 @@ fn all_general_schemes_agree_under_seeded_fault_plans() {
 fn chaos_traces_and_observations_identical_under_faults() {
     // Raw-simulator equivalence with faults active: the full trace
     // (including `Faulted` markers) and every node's observation log must
-    // match between engines under the collision-heavy chaos protocol.
+    // match across all engines under the collision-heavy chaos protocol.
     for (label, graph, _) in workloads() {
         let graph = Arc::new(graph);
         let n = graph.node_count();
         let plan = seeded_plan(n, 3, 0);
-        let mut fast =
-            Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3)).with_faults(&plan);
         let mut reference = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3))
             .with_engine(Engine::ListenerCentric)
             .with_faults(&plan);
-        let a = fast.run_until(StopCondition::AfterRounds(60), |_| false);
         let b = reference.run_until(StopCondition::AfterRounds(60), |_| false);
-        assert_eq!(a, b, "{label}: outcomes differ");
-        assert_eq!(
-            fast.trace().rounds,
-            reference.trace().rounds,
-            "{label}: traces differ"
-        );
-        for (v, (x, y)) in fast.nodes().iter().zip(reference.nodes()).enumerate() {
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3))
+                .with_engine(engine)
+                .with_faults(&plan);
+            let a = sim.run_until(StopCondition::AfterRounds(60), |_| false);
+            assert_eq!(a, b, "{label} [{engine:?}]: outcomes differ");
             assert_eq!(
-                x.observations, y.observations,
-                "{label}: node {v} observations differ"
+                sim.trace().rounds,
+                reference.trace().rounds,
+                "{label} [{engine:?}]: traces differ"
             );
+            for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                assert_eq!(
+                    x.observations, y.observations,
+                    "{label} [{engine:?}]: node {v} observations differ"
+                );
+            }
         }
     }
+}
+
+#[test]
+fn chaos_without_trace_agrees_across_engines() {
+    // Tracing off turns on silent-span elision in the event-driven engine;
+    // the chaos protocol (default hint 0) must force exact per-round
+    // execution anyway, with identical outcomes and observation logs.
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        let mut reference = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 4))
+            .with_engine(Engine::ListenerCentric)
+            .without_trace();
+        let b = reference.run_until(StopCondition::QuietFor { quiet: 2, cap: 80 }, |_| false);
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 4))
+                .with_engine(engine)
+                .without_trace();
+            let a = sim.run_until(StopCondition::QuietFor { quiet: 2, cap: 80 }, |_| false);
+            assert_eq!(a, b, "{label} [{engine:?}]: outcomes differ");
+            for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                assert_eq!(
+                    x.observations, y.observations,
+                    "{label} [{engine:?}]: node {v} observations differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_list_is_exhaustive() {
+    // A compile-time reminder: adding an `Engine` variant must extend this
+    // suite. The match has no wildcard arm, so a new variant fails to build
+    // until it is added both here and to `ENGINES` above.
+    for engine in ENGINES {
+        match engine {
+            Engine::TransmitterCentric | Engine::ListenerCentric | Engine::EventDriven => {}
+        }
+    }
+    assert_eq!(ENGINES.len(), 3);
 }

@@ -8,11 +8,14 @@
 //! observes; an independent replay of the trace checks the delivery rule.
 
 use proptest::prelude::*;
-use radio_labeling::graph::generators;
+use radio_labeling::broadcast::session::{Scheme, Session, StopPolicy};
+use radio_labeling::graph::{generators, Graph};
+use radio_labeling::radio::stats::ExecutionStats;
 use radio_labeling::radio::trace::NodeEvent;
-use radio_labeling::radio::{Action, RadioNode, Simulator, StopCondition};
+use radio_labeling::radio::{Action, Engine, RadioNode, Simulator, StopCondition};
 use rand::RngCore;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A deterministic "chatter" protocol: in each round it transmits its node id
 /// with probability ~1/3, driven by a private PRNG seeded from its id.
@@ -151,6 +154,175 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+}
+
+/// A protocol with a genuine dormancy hint, used to fuzz the event-driven
+/// engine's silent-span elision: the source transmits once, relays ripple
+/// the message outward one hop per round (incrementing it so hops are
+/// distinguishable), and every node that has relayed parks forever.
+struct Ripple {
+    holding: Option<u64>,
+    relayed: bool,
+    receptions: Vec<u64>,
+}
+
+impl Ripple {
+    fn new(is_source: bool) -> Self {
+        Ripple {
+            holding: if is_source { Some(1) } else { None },
+            relayed: false,
+            receptions: Vec::new(),
+        }
+    }
+
+    fn network(n: usize) -> Vec<Ripple> {
+        (0..n).map(|v| Ripple::new(v == 0)).collect()
+    }
+}
+
+impl RadioNode for Ripple {
+    type Msg = u64;
+    fn step(&mut self) -> Action<u64> {
+        match self.holding.take() {
+            Some(m) if !self.relayed => {
+                self.relayed = true;
+                Action::Transmit(m)
+            }
+            _ => Action::Listen,
+        }
+    }
+    fn receive(&mut self, heard: Option<&u64>) {
+        if let Some(m) = heard {
+            self.receptions.push(*m);
+            if !self.relayed {
+                self.holding = Some(m + 1);
+            }
+        }
+    }
+    fn wake_hint(&self) -> u64 {
+        if self.holding.is_some() && !self.relayed {
+            0 // about to relay
+        } else {
+            u64::MAX // parked until it hears something
+        }
+    }
+}
+
+/// The three proptest topology families, by discriminant.
+fn build_topology(kind: u32, n: usize, seed: u64) -> Graph {
+    match kind % 3 {
+        0 => generators::path(n),
+        1 => generators::random_tree(n, seed),
+        _ => generators::gnp_connected(n, 0.18, seed).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engines_agree_on_random_scheme_stop_policy_triples(
+        kind in 0u32..3,
+        n in 6usize..28,
+        seed in any::<u64>(),
+        scheme_idx in 0usize..Scheme::GENERAL.len(),
+        stop_kind in 0u32..3,
+        quiet in 1u64..8,
+    ) {
+        // Random (topology, scheme, stop-policy) triples: `rounds_executed`
+        // and the full ExecutionStats must be identical across all three
+        // engines, whichever way the run is asked to stop.
+        let g = Arc::new(build_topology(kind, n, seed));
+        let scheme = Scheme::GENERAL[scheme_idx];
+        let stop = match stop_kind % 3 {
+            0 => StopPolicy::Auto,
+            1 => StopPolicy::RunToCap,
+            _ => StopPolicy::QuietFor(quiet),
+        };
+        let build = |engine: Engine| {
+            Session::builder(scheme, Arc::clone(&g))
+                .source(seed as usize % n)
+                .message(5)
+                .stop(stop)
+                .engine(engine)
+                .build()
+                .unwrap()
+        };
+        let reference = build(Engine::ListenerCentric).run();
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let report = build(engine).run();
+            prop_assert_eq!(
+                &report, &reference,
+                "{} {:?} [{:?}]", scheme.name(), stop, engine
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_thresholds_agree_with_elided_spans(
+        kind in 0u32..3,
+        n in 4usize..32,
+        seed in any::<u64>(),
+        quiet in 1u64..24,
+        cap in 1u64..90,
+    ) {
+        // The likeliest off-by-one: a QuietFor threshold landing inside, at
+        // the edge of, or beyond an elided silent span. The Ripple protocol
+        // parks every node after one relay, so with tracing off the
+        // event-driven engine elides nearly the whole quiet tail; outcomes
+        // (rounds_executed, went_quiet) and every node's reception log must
+        // still match the per-round engines exactly.
+        let g = build_topology(kind, n, seed);
+        let stop = StopCondition::QuietFor { quiet, cap };
+        let mut reference = Simulator::new(g.clone(), Ripple::network(n))
+            .with_engine(Engine::ListenerCentric)
+            .without_trace();
+        let expected = reference.run_until(stop, |_| false);
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim = Simulator::new(g.clone(), Ripple::network(n))
+                .with_engine(engine)
+                .without_trace();
+            let outcome = sim.run_until(stop, |_| false);
+            prop_assert_eq!(&outcome, &expected, "quiet={} cap={} [{:?}]", quiet, cap, engine);
+            for (v, (x, y)) in sim.nodes().iter().zip(reference.nodes()).enumerate() {
+                prop_assert_eq!(
+                    &x.receptions, &y.receptions,
+                    "quiet={} cap={} [{:?}]: node {} receptions", quiet, cap, engine, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_or_cap_and_stats_agree_across_engines(
+        kind in 0u32..3,
+        n in 4usize..24,
+        seed in any::<u64>(),
+        cap in 1u64..60,
+    ) {
+        // With tracing on (elision disabled, every round materialised), the
+        // traces must be byte-identical, so the derived ExecutionStats are
+        // too — and `went_quiet` must agree for the 1-round quiet policy.
+        let g = build_topology(kind, n, seed);
+        let mut reference =
+            Simulator::new(g.clone(), Ripple::network(n)).with_engine(Engine::ListenerCentric);
+        let expected = reference.run_until(StopCondition::QuietOrCap(cap), |_| false);
+        let expected_stats = ExecutionStats::from_trace(reference.trace());
+        for engine in [Engine::TransmitterCentric, Engine::EventDriven] {
+            let mut sim = Simulator::new(g.clone(), Ripple::network(n)).with_engine(engine);
+            let outcome = sim.run_until(StopCondition::QuietOrCap(cap), |_| false);
+            prop_assert_eq!(&outcome, &expected, "cap={} [{:?}]", cap, engine);
+            prop_assert_eq!(outcome.went_quiet, expected.went_quiet);
+            prop_assert_eq!(
+                &ExecutionStats::from_trace(sim.trace()), &expected_stats,
+                "cap={} [{:?}]: stats", cap, engine
+            );
+            prop_assert_eq!(
+                sim.trace().rounds.clone(), reference.trace().rounds.clone(),
+                "cap={} [{:?}]: trace", cap, engine
+            );
         }
     }
 }
