@@ -168,6 +168,63 @@ impl BackEngine {
         &self.transmit_rounds
     }
 
+    /// Folds every field of the engine into `d` — the shared body of the
+    /// `state_digest` implementations of `BackNode` and `ArbNode` (which
+    /// carries three engines).
+    pub(crate) fn digest_into(&self, d: rn_radio::Digest) -> rn_radio::Digest {
+        fn payload_words(p: Option<TaggedPayload>) -> (u64, u64) {
+            match p {
+                None => (0, 0),
+                Some(TaggedPayload::Data(m)) => (1, m),
+                Some(TaggedPayload::Init) => (2, 0),
+                Some(TaggedPayload::Ready(t)) => (3, t),
+                Some(TaggedPayload::Stay) => (4, 0),
+                Some(TaggedPayload::Ack) => (5, 0),
+            }
+        }
+        fn pair(d: rn_radio::Digest, p: Option<(u64, u64)>) -> rn_radio::Digest {
+            match p {
+                None => d.word(0),
+                Some((a, b)) => d.word(1).word(a).word(b),
+            }
+        }
+        fn tagged(d: rn_radio::Digest, p: Option<(u64, Option<u64>)>) -> rn_radio::Digest {
+            match p {
+                None => d.word(0),
+                Some((a, b)) => d.word(1).word(a).opt(b),
+            }
+        }
+        let (pk, pv) = payload_words(self.sourcemsg);
+        let d = d
+            .word(match self.phase {
+                Phase::One => 1,
+                Phase::Two => 2,
+                Phase::Three => 3,
+            })
+            .flag(self.x1)
+            .flag(self.x2)
+            .flag(self.x3)
+            .flag(self.is_source)
+            .flag(self.x3_initiates_ack)
+            .word(match self.ack_extra {
+                AckExtra::None => 0,
+                AckExtra::OwnInformedRound => 1,
+            })
+            .word(pk)
+            .word(pv)
+            .opt(self.informed_round)
+            .opt(self.informed_age)
+            .words(&self.transmit_rounds)
+            .opt(self.last_data_transmit_age);
+        let d = pair(d, self.stay_received);
+        let d = match self.ack_received {
+            None => d.word(0),
+            Some((a, b, c)) => d.word(1).word(a).opt(b).word(c),
+        };
+        let d = d.flag(self.ever_acted).flag(self.enabled);
+        tagged(tagged(d, self.first_ack_heard), self.final_ack)
+    }
+
     /// Advances local time by one round and decides this round's action.
     pub fn step(&mut self) -> EngineAction {
         self.tick();

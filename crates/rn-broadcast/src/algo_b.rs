@@ -167,6 +167,18 @@ impl RadioNode for BNode {
         }
     }
 
+    fn state_digest(&self) -> u64 {
+        rn_radio::Digest::new(0xB)
+            .flag(self.x1)
+            .flag(self.x2)
+            .opt(self.sourcemsg)
+            .flag(self.ever_acted)
+            .opt(self.informed_age)
+            .opt(self.last_data_transmit_age)
+            .opt(self.stay_age)
+            .finish()
+    }
+
     fn receive(&mut self, heard: Option<&BMessage>) {
         let Some(msg) = heard else { return };
         match msg {

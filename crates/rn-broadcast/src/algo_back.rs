@@ -98,6 +98,12 @@ impl RadioNode for BackNode {
     fn receive(&mut self, heard: Option<&TaggedMessage>) {
         self.engine.receive(heard);
     }
+
+    fn state_digest(&self) -> u64 {
+        self.engine
+            .digest_into(rn_radio::Digest::new(0xBAC).flag(self.is_source))
+            .finish()
+    }
 }
 
 #[cfg(test)]

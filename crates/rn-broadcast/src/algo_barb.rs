@@ -321,6 +321,22 @@ impl RadioNode for ArbNode {
             Phase::Three => self.phase3.receive(Some(msg)),
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        let d = rn_radio::Digest::new(0xA4B)
+            .flag(self.is_coordinator)
+            .opt(self.original_message)
+            .opt(self.t_v)
+            .opt(self.t_bound)
+            .opt(self.source_ack_countdown)
+            .flag(self.source_ack_sent)
+            .opt(self.phase3_start_countdown)
+            .opt(self.completion_countdown)
+            .flag(self.knows_completion);
+        let d = self.phase1.digest_into(d);
+        let d = self.phase2.digest_into(d);
+        self.phase3.digest_into(d).finish()
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,15 @@ impl RadioNode for SlottedNode {
             self.round = Some(msg.round);
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        rn_radio::Digest::new(0x510)
+            .word(self.slot)
+            .word(self.modulus)
+            .opt(self.sourcemsg)
+            .opt(self.round)
+            .finish()
+    }
 }
 
 #[cfg(test)]

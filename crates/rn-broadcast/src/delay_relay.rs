@@ -109,6 +109,17 @@ impl RadioNode for DelayRelayNode {
             }
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        rn_radio::Digest::new(0xDE1)
+            .flag(self.delay_bit)
+            .opt(self.sourcemsg)
+            .flag(self.is_source)
+            .flag(self.source_sent)
+            .opt(self.relay_countdown)
+            .flag(self.relayed)
+            .finish()
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ impl RadioNode for GossipNode {
     fn receive(&mut self, heard: Option<&Self::Msg>) {
         self.0.receive(heard);
     }
+
+    fn state_digest(&self) -> u64 {
+        self.0.state_digest()
+    }
 }
 
 #[cfg(test)]

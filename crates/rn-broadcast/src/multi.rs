@@ -290,6 +290,40 @@ impl RadioNode for MultiNode {
             }
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        let mut d = rn_radio::Digest::new(0x3417)
+            .flag(self.x1)
+            .flag(self.x2)
+            .word(self.slots.len() as u64);
+        for &(round, payload) in &self.slots {
+            d = d.word(round).word(match payload {
+                TokenPayload::Source(j) => 1 + u64::from(j),
+                TokenPayload::Accumulated => 0,
+            });
+        }
+        d = d
+            .opt(self.coordinator_start)
+            .word(self.local_round)
+            .word(self.next_slot as u64)
+            .word(self.received.len() as u64);
+        for slot in &self.received {
+            d = d.opt(*slot);
+        }
+        d = d.word(match &self.bundle {
+            None => 0,
+            Some(b) => 1 + b.len() as u64,
+        });
+        if let Some(b) = &self.bundle {
+            for &(j, m) in b.iter() {
+                d = d.word(u64::from(j)).word(m);
+            }
+        }
+        d.opt(self.informed_age)
+            .opt(self.last_bundle_transmit_age)
+            .opt(self.stay_age)
+            .finish()
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ use rn_labeling::{
 };
 use rn_radio::{
     Engine, ExecutionStats, FaultPlan, RadioNode, RoundScratch, Simulator, StopCondition,
+    TraceShape, WakeHintAudit, WakeHintViolation,
 };
 use std::sync::{Arc, Mutex};
 
@@ -731,7 +732,110 @@ impl Session {
 
     /// Runs the session with its configured source and message.
     pub fn run(&self) -> RunReport {
-        self.execute(&self.prepared, self.source, self.message)
+        self.execute(&self.prepared, self.source, self.message, false)
+            .0
+    }
+
+    /// Runs the session with its configured source and message and also
+    /// returns the message-agnostic [`TraceShape`] of the execution, forcing
+    /// trace recording for this run regardless of the session's trace policy.
+    ///
+    /// The shape is what the model checker compares across engines: two
+    /// executions of the same protocol are physically equivalent iff their
+    /// shapes match round for round.
+    pub fn run_shaped(&self) -> (RunReport, TraceShape) {
+        let (report, shape) = self.execute(&self.prepared, self.source, self.message, true);
+        (report, shape.expect("shape requested"))
+    }
+
+    /// The concrete [`StopCondition`] the session's stop and round-cap
+    /// policies resolve to for its graph — the exact condition every
+    /// [`run`](Self::run) executes under. Exposed so external checkers (the
+    /// model checker's round-cap invariant) can certify against the same
+    /// bound the simulation uses.
+    pub fn resolved_stop_condition(&self) -> StopCondition {
+        self.stop_condition()
+    }
+
+    /// Audits the wake-hint contract of every node over one full execution:
+    /// at every reachable state (including the initial one), every node
+    /// advertising `wake_hint() == h > 0` is cloned and its next
+    /// `min(h, horizon)` elided `step`/`receive(None)` pairs are replayed,
+    /// verifying they are Listen-only and (for nodes implementing
+    /// [`RadioNode::state_digest`]) leave the state bit-identical.
+    ///
+    /// The execution is driven round by round under the session's configured
+    /// engine and fault plan, up to the resolved round cap. Returns the audit
+    /// counters on success or the first violation found.
+    ///
+    /// # Errors
+    /// Returns the first [`WakeHintViolation`] encountered, identifying the
+    /// node, round, offset into the promised span, and violation kind.
+    pub fn audit_wake_hints(&self) -> Result<WakeHintAudit, WakeHintViolation> {
+        match &self.prepared.kind {
+            PreparedKind::AlgoB { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::AlgoBack { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::AlgoBarb { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::Slotted { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::DelayRelay { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::Multi { template, .. } => self.audit_nodes(template.clone()),
+            PreparedKind::Gossip { template, .. } => self.audit_nodes(template.clone()),
+        }
+    }
+
+    /// Runs the protocol for `rounds` rounds under the session's engine and
+    /// fault plan, recording every node's [`RadioNode::state_digest`] at
+    /// every reachable state: row 0 holds the initial digests, row `r` the
+    /// digests after round `r`. The digest-contract tests use this to pin
+    /// determinism and the informed-transition sensitivity of the digests.
+    pub fn state_digest_history(&self, rounds: u64) -> Vec<Vec<u64>> {
+        match &self.prepared.kind {
+            PreparedKind::AlgoB { template, .. } => self.digest_history(template.clone(), rounds),
+            PreparedKind::AlgoBack { template, .. } => {
+                self.digest_history(template.clone(), rounds)
+            }
+            PreparedKind::AlgoBarb { template, .. } => {
+                self.digest_history(template.clone(), rounds)
+            }
+            PreparedKind::Slotted { template, .. } => self.digest_history(template.clone(), rounds),
+            PreparedKind::DelayRelay { template, .. } => {
+                self.digest_history(template.clone(), rounds)
+            }
+            PreparedKind::Multi { template, .. } => self.digest_history(template.clone(), rounds),
+            PreparedKind::Gossip { template, .. } => self.digest_history(template.clone(), rounds),
+        }
+    }
+
+    /// The shared tail of [`state_digest_history`](Self::state_digest_history).
+    fn digest_history<N: RadioNode + Clone>(&self, nodes: Vec<N>, rounds: u64) -> Vec<Vec<u64>> {
+        let mut sim = Simulator::new(Arc::clone(&self.graph), nodes)
+            .with_engine(self.engine)
+            .with_faults(&self.faults)
+            .without_trace();
+        let digest_row =
+            |sim: &Simulator<N>| sim.nodes().iter().map(RadioNode::state_digest).collect();
+        let mut rows: Vec<Vec<u64>> = Vec::with_capacity(rounds as usize + 1);
+        rows.push(digest_row(&sim));
+        for _ in 0..rounds {
+            sim.step_round();
+            rows.push(digest_row(&sim));
+        }
+        rows
+    }
+
+    /// The shared tail of [`audit_wake_hints`](Self::audit_wake_hints): runs
+    /// the generic auditor on a simulator configured like a normal run
+    /// (engine, faults), up to the resolved round cap.
+    fn audit_nodes<N: RadioNode + Clone>(
+        &self,
+        nodes: Vec<N>,
+    ) -> Result<WakeHintAudit, WakeHintViolation> {
+        let cap = self.stop_condition().cap();
+        let mut sim = Simulator::new(Arc::clone(&self.graph), nodes)
+            .with_engine(self.engine)
+            .with_faults(&self.faults)
+            .without_trace();
+        rn_radio::audit_wake_hints(&mut sim, cap)
     }
 
     /// Runs with the session's source but a different message. The cached
@@ -755,7 +859,9 @@ impl Session {
             });
         }
         if spec.source == self.source || !self.scheme.labeling_depends_on_source() {
-            Ok(self.execute(&self.prepared, spec.source, spec.message))
+            Ok(self
+                .execute(&self.prepared, spec.source, spec.message, false)
+                .0)
         } else {
             let prepared = prepare(
                 self.scheme,
@@ -765,7 +871,7 @@ impl Session {
                 self.coordinator,
                 spec.message,
             )?;
-            Ok(self.execute(&prepared, spec.source, spec.message))
+            Ok(self.execute(&prepared, spec.source, spec.message, false).0)
         }
     }
 
@@ -835,10 +941,17 @@ impl Session {
         }
     }
 
-    fn execute(&self, prepared: &Prepared, source: NodeId, message: SourceMessage) -> RunReport {
+    fn execute(
+        &self,
+        prepared: &Prepared,
+        source: NodeId,
+        message: SourceMessage,
+        want_shape: bool,
+    ) -> (RunReport, Option<TraceShape>) {
         let stop = self.stop_condition();
-        let record = self.trace == TracePolicy::Recorded;
+        let record = self.trace == TracePolicy::Recorded || want_shape;
         let labeling = prepared.labeling();
+        let mut shape = None;
         let mut report = RunReport {
             scheme: labeling.scheme(),
             node_count: self.graph.node_count(),
@@ -874,6 +987,9 @@ impl Session {
                 );
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
+                if want_shape {
+                    shape = Some(run.sim.trace().shape());
+                }
             }
             PreparedKind::AlgoBack { labeling, template } => {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
@@ -895,6 +1011,9 @@ impl Session {
                 });
                 report.completion_round = verify::completion_round(&report.informed_rounds);
                 report.ack_round = ack_round;
+                if want_shape {
+                    shape = Some(run.sim.trace().shape());
+                }
             }
             PreparedKind::AlgoBarb { labeling, template } => {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
@@ -928,6 +1047,9 @@ impl Session {
                 run.fill_from_nodes(&mut report);
                 report.completion_round = completion;
                 report.common_knowledge_round = common_knowledge;
+                if want_shape {
+                    shape = Some(run.sim.trace().shape());
+                }
             }
             PreparedKind::Slotted { labeling, template } => {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
@@ -940,6 +1062,9 @@ impl Session {
                 );
                 run.fill(&mut report, record, |_| true);
                 report.completion_round = verify::completion_round(&report.informed_rounds);
+                if want_shape {
+                    shape = Some(run.sim.trace().shape());
+                }
             }
             PreparedKind::DelayRelay { labeling, template } => {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
@@ -952,6 +1077,9 @@ impl Session {
                 );
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
+                if want_shape {
+                    shape = Some(run.sim.trace().shape());
+                }
             }
             // The multi-message arms ignore the per-run source (their
             // source sets are fixed at build time), so the cached template
@@ -968,10 +1096,11 @@ impl Session {
                     prepared.spec,
                     || MultiNode::network(mscheme, &multi_payloads(message, mscheme.k())),
                 );
-                self.run_bundle_protocol(
+                shape = self.run_bundle_protocol(
                     &mut report,
                     stop,
                     record,
+                    want_shape,
                     nodes,
                     mscheme.sources().to_vec(),
                     MultiNode::has_message,
@@ -989,10 +1118,11 @@ impl Session {
                     prepared.spec,
                     || GossipNode::network(gscheme, &multi_payloads(message, gscheme.k())),
                 );
-                self.run_bundle_protocol(
+                shape = self.run_bundle_protocol(
                     &mut report,
                     stop,
                     record,
+                    want_shape,
                     nodes,
                     self.sources.clone(),
                     GossipNode::has_message,
@@ -1001,7 +1131,7 @@ impl Session {
             }
         }
         self.fill_robustness(&mut report);
-        report
+        (report, shape)
     }
 
     /// Fills the robustness columns from the informed rounds and the fault
@@ -1044,11 +1174,12 @@ impl Session {
         report: &mut RunReport,
         stop: StopCondition,
         record: bool,
+        want_shape: bool,
         nodes: Vec<N>,
         sources: Vec<NodeId>,
         has_message: impl Fn(&N, usize) -> bool,
         holds_all: impl Fn(&N) -> bool + Copy,
-    ) {
+    ) -> Option<TraceShape> {
         let k = sources.len();
         report.source = sources[0];
         report.sources = sources.clone();
@@ -1078,6 +1209,7 @@ impl Session {
         run.fill_from_nodes(report);
         report.completion_round = verify::completion_round(&report.informed_rounds);
         report.message_completion_rounds = Some(sources.into_iter().zip(msg_completion).collect());
+        want_shape.then(|| run.sim.trace().shape())
     }
 }
 

@@ -1,0 +1,547 @@
+//! Exhaustive enumeration of small graphs **up to isomorphism**, the
+//! substrate of the bounded model checker (`rn-modelcheck`).
+//!
+//! The paper's theorems are universally quantified over all connected
+//! graphs, so the model checker needs *every* isomorphism class up to a
+//! bound — not a sampled registry. This module generates:
+//!
+//! * all non-isomorphic **connected graphs** with `n ≤ 8` vertices
+//!   ([`connected_graphs`]), and
+//! * all non-isomorphic **free trees** with `n ≤ 10` vertices
+//!   ([`free_trees`]),
+//!
+//! by vertex augmentation with canonical-form deduplication, with no
+//! external dependencies:
+//!
+//! 1. **Augmentation.** Every connected graph on `k + 1` vertices has a
+//!    non-cut vertex, and removing it leaves a connected graph on `k`
+//!    vertices — so extending each connected `k`-vertex class by one new
+//!    vertex attached to every non-empty neighbour subset reaches every
+//!    connected `(k + 1)`-vertex class. (For trees the same argument with
+//!    a leaf restricts the attachment sets to singletons.)
+//! 2. **Canonical dedup.** Each candidate is reduced to a canonical code:
+//!    the minimum, over a refinement-restricted permutation set, of its
+//!    upper-triangle adjacency bits packed into a `u64`
+//!    (`n ≤ 10` ⇒ at most 45 bits). The permutations are restricted to
+//!    those respecting an equitable partition computed from degrees and
+//!    iterated neighbour-cell counts — an isomorphism-invariant
+//!    restriction, so equal codes ⇔ isomorphic graphs — and the
+//!    backtracking search prunes on code prefixes.
+//!
+//! Enumeration order is the canonical-code order, which is deterministic
+//! across runs and platforms; the seeded iterators ([`connected_graphs_iter`],
+//! [`free_trees_iter`]) apply an optional deterministic shuffle on top so
+//! samplers (`modelcheck --quick`) can draw unbiased prefixes.
+//!
+//! The class counts are pinned against the published sequences
+//! (OEIS A001349 for connected graphs, A000055 for free trees) in
+//! [`CONNECTED_GRAPH_COUNTS`] and [`FREE_TREE_COUNTS`].
+
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Largest `n` supported by [`connected_graphs`] (the canonical code uses
+/// `n(n-1)/2 ≤ 45` bits, and the augmentation frontier at `n = 8` is the
+/// largest that enumerates in interactive time).
+pub const MAX_GRAPH_N: usize = 8;
+
+/// Largest `n` supported by [`free_trees`].
+pub const MAX_TREE_N: usize = 10;
+
+/// Number of non-isomorphic connected graphs on `n` vertices, indexed by
+/// `n` (entry 0 unused). OEIS A001349.
+pub const CONNECTED_GRAPH_COUNTS: [usize; MAX_GRAPH_N + 1] = [0, 1, 1, 2, 6, 21, 112, 853, 11117];
+
+/// Number of non-isomorphic free trees on `n` vertices, indexed by `n`
+/// (entry 0 unused). OEIS A000055.
+pub const FREE_TREE_COUNTS: [usize; MAX_TREE_N + 1] = [0, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106];
+
+/// Adjacency of a small graph as per-vertex neighbour bitmasks
+/// (`n ≤ 10` ⇒ `u16` rows).
+type Adj = Vec<u16>;
+
+/// Packs the upper-triangle adjacency bits of `adj` under the vertex order
+/// `perm` into a `u64`: pairs are visited column-major —
+/// `(0,1), (0,2), (1,2), (0,3), …` — so that placing one more vertex
+/// appends a contiguous block of bits, and earlier pairs occupy more
+/// significant bits (prefix comparison = lexicographic comparison).
+/// The backtracking in [`canonical_code`] computes this incrementally;
+/// the standalone form is the executable reference the tests compare it
+/// against over all `n!` orders.
+#[cfg(test)]
+fn code_under(adj: &[u16], perm: &[usize]) -> u64 {
+    let n = adj.len();
+    let total = n * (n - 1) / 2;
+    let mut code = 0u64;
+    let mut t = 0usize;
+    for j in 1..n {
+        for i in 0..j {
+            if adj[perm[i]] & (1 << perm[j]) != 0 {
+                code |= 1 << (total - 1 - t);
+            }
+            t += 1;
+        }
+    }
+    code
+}
+
+/// The equitable-partition refinement: vertices are first grouped by
+/// degree (ascending), then cells are repeatedly split by each vertex's
+/// per-cell neighbour counts until stable. Cell order is derived only from
+/// isomorphism-invariant data (degree values, then signature order within
+/// a split), so the resulting ordered partition is identical for
+/// isomorphic graphs up to relabeling — the property the canonical code
+/// relies on.
+fn refine_partition(adj: &[u16]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut degrees: Vec<(u32, usize)> = (0..n).map(|v| (adj[v].count_ones(), v)).collect();
+    degrees.sort_unstable();
+    let mut cells: Vec<Vec<usize>> = Vec::new();
+    for (d, v) in degrees {
+        match cells.last_mut() {
+            Some(cell) if adj[cell[0]].count_ones() == d => cell.push(v),
+            _ => cells.push(vec![v]),
+        }
+    }
+    loop {
+        // Signature of v: neighbour count inside each current cell.
+        let mut cell_of = vec![0usize; n];
+        for (c, cell) in cells.iter().enumerate() {
+            for &v in cell {
+                cell_of[v] = c;
+            }
+        }
+        let signature = |v: usize| -> Vec<u32> {
+            let mut sig = vec![0u32; cells.len()];
+            let mut mask = adj[v];
+            while mask != 0 {
+                let w = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                sig[cell_of[w]] += 1;
+            }
+            sig
+        };
+        let mut next: Vec<Vec<usize>> = Vec::with_capacity(cells.len());
+        let mut split = false;
+        for cell in &cells {
+            if cell.len() == 1 {
+                next.push(cell.clone());
+                continue;
+            }
+            let mut keyed: Vec<(Vec<u32>, usize)> =
+                cell.iter().map(|&v| (signature(v), v)).collect();
+            keyed.sort_unstable();
+            let mut sub: Vec<usize> = vec![keyed[0].1];
+            for w in 1..keyed.len() {
+                if keyed[w].0 == keyed[w - 1].0 {
+                    sub.push(keyed[w].1);
+                } else {
+                    split = true;
+                    next.push(std::mem::replace(&mut sub, vec![keyed[w].1]));
+                }
+            }
+            next.push(sub);
+        }
+        cells = next;
+        if !split {
+            return cells;
+        }
+    }
+}
+
+/// The canonical code of a small graph: the minimum of [`code_under`] over
+/// every vertex order that lists the refinement cells of
+/// [`refine_partition`] in order and permutes freely within each cell.
+/// Backtracks position by position with prefix pruning; equal codes iff
+/// isomorphic (the code reconstructs the adjacency matrix and the
+/// candidate permutation sets of isomorphic graphs correspond).
+fn canonical_code(adj: &[u16]) -> u64 {
+    let n = adj.len();
+    if n <= 1 {
+        return 0;
+    }
+    let cells = refine_partition(adj);
+    let total = n * (n - 1) / 2;
+    // Flatten cell membership: position p draws from cell `cell_at[p]`.
+    let mut cell_at: Vec<usize> = Vec::with_capacity(n);
+    for (c, cell) in cells.iter().enumerate() {
+        cell_at.extend(std::iter::repeat_n(c, cell.len()));
+    }
+    let mut best = u64::MAX;
+    let mut perm: Vec<usize> = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+
+    // Depth-first over positions; `acc` holds the bits of all pairs among
+    // the first `pos` placed vertices (the `pos(pos-1)/2`-bit prefix).
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        adj: &[u16],
+        cells: &[Vec<usize>],
+        cell_at: &[usize],
+        total: usize,
+        pos: usize,
+        acc: u64,
+        perm: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        best: &mut u64,
+    ) {
+        let n = adj.len();
+        if pos == n {
+            if acc < *best {
+                *best = acc;
+            }
+            return;
+        }
+        for &v in &cells[cell_at[pos]] {
+            if used[v] {
+                continue;
+            }
+            // Append the column of bits (perm[i], v) for i < pos.
+            let mut acc2 = acc;
+            for (i, &u) in perm.iter().enumerate().take(pos) {
+                let t = pos * (pos - 1) / 2 + i;
+                if adj[u] & (1 << v) != 0 {
+                    acc2 |= 1 << (total - 1 - t);
+                }
+            }
+            // Prefix pruning: compare the placed bits against the best
+            // code's prefix of the same length.
+            let placed = (pos + 1) * pos / 2;
+            if *best != u64::MAX && (acc2 >> (total - placed)) > (*best >> (total - placed)) {
+                continue;
+            }
+            used[v] = true;
+            perm[pos] = v;
+            dfs(adj, cells, cell_at, total, pos + 1, acc2, perm, used, best);
+            perm[pos] = usize::MAX;
+            used[v] = false;
+        }
+    }
+    dfs(
+        adj, &cells, &cell_at, total, 0, 0, &mut perm, &mut used, &mut best,
+    );
+    best
+}
+
+/// Reconstructs the adjacency masks of an `n`-vertex graph from its
+/// canonical code (inverse of [`code_under`] for the canonical order).
+fn decode(code: u64, n: usize) -> Adj {
+    let mut adj = vec![0u16; n];
+    if n <= 1 {
+        return adj;
+    }
+    let total = n * (n - 1) / 2;
+    let mut t = 0usize;
+    for j in 1..n {
+        for i in 0..j {
+            if code & (1 << (total - 1 - t)) != 0 {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+            t += 1;
+        }
+    }
+    adj
+}
+
+/// Converts adjacency masks to a [`Graph`].
+fn to_graph(adj: &[u16]) -> Graph {
+    let n = adj.len();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (u, &row) in adj.iter().enumerate() {
+        let mut mask = row >> (u + 1) << (u + 1);
+        while mask != 0 {
+            let v = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("enumerated adjacency is a valid simple graph")
+}
+
+/// One augmentation level: every canonical `k`-vertex class extended by a
+/// new vertex attached to each allowed neighbour subset, deduplicated by
+/// canonical code. `attachments` yields the allowed subsets of `{0..k}`.
+fn augment(level: &[u64], k: usize, attachments: impl Fn(usize) -> Vec<u16>) -> Vec<u64> {
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let subsets = attachments(k);
+    for &code in level {
+        let base = decode(code, k);
+        for &s in &subsets {
+            let mut adj = base.clone();
+            adj.push(s);
+            let mut mask = s;
+            while mask != 0 {
+                let v = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                adj[v] |= 1 << k;
+            }
+            seen.insert(canonical_code(&adj));
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Canonical codes of every connected-graph class on `n` vertices, in
+/// ascending code order.
+fn connected_codes(n: usize) -> Vec<u64> {
+    let mut level: Vec<u64> = vec![0]; // the 1-vertex graph
+    for k in 1..n {
+        // All non-empty subsets keep the graph connected, and every
+        // connected (k+1)-class is reached through one of its non-cut
+        // vertices.
+        level = augment(&level, k, |k| (1..1u32 << k).map(|s| s as u16).collect());
+    }
+    level
+}
+
+/// Canonical codes of every free-tree class on `n` vertices, in ascending
+/// code order.
+fn tree_codes(n: usize) -> Vec<u64> {
+    let mut level: Vec<u64> = vec![0];
+    for k in 1..n {
+        // Singleton subsets attach a leaf; every (k+1)-vertex tree is a
+        // k-vertex tree plus a leaf.
+        level = augment(&level, k, |k| (0..k).map(|v| 1u16 << v).collect());
+    }
+    level
+}
+
+/// All non-isomorphic connected graphs on exactly `n` vertices, in
+/// deterministic (canonical-code) order.
+///
+/// # Panics
+/// Panics if `n == 0` or `n >` [`MAX_GRAPH_N`].
+pub fn connected_graphs(n: usize) -> Vec<Graph> {
+    assert!(
+        (1..=MAX_GRAPH_N).contains(&n),
+        "connected_graphs supports 1 ..= {MAX_GRAPH_N} vertices, got {n}"
+    );
+    connected_codes(n)
+        .into_iter()
+        .map(|code| to_graph(&decode(code, n)))
+        .collect()
+}
+
+/// All non-isomorphic free trees on exactly `n` vertices, in deterministic
+/// (canonical-code) order.
+///
+/// # Panics
+/// Panics if `n == 0` or `n >` [`MAX_TREE_N`].
+pub fn free_trees(n: usize) -> Vec<Graph> {
+    assert!(
+        (1..=MAX_TREE_N).contains(&n),
+        "free_trees supports 1 ..= {MAX_TREE_N} vertices, got {n}"
+    );
+    tree_codes(n)
+        .into_iter()
+        .map(|code| to_graph(&decode(code, n)))
+        .collect()
+}
+
+/// SplitMix64: the step function of the deterministic shuffle.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministically permutes `items` by `seed` (Fisher–Yates over
+/// SplitMix64); seed `0` keeps the canonical order.
+fn seeded_order<T>(mut items: Vec<T>, seed: u64) -> Vec<T> {
+    if seed != 0 {
+        let mut state = seed;
+        for i in (1..items.len()).rev() {
+            #[allow(clippy::cast_possible_truncation)]
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+    items
+}
+
+/// Seeded deterministic iterator over the connected-graph classes on `n`
+/// vertices: seed `0` yields canonical-code order, any other seed a
+/// deterministic shuffle of the same set (for unbiased `--quick` prefixes).
+///
+/// # Panics
+/// Panics if `n == 0` or `n >` [`MAX_GRAPH_N`].
+pub fn connected_graphs_iter(n: usize, seed: u64) -> impl Iterator<Item = Graph> {
+    seeded_order(connected_graphs(n), seed).into_iter()
+}
+
+/// Seeded deterministic iterator over the free-tree classes on `n`
+/// vertices (see [`connected_graphs_iter`] for the seed semantics).
+///
+/// # Panics
+/// Panics if `n == 0` or `n >` [`MAX_TREE_N`].
+pub fn free_trees_iter(n: usize, seed: u64) -> impl Iterator<Item = Graph> {
+    seeded_order(free_trees(n), seed).into_iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+
+    fn adj_of(g: &Graph) -> Adj {
+        let mut adj = vec![0u16; g.node_count()];
+        for (u, v) in g.edges() {
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+        adj
+    }
+
+    #[test]
+    fn connected_counts_match_oeis_up_to_7() {
+        for (n, &count) in CONNECTED_GRAPH_COUNTS.iter().enumerate().take(8).skip(1) {
+            assert_eq!(connected_graphs(n).len(), count, "n = {n}");
+        }
+    }
+
+    // n = 8 canonicalises ~10^5 candidates; fine in release, slow in the
+    // dev-profile test run. `modelcheck --max-n 8` exercises it in CI.
+    #[test]
+    #[ignore = "slow in debug builds; covered by the release model-check gate"]
+    fn connected_count_matches_oeis_at_8() {
+        assert_eq!(connected_graphs(8).len(), CONNECTED_GRAPH_COUNTS[8]);
+    }
+
+    #[test]
+    fn tree_counts_match_oeis_up_to_10() {
+        for (n, &count) in FREE_TREE_COUNTS.iter().enumerate().skip(1) {
+            assert_eq!(free_trees(n).len(), count, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn every_enumerated_graph_is_connected_and_sized() {
+        for n in 1..=6 {
+            for g in connected_graphs(n) {
+                assert_eq!(g.node_count(), n);
+                assert!(algorithms::is_connected(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_tree_is_a_tree() {
+        for n in 1..=8 {
+            for g in free_trees(n) {
+                assert_eq!(g.node_count(), n);
+                assert_eq!(g.edge_count(), n - 1);
+                assert!(algorithms::is_connected(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_pairwise_distinct() {
+        for n in 1..=6 {
+            let graphs = connected_graphs(n);
+            let codes: BTreeSet<u64> = graphs.iter().map(|g| canonical_code(&adj_of(g))).collect();
+            assert_eq!(codes.len(), graphs.len(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn canonical_code_is_isomorphism_invariant() {
+        // Relabel each 5-vertex class by a fixed nontrivial permutation:
+        // the canonical code must not move.
+        let perm = [3usize, 0, 4, 1, 2];
+        for g in connected_graphs(5) {
+            let adj = adj_of(&g);
+            let mut relabeled = vec![0u16; 5];
+            for u in 0..5 {
+                let mut mask = adj[u];
+                while mask != 0 {
+                    let v = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    relabeled[perm[u]] |= 1 << perm[v];
+                }
+            }
+            assert_eq!(canonical_code(&adj), canonical_code(&relabeled));
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_seed_shuffles() {
+        let a: Vec<Vec<(usize, usize)>> = connected_graphs_iter(5, 0)
+            .map(|g| g.edges().collect())
+            .collect();
+        let b: Vec<Vec<(usize, usize)>> = connected_graphs_iter(5, 0)
+            .map(|g| g.edges().collect())
+            .collect();
+        assert_eq!(a, b);
+        let s1: Vec<Vec<(usize, usize)>> = connected_graphs_iter(5, 7)
+            .map(|g| g.edges().collect())
+            .collect();
+        let s2: Vec<Vec<(usize, usize)>> = connected_graphs_iter(5, 7)
+            .map(|g| g.edges().collect())
+            .collect();
+        assert_eq!(s1, s2, "same seed, same order");
+        assert_ne!(a, s1, "a non-zero seed permutes the canonical order");
+        let mut sorted_a = a.clone();
+        let mut sorted_s1 = s1.clone();
+        sorted_a.sort();
+        sorted_s1.sort();
+        assert_eq!(sorted_a, sorted_s1, "shuffle is a permutation of the set");
+    }
+
+    #[test]
+    fn canonical_code_is_attained_and_stable_under_every_relabeling() {
+        // The canonical code must be realised by an actual vertex order
+        // (so decoding it reconstructs an isomorphic graph), and every
+        // relabeling of the graph must canonicalise to the same code —
+        // checked against all n! permutations, the exhaustive form of the
+        // invariance property the dedup relies on.
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in permutations(n - 1) {
+                for slot in 0..n {
+                    let mut q = p.clone();
+                    q.insert(slot, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        for n in 2..=5 {
+            let perms = permutations(n);
+            for g in connected_graphs(n) {
+                let adj = adj_of(&g);
+                let canon = canonical_code(&adj);
+                let all: BTreeSet<u64> = perms.iter().map(|p| code_under(&adj, p)).collect();
+                assert!(all.contains(&canon), "n = {n}: code not attained");
+                for p in &perms {
+                    let mut relabeled = vec![0u16; n];
+                    for u in 0..n {
+                        let mut mask = adj[u];
+                        while mask != 0 {
+                            let v = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            relabeled[p[u]] |= 1 << p[v];
+                        }
+                    }
+                    assert_eq!(canonical_code(&relabeled), canon, "n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_cases_are_the_known_graphs() {
+        // n = 2: the single edge. n = 3: path and triangle.
+        assert_eq!(connected_graphs(2).len(), 1);
+        assert_eq!(connected_graphs(2)[0].edge_count(), 1);
+        let three: Vec<usize> = connected_graphs(3).iter().map(Graph::edge_count).collect();
+        assert_eq!(three.iter().copied().collect::<BTreeSet<_>>().len(), 2);
+        assert!(three.contains(&2) && three.contains(&3));
+    }
+}

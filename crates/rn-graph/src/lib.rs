@@ -36,6 +36,7 @@
 
 pub mod algorithms;
 pub mod dot;
+pub mod enumerate;
 pub mod error;
 pub mod generators;
 pub mod graph;

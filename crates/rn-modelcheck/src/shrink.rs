@@ -1,0 +1,436 @@
+//! Counterexample minimisation: greedily shrink a failing
+//! (graph, scheme, fault plan) point to a minimal witness that still
+//! breaks the *same* invariant, then render it for humans (DOT) and for
+//! machines (a one-line repro spec).
+
+use crate::violation::Violation;
+use rn_broadcast::session::Scheme;
+use rn_graph::{algorithms, Graph, NodeId};
+use rn_radio::{FaultEvent, FaultPlan};
+use std::sync::Arc;
+
+/// Which checking mode a repro spec replays: the regular invariant sweep,
+/// the label-corruption injection, or the overpromising wake-hint protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReproMode {
+    /// The regular invariant check ([`crate::check_point`]).
+    #[default]
+    Check,
+    /// Seeded label corruption ([`crate::check_corrupted_point`]).
+    Corrupt,
+    /// The deliberately overpromising wake-hint protocol
+    /// ([`crate::check_overpromise_point`]).
+    Overpromise,
+}
+
+impl ReproMode {
+    /// The stable spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReproMode::Check => "check",
+            ReproMode::Corrupt => "corrupt",
+            ReproMode::Overpromise => "overpromise",
+        }
+    }
+
+    /// Parses a spec-string name.
+    ///
+    /// # Errors
+    /// An error message naming the unknown mode.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "check" => Ok(ReproMode::Check),
+            "corrupt" => Ok(ReproMode::Corrupt),
+            "overpromise" => Ok(ReproMode::Overpromise),
+            other => Err(format!("unknown mode {other:?}")),
+        }
+    }
+}
+
+/// One fully-specified checkable point, as parsed back from a repro spec.
+#[derive(Debug, Clone)]
+pub struct ReproPoint {
+    /// The graph.
+    pub graph: Graph,
+    /// The scheme, absent for scheme-free modes (overpromise).
+    pub scheme: Option<Scheme>,
+    /// The fault plan (empty unless the spec carried one).
+    pub faults: FaultPlan,
+    /// Which checker to replay the point through.
+    pub mode: ReproMode,
+}
+
+/// A shrunk counterexample: the smallest graph/plan this shrinker could
+/// reach that still violates the same invariant class as the original.
+#[derive(Debug, Clone)]
+pub struct MinimalWitness {
+    /// The minimised graph.
+    pub graph: Arc<Graph>,
+    /// The minimised fault plan (empty for fault-free witnesses).
+    pub faults: FaultPlan,
+    /// The violation as observed on the minimised point.
+    pub violation: Violation,
+    /// The checking mode that produced (and reproduces) this witness.
+    pub mode: ReproMode,
+    /// How many accepted shrink steps (vertex, edge or fault removals) led
+    /// here.
+    pub shrink_steps: usize,
+}
+
+impl MinimalWitness {
+    /// The witness graph in Graphviz DOT form.
+    pub fn dot(&self) -> String {
+        rn_graph::dot::to_dot(&self.graph, None)
+    }
+
+    /// The machine-readable spec reproducing this witness (see
+    /// [`parse_repro`]).
+    pub fn repro_spec(&self) -> String {
+        repro_spec(&self.graph, self.violation.scheme, &self.faults, self.mode)
+    }
+
+    /// A one-line shell command replaying this witness through the
+    /// `modelcheck` binary.
+    pub fn repro_command(&self) -> String {
+        format!("modelcheck --repro '{}'", self.repro_spec())
+    }
+}
+
+impl std::fmt::Display for MinimalWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} (n = {}, {} edges, {} shrink steps)",
+            self.violation,
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            self.shrink_steps
+        )?;
+        write!(f, "  repro: {}", self.repro_command())
+    }
+}
+
+/// Rewrites a fault plan for a graph with node `dropped` removed: every
+/// node id above `dropped` shifts down by one. Events targeting `dropped`
+/// itself must not exist (the shrinker never removes a faulted node).
+fn remap_faults(faults: &FaultPlan, dropped: NodeId) -> FaultPlan {
+    let shift = |node: NodeId| if node > dropped { node - 1 } else { node };
+    FaultPlan::from_events(
+        faults
+            .events()
+            .iter()
+            .map(|event| match *event {
+                FaultEvent::Crash { node, round } => FaultEvent::Crash {
+                    node: shift(node),
+                    round,
+                },
+                FaultEvent::Jam {
+                    node,
+                    from_round,
+                    rounds,
+                } => FaultEvent::Jam {
+                    node: shift(node),
+                    from_round,
+                    rounds,
+                },
+                FaultEvent::Drop { node, round } => FaultEvent::Drop {
+                    node: shift(node),
+                    round,
+                },
+                FaultEvent::Corrupt { node, round } => FaultEvent::Corrupt {
+                    node: shift(node),
+                    round,
+                },
+                FaultEvent::LateWake { node, round } => FaultEvent::LateWake {
+                    node: shift(node),
+                    round,
+                },
+            })
+            .collect(),
+    )
+}
+
+/// Greedily minimises a failing point. `check` re-runs whatever property
+/// produced `violation`; a candidate is accepted iff it still fails with
+/// the same scheme and the same [`ViolationKind::code`]. Tries, to
+/// fixpoint: removing each vertex (connectivity preserved, faulted nodes
+/// kept), then each edge (connectivity preserved), then each fault event.
+///
+/// [`ViolationKind::code`]: crate::ViolationKind::code
+pub fn shrink_witness(
+    graph: Arc<Graph>,
+    faults: FaultPlan,
+    violation: Violation,
+    mode: ReproMode,
+    check: impl Fn(&Arc<Graph>, &FaultPlan) -> Option<Violation>,
+) -> MinimalWitness {
+    let code = violation.kind.code();
+    let scheme = violation.scheme;
+    let same_failure = |v: &Violation| v.scheme == scheme && v.kind.code() == code;
+    let mut witness = MinimalWitness {
+        graph,
+        faults,
+        violation,
+        mode,
+        shrink_steps: 0,
+    };
+    loop {
+        let mut shrunk = false;
+
+        // Vertices, highest first (removing high ids keeps low ids stable,
+        // which tends to preserve the failing structure around node 0, the
+        // default source).
+        if witness.graph.node_count() > 1 {
+            for dropped in (0..witness.graph.node_count()).rev() {
+                if witness.faults.events().iter().any(|e| e.node() == dropped) {
+                    continue;
+                }
+                let keep: Vec<NodeId> = (0..witness.graph.node_count())
+                    .filter(|&v| v != dropped)
+                    .collect();
+                let Ok((candidate, _)) = witness.graph.induced_subgraph(&keep) else {
+                    continue;
+                };
+                if !algorithms::is_connected(&candidate) {
+                    continue;
+                }
+                let candidate = Arc::new(candidate);
+                let remapped = remap_faults(&witness.faults, dropped);
+                if let Some(v) = check(&candidate, &remapped) {
+                    if same_failure(&v) {
+                        witness.graph = candidate;
+                        witness.faults = remapped;
+                        witness.violation = v;
+                        witness.shrink_steps += 1;
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if shrunk {
+            continue;
+        }
+
+        // Edges.
+        let edges: Vec<(NodeId, NodeId)> = witness.graph.edges().collect();
+        for skip in 0..edges.len() {
+            let rest: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &e)| e)
+                .collect();
+            let Ok(candidate) = Graph::from_edges(witness.graph.node_count(), &rest) else {
+                continue;
+            };
+            if !algorithms::is_connected(&candidate) {
+                continue;
+            }
+            let candidate = Arc::new(candidate);
+            if let Some(v) = check(&candidate, &witness.faults) {
+                if same_failure(&v) {
+                    witness.graph = candidate;
+                    witness.violation = v;
+                    witness.shrink_steps += 1;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if shrunk {
+            continue;
+        }
+
+        // Fault events.
+        for skip in 0..witness.faults.events().len() {
+            let rest: Vec<FaultEvent> = witness
+                .faults
+                .events()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, e)| e.clone())
+                .collect();
+            let candidate = FaultPlan::from_events(rest);
+            if let Some(v) = check(&witness.graph, &candidate) {
+                if same_failure(&v) {
+                    witness.faults = candidate;
+                    witness.violation = v;
+                    witness.shrink_steps += 1;
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+
+        if !shrunk {
+            return witness;
+        }
+    }
+}
+
+/// Serialises one point as the one-line spec [`parse_repro`] reads back:
+/// `scheme=<name>;n=<nodes>;edges=u-v,u-v,..;faults=kind:node@round,..;mode=<mode>`
+/// (the `scheme` key is omitted for scheme-free points, `faults` for empty
+/// plans, and `mode` for the default check mode).
+pub fn repro_spec(
+    graph: &Graph,
+    scheme: Option<Scheme>,
+    faults: &FaultPlan,
+    mode: ReproMode,
+) -> String {
+    let edges: Vec<String> = graph.edges().map(|(u, v)| format!("{u}-{v}")).collect();
+    let mut spec = String::new();
+    if let Some(scheme) = scheme {
+        spec.push_str(&format!("scheme={};", scheme.name()));
+    }
+    spec.push_str(&format!(
+        "n={};edges={}",
+        graph.node_count(),
+        edges.join(",")
+    ));
+    if !faults.is_empty() {
+        let events: Vec<String> = faults
+            .events()
+            .iter()
+            .map(|event| match *event {
+                FaultEvent::Crash { node, round } => format!("crash:{node}@{round}"),
+                FaultEvent::Jam {
+                    node,
+                    from_round,
+                    rounds,
+                } => format!("jam:{node}@{from_round}x{rounds}"),
+                FaultEvent::Drop { node, round } => format!("drop:{node}@{round}"),
+                FaultEvent::Corrupt { node, round } => format!("corrupt:{node}@{round}"),
+                FaultEvent::LateWake { node, round } => format!("late_wake:{node}@{round}"),
+            })
+            .collect();
+        spec.push_str(";faults=");
+        spec.push_str(&events.join(","));
+    }
+    if mode != ReproMode::Check {
+        spec.push_str(";mode=");
+        spec.push_str(mode.name());
+    }
+    spec
+}
+
+fn parse_node_round(body: &str, what: &str) -> Result<(NodeId, u64), String> {
+    let (node, round) = body
+        .split_once('@')
+        .ok_or_else(|| format!("{what}: expected node@round, got {body:?}"))?;
+    Ok((
+        node.parse()
+            .map_err(|_| format!("{what}: bad node {node:?}"))?,
+        round
+            .parse()
+            .map_err(|_| format!("{what}: bad round {round:?}"))?,
+    ))
+}
+
+/// Parses a spec produced by [`repro_spec`] back into the point it
+/// describes.
+///
+/// # Errors
+/// A human-readable description of the first malformed component.
+pub fn parse_repro(spec: &str) -> Result<ReproPoint, String> {
+    let mut scheme = None;
+    let mut n = None;
+    let mut edges: Option<Vec<(NodeId, NodeId)>> = None;
+    let mut faults = FaultPlan::none();
+    let mut mode = ReproMode::Check;
+    for part in spec.split(';') {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+        match key.trim() {
+            "scheme" => {
+                scheme = Some(Scheme::parse(value.trim()).map_err(|e| e.to_string())?);
+            }
+            "n" => {
+                n = Some(
+                    value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad node count {value:?}"))?,
+                );
+            }
+            "edges" => {
+                let mut list = Vec::new();
+                for pair in value.split(',').filter(|p| !p.trim().is_empty()) {
+                    let (u, v) = pair
+                        .trim()
+                        .split_once('-')
+                        .ok_or_else(|| format!("expected u-v, got {pair:?}"))?;
+                    list.push((
+                        u.parse().map_err(|_| format!("bad endpoint {u:?}"))?,
+                        v.parse().map_err(|_| format!("bad endpoint {v:?}"))?,
+                    ));
+                }
+                edges = Some(list);
+            }
+            "faults" => {
+                for item in value.split(',').filter(|p| !p.trim().is_empty()) {
+                    let (kind, body) = item
+                        .trim()
+                        .split_once(':')
+                        .ok_or_else(|| format!("expected kind:node@round, got {item:?}"))?;
+                    let event = match kind {
+                        "crash" => {
+                            let (node, round) = parse_node_round(body, "crash")?;
+                            FaultEvent::Crash { node, round }
+                        }
+                        "jam" => {
+                            let (node, span) = body.split_once('@').ok_or_else(|| {
+                                format!("jam: expected node@fromxlen, got {body:?}")
+                            })?;
+                            let (from, len) = span
+                                .split_once('x')
+                                .ok_or_else(|| format!("jam: expected fromxlen, got {span:?}"))?;
+                            FaultEvent::Jam {
+                                node: node
+                                    .parse()
+                                    .map_err(|_| format!("jam: bad node {node:?}"))?,
+                                from_round: from
+                                    .parse()
+                                    .map_err(|_| format!("jam: bad round {from:?}"))?,
+                                rounds: len
+                                    .parse()
+                                    .map_err(|_| format!("jam: bad length {len:?}"))?,
+                            }
+                        }
+                        "drop" => {
+                            let (node, round) = parse_node_round(body, "drop")?;
+                            FaultEvent::Drop { node, round }
+                        }
+                        "corrupt" => {
+                            let (node, round) = parse_node_round(body, "corrupt")?;
+                            FaultEvent::Corrupt { node, round }
+                        }
+                        "late_wake" => {
+                            let (node, round) = parse_node_round(body, "late_wake")?;
+                            FaultEvent::LateWake { node, round }
+                        }
+                        other => return Err(format!("unknown fault kind {other:?}")),
+                    };
+                    faults.push(event);
+                }
+            }
+            "mode" => mode = ReproMode::parse(value.trim())?,
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    let n = n.ok_or("missing n=")?;
+    let edges = edges.ok_or("missing edges=")?;
+    if scheme.is_none() && mode != ReproMode::Overpromise {
+        return Err("missing scheme= (required for every mode but overpromise)".into());
+    }
+    let graph = Graph::from_edges(n, &edges).map_err(|e| e.to_string())?;
+    Ok(ReproPoint {
+        graph,
+        scheme,
+        faults,
+        mode,
+    })
+}

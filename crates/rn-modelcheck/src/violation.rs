@@ -1,0 +1,167 @@
+//! The model checker's finding vocabulary: every way a checked point can
+//! fail, located as precisely as the failing invariant allows.
+
+use rn_broadcast::session::Scheme;
+use rn_graph::NodeId;
+use rn_radio::{Engine, WakeHintViolation};
+
+/// Which invariant broke, with its location.
+///
+/// [`ViolationKind::code`] names the invariant class; the counterexample
+/// shrinker preserves the code (a smaller graph must break the *same*
+/// invariant to count as a shrink of the witness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The session could not be built at all (scheme construction failed on
+    /// a graph it must support).
+    Build {
+        /// The construction error.
+        error: String,
+    },
+    /// `rn-analyze` refused to certify the labeling the session built.
+    Certification {
+        /// The analyzer's findings, rendered.
+        findings: Vec<String>,
+    },
+    /// The static certificate disagreed with the simulated run.
+    CrossCheck {
+        /// The cross-check diffs, rendered.
+        findings: Vec<String>,
+    },
+    /// Two engines produced different reports or trace shapes for the same
+    /// point.
+    EngineDisagreement {
+        /// The reference engine.
+        reference: Engine,
+        /// The engine that diverged from it.
+        other: Engine,
+        /// What differed.
+        detail: String,
+    },
+    /// A recorded round contradicts radio physics: a `Heard` without exactly
+    /// one transmitting neighbour, a `Collision { k }` with a different
+    /// transmitter count, a `Silence` with exactly one, or a `Heard` from a
+    /// non-neighbour.
+    TracePhysics {
+        /// The (1-based) offending round.
+        round: u64,
+        /// The node whose event is inconsistent.
+        node: NodeId,
+        /// The contradiction.
+        detail: String,
+    },
+    /// A non-source node was reported informed in a round in which it heard
+    /// nothing — information appeared out of thin air.
+    InformedWithoutReception {
+        /// The node.
+        node: NodeId,
+        /// The round it was reported informed.
+        round: u64,
+    },
+    /// A collection-phase round did not have exactly its scheduled slot
+    /// owner transmitting (the plan promises gap- and collision-freedom).
+    CollectionPlan {
+        /// The (1-based) collection round.
+        round: u64,
+        /// What the trace showed instead.
+        detail: String,
+    },
+    /// The run executed more rounds than the session's resolved stop
+    /// condition allows.
+    RoundCapExceeded {
+        /// Rounds actually executed.
+        executed: u64,
+        /// The resolved cap.
+        cap: u64,
+    },
+    /// A node's wake hint overpromised (see [`rn_radio::audit_wake_hints`]).
+    WakeHint {
+        /// The engine under which the audit ran.
+        engine: Engine,
+        /// The located violation.
+        violation: WakeHintViolation,
+    },
+}
+
+impl ViolationKind {
+    /// Stable invariant-class name: what the shrinker must preserve and
+    /// what reports group by.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ViolationKind::Build { .. } => "build",
+            ViolationKind::Certification { .. } => "certification",
+            ViolationKind::CrossCheck { .. } => "cross_check",
+            ViolationKind::EngineDisagreement { .. } => "engine_disagreement",
+            ViolationKind::TracePhysics { .. } => "trace_physics",
+            ViolationKind::InformedWithoutReception { .. } => "informed_without_reception",
+            ViolationKind::CollectionPlan { .. } => "collection_plan",
+            ViolationKind::RoundCapExceeded { .. } => "round_cap_exceeded",
+            ViolationKind::WakeHint { .. } => "wake_hint",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Build { error } => write!(f, "session construction failed: {error}"),
+            ViolationKind::Certification { findings } => {
+                write!(f, "certification failed: {}", findings.join("; "))
+            }
+            ViolationKind::CrossCheck { findings } => {
+                write!(
+                    f,
+                    "static/dynamic cross-check failed: {}",
+                    findings.join("; ")
+                )
+            }
+            ViolationKind::EngineDisagreement {
+                reference,
+                other,
+                detail,
+            } => write!(f, "{other:?} diverged from {reference:?}: {detail}"),
+            ViolationKind::TracePhysics {
+                round,
+                node,
+                detail,
+            } => write!(f, "round {round}, node {node}: {detail}"),
+            ViolationKind::InformedWithoutReception { node, round } => write!(
+                f,
+                "node {node} reported informed in round {round} without hearing anything"
+            ),
+            ViolationKind::CollectionPlan { round, detail } => {
+                write!(f, "collection round {round}: {detail}")
+            }
+            ViolationKind::RoundCapExceeded { executed, cap } => {
+                write!(f, "executed {executed} rounds past the resolved cap {cap}")
+            }
+            ViolationKind::WakeHint { engine, violation } => {
+                write!(f, "wake-hint contract broken under {engine:?}: {violation}")
+            }
+        }
+    }
+}
+
+/// One failed model-checking point: the scheme it failed under and the
+/// invariant that broke. The graph and fault plan travel alongside (in the
+/// [`crate::MinimalWitness`]) rather than inside, so shrinking can rewrite
+/// them without touching the violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The scheme being checked; `None` for scheme-free properties (the
+    /// overpromise-injection mode audits a bare test protocol).
+    pub scheme: Option<Scheme>,
+    /// What broke.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}",
+            self.scheme.as_ref().map_or("protocol", Scheme::name),
+            self.kind
+        )
+    }
+}

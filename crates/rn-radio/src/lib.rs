@@ -28,7 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod batch;
+pub mod digest;
 pub mod fault;
 pub mod message;
 pub mod node;
@@ -39,10 +41,12 @@ pub mod stats;
 pub mod testing;
 pub mod trace;
 
+pub use audit::{audit_wake_hints, HintViolationKind, WakeHintAudit, WakeHintViolation};
+pub use digest::Digest;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use message::RadioMessage;
 pub use node::{Action, RadioNode};
 pub use scratch::RoundScratch;
 pub use simulator::{Engine, RunOutcome, Simulator, StopCondition};
 pub use stats::ExecutionStats;
-pub use trace::{RoundRecord, Trace};
+pub use trace::{RoundRecord, ShapeEvent, ShapeRound, Trace, TraceShape};

@@ -85,6 +85,24 @@ pub trait RadioNode {
     fn wake_hint(&self) -> u64 {
         0
     }
+
+    /// A digest of the node's complete observable state, used by the
+    /// bounded model checker (`rn-modelcheck`) to verify the
+    /// [`wake_hint`](RadioNode::wake_hint) frozen-state contract: the
+    /// checker replays the elided `step`/`receive(None)` pairs against a
+    /// clone and requires the digest to stay bit-identical.
+    ///
+    /// Implementations must fold **every** field that influences future
+    /// behaviour (the helpers in [`crate::digest`] make this a one-liner),
+    /// and must be deterministic functions of that state alone — no
+    /// addresses, no interior mutability. The default of `0` opts out:
+    /// the checker still verifies Listen-only actions for such nodes but
+    /// cannot see state drift. Protocols that implement
+    /// [`wake_hint`](RadioNode::wake_hint) should always implement this
+    /// too.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

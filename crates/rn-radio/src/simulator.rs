@@ -265,6 +265,19 @@ pub enum StopCondition {
     },
 }
 
+impl StopCondition {
+    /// The hard upper bound on executed rounds this condition allows —
+    /// the quantity the model checker's round-cap invariant audits
+    /// `RunOutcome::rounds_executed` against.
+    pub fn cap(&self) -> u64 {
+        match *self {
+            StopCondition::AfterRounds(cap)
+            | StopCondition::QuietOrCap(cap)
+            | StopCondition::QuietFor { cap, .. } => cap,
+        }
+    }
+}
+
 /// Why the simulation stopped and how long it ran.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -896,6 +909,17 @@ impl<N: RadioNode> Simulator<N> {
                                 transmitting_neighbors: 1,
                             });
                         } else {
+                            // Tripwire (debug builds): a non-due listener is
+                            // inside a promised Listen-only span, so the
+                            // `step` the engine elided this round must be a
+                            // Listen no-op — a Transmit means `wake_hint`
+                            // overpromised and elision suppressed a real
+                            // transmission.
+                            debug_assert!(
+                                is_due || !self.nodes[v].step().is_transmit(),
+                                "wake-hint overpromise: node {v} would transmit in round {round} \
+                                 inside its elided span"
+                            );
                             let msg = &self.tx_messages[scratch.tx_index[w] as usize];
                             let (decoded, event) = deliver_with_rx_faults(
                                 &mut self.nodes[v],
@@ -970,6 +994,14 @@ impl<N: RadioNode> Simulator<N> {
                 if scratch.tx_index[w] == JAMMER {
                     continue;
                 }
+                // Tripwire (debug builds): touched nodes are dormant by
+                // construction, so the elided `step` must be a Listen
+                // no-op (see the recorded path's twin assertion).
+                debug_assert!(
+                    !self.nodes[v].step().is_transmit(),
+                    "wake-hint overpromise: node {v} would transmit in round {round} \
+                     inside its elided span"
+                );
                 let msg = &self.tx_messages[scratch.tx_index[w] as usize];
                 let (decoded, _) =
                     deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);

@@ -244,6 +244,101 @@ impl<M: RadioMessage> Default for Trace<M> {
     }
 }
 
+/// What happened at one node in one round, with the message contents
+/// erased — the [`NodeEvent`] skeleton shared by every protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeEvent {
+    /// The node transmitted (some message).
+    Transmitted,
+    /// The node heard (some message) from the given neighbour.
+    Heard {
+        /// The transmitting neighbour.
+        from: NodeId,
+    },
+    /// The node listened into a collision.
+    Collision {
+        /// Number of neighbours that transmitted.
+        transmitting_neighbors: usize,
+    },
+    /// The node listened into silence.
+    Silence,
+    /// An injected fault consumed the node's round.
+    Faulted(FaultKind),
+}
+
+/// One round of a [`TraceShape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeRound {
+    /// 1-based round number.
+    pub round: u64,
+    /// Per-node events, indexed by node id.
+    pub events: Vec<ShapeEvent>,
+}
+
+/// A message-agnostic execution trace: the per-round transmit / heard /
+/// collision / silence skeleton with payloads erased.
+///
+/// The bounded model checker (`rn-modelcheck`) verifies per-round physics
+/// invariants — a `Heard` requires exactly one transmitting neighbour, a
+/// `Collision { k }` exactly `k` — generically over every scheme, which a
+/// message-typed [`Trace<M>`] cannot express in one type. Obtained from
+/// [`Trace::shape`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceShape {
+    /// The per-round records in execution order.
+    pub rounds: Vec<ShapeRound>,
+}
+
+impl TraceShape {
+    /// The nodes that transmitted in the round **recorded at index** `i`
+    /// (including jamming nodes, which occupy the channel like a
+    /// transmitter), in increasing order.
+    pub fn transmitters_at(&self, i: usize) -> Vec<NodeId> {
+        self.rounds[i]
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    ShapeEvent::Transmitted | ShapeEvent::Faulted(FaultKind::Jamming)
+                )
+            })
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+impl<M: RadioMessage> Trace<M> {
+    /// The message-agnostic skeleton of this trace (see [`TraceShape`]).
+    pub fn shape(&self) -> TraceShape {
+        TraceShape {
+            rounds: self
+                .rounds
+                .iter()
+                .map(|r| ShapeRound {
+                    round: r.round,
+                    events: r
+                        .events
+                        .iter()
+                        .map(|e| match e {
+                            NodeEvent::Transmitted(_) => ShapeEvent::Transmitted,
+                            NodeEvent::Heard { from, .. } => ShapeEvent::Heard { from: *from },
+                            NodeEvent::Collision {
+                                transmitting_neighbors,
+                            } => ShapeEvent::Collision {
+                                transmitting_neighbors: *transmitting_neighbors,
+                            },
+                            NodeEvent::Silence => ShapeEvent::Silence,
+                            NodeEvent::Faulted(kind) => ShapeEvent::Faulted(*kind),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -179,3 +179,93 @@ fn runner_error_paths_are_exercised() {
         .build()
         .is_err());
 }
+
+/// Builds a session for `scheme` on `g` under `plan` with `engine` and
+/// returns its report plus its recorded trace shape. Used by the fault-plan
+/// edge-case tests below, which pin degenerate plans to identical behaviour
+/// across all three engines.
+fn faulted_run(
+    scheme: Scheme,
+    g: &std::sync::Arc<radio_labeling::graph::Graph>,
+    plan: &FaultPlan,
+    engine: radio_labeling::radio::Engine,
+) -> (
+    radio_labeling::broadcast::session::RunReport,
+    radio_labeling::radio::TraceShape,
+) {
+    Session::builder(scheme, std::sync::Arc::clone(g))
+        .engine(engine)
+        .faults(plan.clone())
+        .build()
+        .unwrap()
+        .run_shaped()
+}
+
+const ALL_ENGINES: [radio_labeling::radio::Engine; 3] = [
+    radio_labeling::radio::Engine::TransmitterCentric,
+    radio_labeling::radio::Engine::ListenerCentric,
+    radio_labeling::radio::Engine::EventDriven,
+];
+
+#[test]
+fn zero_length_jam_is_a_complete_noop_on_every_engine() {
+    // A jam spanning zero rounds is never effective: the run must be
+    // byte-identical to the fault-free run — report, trace shape and the
+    // `faults_injected` accounting — on every engine.
+    let g = std::sync::Arc::new(generators::path(9));
+    let dud = FaultPlan::none().jam(4, 3, 0);
+    for scheme in [Scheme::Lambda, Scheme::LambdaAck] {
+        for engine in ALL_ENGINES {
+            let (clean, clean_shape) = faulted_run(scheme, &g, &FaultPlan::none(), engine);
+            let (jammed, jammed_shape) = faulted_run(scheme, &g, &dud, engine);
+            assert_eq!(jammed, clean, "{} [{engine:?}]", scheme.name());
+            assert_eq!(jammed_shape, clean_shape, "{} [{engine:?}]", scheme.name());
+            assert_eq!(jammed.faults_injected, 0);
+        }
+    }
+}
+
+#[test]
+fn duplicate_crash_events_behave_like_the_earliest_crash() {
+    // Two crash events for the same node collapse to the earliest round.
+    // The duplicate changes the injection *count* (the plan really carries
+    // two events) but must not change the executed timeline, and all three
+    // engines must agree event-for-event.
+    let g = std::sync::Arc::new(generators::path(10));
+    let dup = FaultPlan::none().crash(5, 6).crash(5, 3);
+    let single = FaultPlan::none().crash(5, 3);
+    let (ref_report, ref_shape) = faulted_run(Scheme::Lambda, &g, &dup, ALL_ENGINES[0]);
+    for engine in ALL_ENGINES {
+        let (report, shape) = faulted_run(Scheme::Lambda, &g, &dup, engine);
+        assert_eq!(report, ref_report, "duplicate crash [{engine:?}]");
+        assert_eq!(shape, ref_shape, "duplicate crash [{engine:?}]");
+        let (baseline, baseline_shape) = faulted_run(Scheme::Lambda, &g, &single, engine);
+        assert_eq!(shape, baseline_shape, "dup vs single timeline [{engine:?}]");
+        assert_eq!(report.informed_rounds, baseline.informed_rounds);
+        assert_eq!(report.completion_round, baseline.completion_round);
+    }
+}
+
+#[test]
+fn crash_and_late_wake_on_the_same_node_pin_across_engines() {
+    // A node that wakes late *and* crashes: asleep through round 4, alive
+    // for round 5, dead from round 6. The interleaving exercises both the
+    // inert-node and forced-wake paths in every engine; all three must
+    // produce the identical report and trace shape, deterministically.
+    let g = std::sync::Arc::new(generators::path(8));
+    let plan = FaultPlan::none().late_wake(3, 5).crash(3, 6);
+    for scheme in [Scheme::Lambda, Scheme::UniqueIds] {
+        let (ref_report, ref_shape) = faulted_run(scheme, &g, &plan, ALL_ENGINES[0]);
+        // The crash really bites: the chain past the dead relay stalls.
+        assert!(!ref_report.completed(), "{}", scheme.name());
+        assert_eq!(ref_report.faults_injected, 2);
+        for engine in ALL_ENGINES {
+            let (report, shape) = faulted_run(scheme, &g, &plan, engine);
+            assert_eq!(report, ref_report, "{} [{engine:?}]", scheme.name());
+            assert_eq!(shape, ref_shape, "{} [{engine:?}]", scheme.name());
+            let (rerun, rerun_shape) = faulted_run(scheme, &g, &plan, engine);
+            assert_eq!(rerun, report, "{} rerun [{engine:?}]", scheme.name());
+            assert_eq!(rerun_shape, shape, "{} rerun [{engine:?}]", scheme.name());
+        }
+    }
+}
