@@ -64,9 +64,10 @@ use rn_labeling::{
     baselines, gossip, lambda, lambda_ack, lambda_arb, multi, onebit, Labeling, LabelingError,
 };
 use rn_radio::{
-    Engine, ExecutionStats, FaultPlan, RadioNode, RoundScratch, Simulator, StopCondition,
-    TraceShape, WakeHintAudit, WakeHintViolation,
+    CounterSink, Engine, ExecutionStats, FaultPlan, MetricsSink, RadioNode, RoundScratch,
+    RunCounters, Simulator, StopCondition, TraceShape, WakeHintAudit, WakeHintViolation,
 };
+use rn_telemetry::{RunMetrics, SpanRecord, SpanTimer};
 use std::sync::{Arc, Mutex};
 
 /// Which labeling scheme / broadcast algorithm pair a session executes.
@@ -422,6 +423,69 @@ impl RunReport {
     pub fn completed(&self) -> bool {
         self.completion_round.is_some()
     }
+
+    /// The paper's closed-form completion bound for this run's scheme, when
+    /// it states one: Theorem 2.9's `2n − 3` rounds for λ and the `4n − 5`
+    /// bound for the gossip scheme (token walk plus bundle broadcast).
+    /// `None` for the other schemes, whose bounds are stated asymptotically,
+    /// and for the degenerate `n < 2` graphs the bounds do not cover.
+    pub fn theorem_bound(&self) -> Option<u64> {
+        let n = self.node_count as u64;
+        if n < 2 {
+            return None;
+        }
+        if self.scheme == lambda::SCHEME_NAME {
+            Some(2 * n - 3)
+        } else if self.scheme == gossip::SCHEME_NAME {
+            Some(4 * n - 5)
+        } else {
+            None
+        }
+    }
+}
+
+/// One-paragraph human-readable summary: scheme and graph size, completion
+/// round against the paper bound (when the scheme has a closed-form one),
+/// delivery rate, and fault count — the report a person wants to read after
+/// a run, next to the machine-oriented fields.
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes carrying {}-bit labels ({} distinct); ",
+            self.scheme, self.node_count, self.label_length, self.distinct_labels
+        )?;
+        match self.completion_round {
+            Some(round) => {
+                write!(
+                    f,
+                    "broadcast from source {} completed in round {round} of {} executed",
+                    self.source, self.rounds_executed
+                )?;
+                if let Some(bound) = self.theorem_bound() {
+                    write!(f, ", within the paper's {bound}-round bound")?;
+                }
+            }
+            None => write!(
+                f,
+                "broadcast from source {} did not complete within {} rounds",
+                self.source, self.rounds_executed
+            )?,
+        }
+        if let Some(ack) = self.ack_round {
+            write!(f, "; the source heard the acknowledgement in round {ack}")?;
+        }
+        if let Some(ck) = self.common_knowledge_round {
+            write!(f, "; completion was common knowledge by round {ck}")?;
+        }
+        write!(
+            f,
+            ". Delivery rate {:.1}%, {} fault event{} injected.",
+            self.delivery_rate * 100.0,
+            self.faults_injected,
+            if self.faults_injected == 1 { "" } else { "s" }
+        )
+    }
 }
 
 /// Builder for a [`Session`].
@@ -561,6 +625,13 @@ impl SessionBuilder {
     /// dominating-set minimisation); every run of the returned session reuses
     /// its output.
     pub fn build(self) -> Result<Session, LabelingError> {
+        // Phase spans of the build, reported later through
+        // `Session::run_instrumented`: "plan_build" covers source-set and
+        // coordinator resolution, prepare() adds "labeling_construction"
+        // and "template_build". Recording them is a handful of clock reads,
+        // so it happens unconditionally.
+        let mut build_spans = Vec::new();
+        let plan_timer = SpanTimer::start("plan_build");
         let node_count = self.graph.node_count();
         if node_count == 0 {
             return Err(LabelingError::EmptyGraph);
@@ -617,6 +688,7 @@ impl SessionBuilder {
             (Scheme::Gossip, None) => gossip::choose_coordinator(&self.graph)?,
             (_, None) => 0,
         };
+        build_spans.push(plan_timer.stop());
         let prepared = prepare(
             self.scheme,
             &self.graph,
@@ -624,6 +696,7 @@ impl SessionBuilder {
             &sources,
             coordinator,
             self.message,
+            &mut build_spans,
         )?;
         Ok(Session {
             scheme: self.scheme,
@@ -638,6 +711,7 @@ impl SessionBuilder {
             engine: self.engine,
             faults: self.faults,
             prepared,
+            build_spans,
             scratch_pool: Mutex::new(Vec::new()),
         })
     }
@@ -664,6 +738,11 @@ pub struct Session {
     /// default); validated against the graph at build time.
     faults: FaultPlan,
     prepared: Prepared,
+    /// Wall-clock spans of the build phases ("plan_build",
+    /// "labeling_construction", "template_build"), recorded once at build
+    /// time and prepended to the [`RunMetrics`] of every
+    /// [`run_instrumented`](Session::run_instrumented) call.
+    build_spans: Vec<SpanRecord>,
     /// Recycled per-round simulator buffers: every run borrows a scratch
     /// from here and returns it afterwards, so repeat and batch runs
     /// amortize per-round working memory the same way they amortize the
@@ -732,8 +811,39 @@ impl Session {
 
     /// Runs the session with its configured source and message.
     pub fn run(&self) -> RunReport {
-        self.execute(&self.prepared, self.source, self.message, false)
+        self.execute(&self.prepared, self.source, self.message, false, None)
             .0
+    }
+
+    /// Runs the session with its configured source and message, with full
+    /// telemetry: a [`CounterSink`] is installed on the simulator (the only
+    /// run mode that pays for per-round metric assembly) and the returned
+    /// [`RunMetrics`] carries the aggregated deterministic counters, the
+    /// phase spans (build phases recorded once at build time, plus this
+    /// run's `round_loop` and `verify`), and the process peak RSS.
+    ///
+    /// The [`RunReport`] is **identical** to what [`run`](Self::run)
+    /// returns: deterministic counters never alter report contents, they
+    /// only corroborate them ([`RunMetrics::counters_match_trace`] records
+    /// the cross-check when a trace was also recorded). Timings and RSS are
+    /// nondeterministic and live only in the `RunMetrics` block, so callers
+    /// that persist reports stay byte-identical with telemetry on.
+    pub fn run_instrumented(&self) -> (RunReport, RunMetrics) {
+        let mut metrics = RunMetrics {
+            spans: self.build_spans.clone(),
+            ..RunMetrics::default()
+        };
+        let report = self
+            .execute(
+                &self.prepared,
+                self.source,
+                self.message,
+                false,
+                Some(&mut metrics),
+            )
+            .0;
+        metrics.peak_rss_kb = rn_telemetry::peak_rss_kb();
+        (report, metrics)
     }
 
     /// Runs the session with its configured source and message and also
@@ -744,7 +854,7 @@ impl Session {
     /// executions of the same protocol are physically equivalent iff their
     /// shapes match round for round.
     pub fn run_shaped(&self) -> (RunReport, TraceShape) {
-        let (report, shape) = self.execute(&self.prepared, self.source, self.message, true);
+        let (report, shape) = self.execute(&self.prepared, self.source, self.message, true, None);
         (report, shape.expect("shape requested"))
     }
 
@@ -860,7 +970,7 @@ impl Session {
         }
         if spec.source == self.source || !self.scheme.labeling_depends_on_source() {
             Ok(self
-                .execute(&self.prepared, spec.source, spec.message, false)
+                .execute(&self.prepared, spec.source, spec.message, false, None)
                 .0)
         } else {
             let prepared = prepare(
@@ -870,9 +980,71 @@ impl Session {
                 &self.sources,
                 self.coordinator,
                 spec.message,
+                &mut Vec::new(),
             )?;
-            Ok(self.execute(&prepared, spec.source, spec.message, false).0)
+            Ok(self
+                .execute(&prepared, spec.source, spec.message, false, None)
+                .0)
         }
+    }
+
+    /// Runs an arbitrary spec with full telemetry, mirroring
+    /// [`run_with`](Self::run_with) exactly: the returned [`RunReport`] is
+    /// identical to what `run_with` produces, and the [`RunMetrics`] block
+    /// carries the deterministic counters, phase spans, and peak RSS the
+    /// same way [`run_instrumented`](Self::run_instrumented) does.
+    ///
+    /// When the spec forces a fresh labeling (source-dependent scheme, new
+    /// source), the metrics' span list holds the *fresh* construction's
+    /// `labeling_construction`/`template_build` timings rather than the
+    /// cached build's — the spans describe the work this call actually did.
+    ///
+    /// # Errors
+    /// Same contract as [`run_with`](Self::run_with).
+    pub fn run_with_instrumented(
+        &self,
+        spec: RunSpec,
+    ) -> Result<(RunReport, RunMetrics), LabelingError> {
+        if spec.source >= self.graph.node_count() {
+            return Err(LabelingError::SourceOutOfRange {
+                source: spec.source,
+                node_count: self.graph.node_count(),
+            });
+        }
+        let mut metrics = RunMetrics::default();
+        let report = if spec.source == self.source || !self.scheme.labeling_depends_on_source() {
+            metrics.spans = self.build_spans.clone();
+            self.execute(
+                &self.prepared,
+                spec.source,
+                spec.message,
+                false,
+                Some(&mut metrics),
+            )
+            .0
+        } else {
+            let mut fresh_spans = Vec::new();
+            let prepared = prepare(
+                self.scheme,
+                &self.graph,
+                spec.source,
+                &self.sources,
+                self.coordinator,
+                spec.message,
+                &mut fresh_spans,
+            )?;
+            metrics.spans = fresh_spans;
+            self.execute(
+                &prepared,
+                spec.source,
+                spec.message,
+                false,
+                Some(&mut metrics),
+            )
+            .0
+        };
+        metrics.peak_rss_kb = rn_telemetry::peak_rss_kb();
+        Ok((report, metrics))
     }
 
     /// Runs every spec, fanning the independent simulations out over up to
@@ -947,10 +1119,16 @@ impl Session {
         source: NodeId,
         message: SourceMessage,
         want_shape: bool,
+        metrics: Option<&mut RunMetrics>,
     ) -> (RunReport, Option<TraceShape>) {
         let stop = self.stop_condition();
         let record = self.trace == TracePolicy::Recorded || want_shape;
         let labeling = prepared.labeling();
+        let instrument = metrics.is_some();
+        let round_timer = instrument.then(|| SpanTimer::start("round_loop"));
+        // Every match arm below assigns `counters` exactly once (deferred
+        // initialization — no `mut` needed).
+        let counters: Option<RunCounters>;
         let mut shape = None;
         let mut report = RunReport {
             scheme: labeling.scheme(),
@@ -980,11 +1158,10 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     BNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record).run(
-                    stop,
-                    BNode::is_informed,
-                    |_, _| false,
-                );
+                let run = Execution::new(self, nodes, record, !record)
+                    .instrumented(instrument)
+                    .run(stop, BNode::is_informed, |_, _| false);
+                counters = run.counters;
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
                 if want_shape {
@@ -996,16 +1173,15 @@ impl Session {
                     BackNode::network(labeling, source, message)
                 });
                 let mut ack_round = None;
-                let run = Execution::new(self, nodes, record, !record).run(
-                    stop,
-                    BackNode::is_informed,
-                    |sim, round| {
+                let run = Execution::new(self, nodes, record, !record)
+                    .instrumented(instrument)
+                    .run(stop, BackNode::is_informed, |sim, round| {
                         if ack_round.is_none() && sim.nodes()[source].source_received_ack() {
                             ack_round = Some(round);
                         }
                         false
-                    },
-                );
+                    });
+                counters = run.counters;
                 run.fill(&mut report, record, |m| {
                     matches!(m.payload, TaggedPayload::Data(_))
                 });
@@ -1021,26 +1197,29 @@ impl Session {
                 });
                 let mut completion = None;
                 let mut common_knowledge = None;
-                let run = Execution::new(self, nodes, record, true).run(
-                    stop,
-                    |node: &ArbNode| node.learned_message().is_some(),
-                    |sim, round| {
-                        if completion.is_none()
-                            && sim
-                                .nodes()
-                                .iter()
-                                .all(|n| n.learned_message() == Some(message))
-                        {
-                            completion = Some(round);
-                        }
-                        if common_knowledge.is_none()
-                            && sim.nodes().iter().all(ArbNode::knows_completion)
-                        {
-                            common_knowledge = Some(round);
-                        }
-                        completion.is_some() && common_knowledge.is_some()
-                    },
-                );
+                let run = Execution::new(self, nodes, record, true)
+                    .instrumented(instrument)
+                    .run(
+                        stop,
+                        |node: &ArbNode| node.learned_message().is_some(),
+                        |sim, round| {
+                            if completion.is_none()
+                                && sim
+                                    .nodes()
+                                    .iter()
+                                    .all(|n| n.learned_message() == Some(message))
+                            {
+                                completion = Some(round);
+                            }
+                            if common_knowledge.is_none()
+                                && sim.nodes().iter().all(ArbNode::knows_completion)
+                            {
+                                common_knowledge = Some(round);
+                            }
+                            completion.is_some() && common_knowledge.is_some()
+                        },
+                    );
+                counters = run.counters;
                 // B_arb relays µ inside several message kinds, so informed
                 // rounds come from node state rather than a payload pattern
                 // (the legacy runner did not report them at all).
@@ -1055,11 +1234,12 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     SlottedNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record).run(
-                    stop,
-                    SlottedNode::is_informed,
-                    |sim, _| sim.nodes().iter().all(SlottedNode::is_informed),
-                );
+                let run = Execution::new(self, nodes, record, !record)
+                    .instrumented(instrument)
+                    .run(stop, SlottedNode::is_informed, |sim, _| {
+                        sim.nodes().iter().all(SlottedNode::is_informed)
+                    });
+                counters = run.counters;
                 run.fill(&mut report, record, |_| true);
                 report.completion_round = verify::completion_round(&report.informed_rounds);
                 if want_shape {
@@ -1070,11 +1250,10 @@ impl Session {
                 let nodes = clone_or_rebuild(template, source, message, prepared.spec, || {
                     DelayRelayNode::network(labeling, source, message)
                 });
-                let run = Execution::new(self, nodes, record, !record).run(
-                    stop,
-                    DelayRelayNode::is_informed,
-                    |_, _| false,
-                );
+                let run = Execution::new(self, nodes, record, !record)
+                    .instrumented(instrument)
+                    .run(stop, DelayRelayNode::is_informed, |_, _| false);
+                counters = run.counters;
                 run.fill(&mut report, record, |m| matches!(m, BMessage::Data(_)));
                 report.completion_round = verify::completion_round(&report.informed_rounds);
                 if want_shape {
@@ -1096,11 +1275,12 @@ impl Session {
                     prepared.spec,
                     || MultiNode::network(mscheme, &multi_payloads(message, mscheme.k())),
                 );
-                shape = self.run_bundle_protocol(
+                (shape, counters) = self.run_bundle_protocol(
                     &mut report,
                     stop,
                     record,
                     want_shape,
+                    instrument,
                     nodes,
                     mscheme.sources().to_vec(),
                     MultiNode::has_message,
@@ -1118,11 +1298,12 @@ impl Session {
                     prepared.spec,
                     || GossipNode::network(gscheme, &multi_payloads(message, gscheme.k())),
                 );
-                shape = self.run_bundle_protocol(
+                (shape, counters) = self.run_bundle_protocol(
                     &mut report,
                     stop,
                     record,
                     want_shape,
+                    instrument,
                     nodes,
                     self.sources.clone(),
                     GossipNode::has_message,
@@ -1131,6 +1312,22 @@ impl Session {
             }
         }
         self.fill_robustness(&mut report);
+        if let Some(m) = metrics {
+            if let Some(timer) = round_timer {
+                m.spans.push(timer.stop());
+            }
+            // The "verify" phase: cross-check the deterministic counters
+            // against the trace-derived statistics when both exist. The
+            // check never alters the report — it only certifies that the
+            // per-round counters and the trace walk agree field for field.
+            let verify_timer = SpanTimer::start("verify");
+            m.counters = counters;
+            m.counters_match_trace = match counters {
+                Some(c) if record => Some(ExecutionStats::from_counters(&c) == report.stats),
+                _ => None,
+            };
+            m.spans.push(verify_timer.stop());
+        }
         (report, shape)
     }
 
@@ -1175,11 +1372,12 @@ impl Session {
         stop: StopCondition,
         record: bool,
         want_shape: bool,
+        instrument: bool,
         nodes: Vec<N>,
         sources: Vec<NodeId>,
         has_message: impl Fn(&N, usize) -> bool,
         holds_all: impl Fn(&N) -> bool + Copy,
-    ) -> Option<TraceShape> {
+    ) -> (Option<TraceShape>, Option<RunCounters>) {
         let k = sources.len();
         report.source = sources[0];
         report.sources = sources.clone();
@@ -1189,19 +1387,21 @@ impl Session {
         let mut msg_completion: Vec<Option<u64>> = (0..k)
             .map(|j| nodes.iter().all(|nd| has_message(nd, j)).then_some(0))
             .collect();
-        let run = Execution::new(self, nodes, record, true).run(stop, holds_all, |sim, round| {
-            let mut all_complete = true;
-            for (j, slot) in msg_completion.iter_mut().enumerate() {
-                if slot.is_none() {
-                    if sim.nodes().iter().all(|nd| has_message(nd, j)) {
-                        *slot = Some(round);
-                    } else {
-                        all_complete = false;
+        let run = Execution::new(self, nodes, record, true)
+            .instrumented(instrument)
+            .run(stop, holds_all, |sim, round| {
+                let mut all_complete = true;
+                for (j, slot) in msg_completion.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        if sim.nodes().iter().all(|nd| has_message(nd, j)) {
+                            *slot = Some(round);
+                        } else {
+                            all_complete = false;
+                        }
                     }
                 }
-            }
-            all_complete
-        });
+                all_complete
+            });
         // "Informed" for a multi-message run means holding all k messages,
         // which no payload pattern in the trace captures (relays, tokens,
         // bundles and overhearing all contribute), so the rounds come from
@@ -1209,7 +1409,7 @@ impl Session {
         run.fill_from_nodes(report);
         report.completion_round = verify::completion_round(&report.informed_rounds);
         report.message_completion_rounds = Some(sources.into_iter().zip(msg_completion).collect());
-        want_shape.then(|| run.sim.trace().shape())
+        (want_shape.then(|| run.sim.trace().shape()), run.counters)
     }
 }
 
@@ -1283,6 +1483,16 @@ fn multi_payloads(message: SourceMessage, k: usize) -> Vec<SourceMessage> {
     (0..k as u64).map(|j| message.wrapping_add(j)).collect()
 }
 
+/// Times `f` under `name`, appending the span to `spans` — the phase-span
+/// bookkeeping of [`prepare`] (and, through it, of the session's
+/// [`RunMetrics`] output).
+fn timed<T>(spans: &mut Vec<SpanRecord>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let timer = SpanTimer::start(name);
+    let out = f();
+    spans.push(timer.stop());
+    out
+}
+
 fn prepare(
     scheme: Scheme,
     graph: &Graph,
@@ -1290,61 +1500,90 @@ fn prepare(
     sources: &[NodeId],
     coordinator: NodeId,
     message: SourceMessage,
+    spans: &mut Vec<SpanRecord>,
 ) -> Result<Prepared, LabelingError> {
+    const CONSTRUCT: &str = "labeling_construction";
+    const TEMPLATE: &str = "template_build";
     let kind = match scheme {
         Scheme::Lambda => {
-            let labeling = lambda::construct(graph, source)?.into_labeling();
-            let template = BNode::network(&labeling, source, message);
+            let labeling =
+                timed(spans, CONSTRUCT, || lambda::construct(graph, source))?.into_labeling();
+            let template = timed(spans, TEMPLATE, || {
+                BNode::network(&labeling, source, message)
+            });
             PreparedKind::AlgoB { labeling, template }
         }
         Scheme::LambdaAck => {
-            let labeling = lambda_ack::construct(graph, source)?.into_labeling();
-            let template = BackNode::network(&labeling, source, message);
+            let labeling =
+                timed(spans, CONSTRUCT, || lambda_ack::construct(graph, source))?.into_labeling();
+            let template = timed(spans, TEMPLATE, || {
+                BackNode::network(&labeling, source, message)
+            });
             PreparedKind::AlgoBack { labeling, template }
         }
         Scheme::LambdaArb => {
-            let labeling = lambda_arb::construct_with_coordinator(
-                graph,
-                coordinator,
-                rn_graph::algorithms::ReductionOrder::Forward,
-            )?
+            let labeling = timed(spans, CONSTRUCT, || {
+                lambda_arb::construct_with_coordinator(
+                    graph,
+                    coordinator,
+                    rn_graph::algorithms::ReductionOrder::Forward,
+                )
+            })?
             .into_labeling();
-            let template = ArbNode::network(&labeling, source, message);
+            let template = timed(spans, TEMPLATE, || {
+                ArbNode::network(&labeling, source, message)
+            });
             PreparedKind::AlgoBarb { labeling, template }
         }
         Scheme::OneBitCycle => {
-            let labeling = onebit::cycle_onebit(graph, source)?;
-            let template = DelayRelayNode::network(&labeling, source, message);
+            let labeling = timed(spans, CONSTRUCT, || onebit::cycle_onebit(graph, source))?;
+            let template = timed(spans, TEMPLATE, || {
+                DelayRelayNode::network(&labeling, source, message)
+            });
             PreparedKind::DelayRelay { labeling, template }
         }
         Scheme::OneBitGrid { rows, cols } => {
-            let labeling = onebit::grid_onebit(graph, rows, cols, source)?;
-            let template = DelayRelayNode::network(&labeling, source, message);
+            let labeling = timed(spans, CONSTRUCT, || {
+                onebit::grid_onebit(graph, rows, cols, source)
+            })?;
+            let template = timed(spans, TEMPLATE, || {
+                DelayRelayNode::network(&labeling, source, message)
+            });
             PreparedKind::DelayRelay { labeling, template }
         }
         Scheme::UniqueIds => {
-            let labeling = baselines::unique_ids(graph)?;
-            let template = SlottedNode::network(&labeling, source, message);
+            let labeling = timed(spans, CONSTRUCT, || baselines::unique_ids(graph))?;
+            let template = timed(spans, TEMPLATE, || {
+                SlottedNode::network(&labeling, source, message)
+            });
             PreparedKind::Slotted { labeling, template }
         }
         Scheme::SquareColoring => {
-            let (labeling, _) = baselines::square_coloring(graph)?;
-            let template = SlottedNode::network(&labeling, source, message);
+            let (labeling, _) = timed(spans, CONSTRUCT, || baselines::square_coloring(graph))?;
+            let template = timed(spans, TEMPLATE, || {
+                SlottedNode::network(&labeling, source, message)
+            });
             PreparedKind::Slotted { labeling, template }
         }
         Scheme::MultiLambda { .. } => {
-            let mscheme = multi::construct_with_coordinator(graph, sources, coordinator)?;
-            let payloads = multi_payloads(message, mscheme.k());
-            let template = MultiNode::network(&mscheme, &payloads);
+            let mscheme = timed(spans, CONSTRUCT, || {
+                multi::construct_with_coordinator(graph, sources, coordinator)
+            })?;
+            let template = timed(spans, TEMPLATE, || {
+                MultiNode::network(&mscheme, &multi_payloads(message, mscheme.k()))
+            });
             PreparedKind::Multi {
                 scheme: mscheme,
                 template,
             }
         }
         Scheme::Gossip => {
-            let gscheme = gossip::construct_with_coordinator(graph, coordinator)?;
-            let payloads = multi_payloads(message, gscheme.k());
-            let template = GossipNode::network(&gscheme, &payloads);
+            let gscheme = timed(spans, CONSTRUCT, || {
+                gossip::construct_with_coordinator(graph, coordinator)
+            })?;
+            let template = timed(spans, TEMPLATE, || {
+                GossipNode::network(&gscheme, &multi_payloads(message, gscheme.k()))
+            });
             PreparedKind::Gossip {
                 scheme: gscheme,
                 template,
@@ -1386,6 +1625,10 @@ struct Execution<'g, N: RadioNode> {
     /// pattern (B_arb) — skipping it keeps the O(n)-per-round scan off the
     /// default hot path.
     track_online: bool,
+    /// Whether to install a [`CounterSink`] on the simulator. Off (the
+    /// default) for every plain run, so the engines' hot paths never pay
+    /// for metric assembly; [`Session::run_instrumented`] turns it on.
+    instrument: bool,
 }
 
 /// A finished simulation, ready to fill a [`RunReport`].
@@ -1393,6 +1636,9 @@ struct Finished<N: RadioNode> {
     sim: Simulator<N>,
     online_informed: Vec<Option<u64>>,
     rounds_executed: u64,
+    /// The aggregated deterministic counters, when the execution was
+    /// instrumented with a [`CounterSink`].
+    counters: Option<RunCounters>,
 }
 
 impl<'g, N: RadioNode> Execution<'g, N> {
@@ -1402,7 +1648,14 @@ impl<'g, N: RadioNode> Execution<'g, N> {
             nodes,
             record,
             track_online,
+            instrument: false,
         }
+    }
+
+    /// Installs (or skips) the metrics sink for this execution.
+    fn instrumented(mut self, instrument: bool) -> Self {
+        self.instrument = instrument;
+        self
     }
 
     /// Runs to the stop condition. After every round, `informed` marks newly
@@ -1419,13 +1672,14 @@ impl<'g, N: RadioNode> Execution<'g, N> {
         informed: impl Fn(&N) -> bool,
         mut observe: impl FnMut(&Simulator<N>, u64) -> bool,
     ) -> Finished<N> {
-        let scratch = self
+        let pooled = self
             .session
             .scratch_pool
             .lock()
             .expect("scratch pool not poisoned")
-            .pop()
-            .unwrap_or_default();
+            .pop();
+        let scratch_reused = pooled.is_some();
+        let scratch = pooled.unwrap_or_default();
         // Nodes that are informed before round 1 — the source(s) holding
         // their message(s) from the start — get round 0, exactly as the
         // trace-based accounting credits the source.
@@ -1444,6 +1698,11 @@ impl<'g, N: RadioNode> Execution<'g, N> {
         if !self.record {
             sim = sim.without_trace();
         }
+        if self.instrument {
+            let mut sink = CounterSink::new();
+            sink.on_scratch(scratch_reused);
+            sim = sim.with_metrics(Box::new(sink));
+        }
         let track = self.track_online;
         let outcome = sim.run_until(stop, |s| {
             let round = s.current_round();
@@ -1461,10 +1720,12 @@ impl<'g, N: RadioNode> Execution<'g, N> {
             .lock()
             .expect("scratch pool not poisoned")
             .push(sim.take_scratch());
+        let counters = sim.metrics_counters();
         Finished {
             sim,
             online_informed: online,
             rounds_executed: outcome.rounds_executed,
+            counters,
         }
     }
 }
@@ -1485,10 +1746,7 @@ impl<N: RadioNode> Finished<N> {
             report.stats = ExecutionStats::from_trace(self.sim.trace());
         } else {
             report.informed_rounds = self.online_informed.clone();
-            report.stats = ExecutionStats {
-                rounds: self.rounds_executed,
-                ..ExecutionStats::default()
-            };
+            report.stats = self.traceless_stats();
         }
         report.rounds_executed = self.rounds_executed;
     }
@@ -1498,14 +1756,25 @@ impl<N: RadioNode> Finished<N> {
     fn fill_from_nodes(&self, report: &mut RunReport) {
         report.informed_rounds = self.online_informed.clone();
         if self.sim.trace().is_empty() {
-            report.stats = ExecutionStats {
-                rounds: self.rounds_executed,
-                ..ExecutionStats::default()
-            };
+            report.stats = self.traceless_stats();
         } else {
             report.stats = ExecutionStats::from_trace(self.sim.trace());
         }
         report.rounds_executed = self.rounds_executed;
+    }
+
+    /// Statistics for a run executed without a trace: the full counter-backed
+    /// set when the run was instrumented (the counters are a byte-exact
+    /// substitute for the trace walk), a bare round count otherwise —
+    /// exactly what trace-off runs have always reported.
+    fn traceless_stats(&self) -> ExecutionStats {
+        match &self.counters {
+            Some(c) => ExecutionStats::from_counters(c),
+            None => ExecutionStats {
+                rounds: self.rounds_executed,
+                ..ExecutionStats::default()
+            },
+        }
     }
 }
 
@@ -1513,6 +1782,131 @@ impl<N: RadioNode> Finished<N> {
 mod tests {
     use super::*;
     use rn_graph::generators;
+
+    #[test]
+    fn instrumented_runs_report_identically_and_counters_match_trace() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 5).unwrap());
+        for scheme in Scheme::GENERAL {
+            let session = Session::builder(scheme, Arc::clone(&g)).build().unwrap();
+            let plain = session.run();
+            let (report, metrics) = session.run_instrumented();
+            assert_eq!(report, plain, "{}", scheme.name());
+            let counters = metrics.counters.expect("sink installed");
+            assert_eq!(
+                ExecutionStats::from_counters(&counters),
+                report.stats,
+                "{}",
+                scheme.name()
+            );
+            assert_eq!(
+                metrics.counters_match_trace,
+                Some(true),
+                "{}",
+                scheme.name()
+            );
+            for phase in [
+                "plan_build",
+                "labeling_construction",
+                "template_build",
+                "round_loop",
+                "verify",
+            ] {
+                assert!(
+                    metrics.span_nanos(phase).is_some(),
+                    "{}: missing {phase} span",
+                    scheme.name()
+                );
+            }
+            assert!(metrics.peak_rss_kb > 0);
+        }
+    }
+
+    #[test]
+    fn traceless_instrumented_runs_carry_full_counter_backed_stats() {
+        let g = Arc::new(generators::grid(4, 5));
+        for engine in [
+            Engine::ListenerCentric,
+            Engine::TransmitterCentric,
+            Engine::EventDriven,
+        ] {
+            // Run-to-cap leaves a long quiet tail after completion, which
+            // the event engine elides with tracing off — so the stats
+            // comparison below also pins elided-span accounting against the
+            // trace walk of the recorded run.
+            let build = |trace: TracePolicy| {
+                Session::builder(Scheme::Lambda, Arc::clone(&g))
+                    .engine(engine)
+                    .trace(trace)
+                    .stop(StopPolicy::RunToCap)
+                    .build()
+                    .unwrap()
+            };
+            let (recorded, _) = build(TracePolicy::Recorded).run_instrumented();
+            let (traceless, metrics) = build(TracePolicy::Disabled).run_instrumented();
+            // With a sink installed, a trace-off run recovers the full
+            // statistics from the counters instead of a bare round count.
+            assert_eq!(traceless.stats, recorded.stats, "{engine:?}");
+            // No trace, no cross-check.
+            assert_eq!(metrics.counters_match_trace, None, "{engine:?}");
+            let counters = metrics.counters.expect("sink installed");
+            if engine == Engine::EventDriven {
+                assert!(
+                    counters.elided_rounds > 0,
+                    "event engine should elide the quiet tail with tracing off"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_instrumented_mirrors_run_with_on_both_paths() {
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 5).unwrap());
+        // Cached path (session's own source) and relabel path (λ is
+        // source-dependent, so a different source rebuilds the labeling).
+        let session = Session::builder(Scheme::Lambda, Arc::clone(&g))
+            .build()
+            .unwrap();
+        for source in [0usize, 3] {
+            let spec = RunSpec::new(source, 7);
+            let plain = session.run_with(spec).unwrap();
+            let (report, metrics) = session.run_with_instrumented(spec).unwrap();
+            assert_eq!(report, plain, "source {source}");
+            let counters = metrics.counters.expect("sink installed");
+            assert_eq!(
+                ExecutionStats::from_counters(&counters),
+                report.stats,
+                "source {source}"
+            );
+            for phase in [
+                "labeling_construction",
+                "template_build",
+                "round_loop",
+                "verify",
+            ] {
+                assert!(
+                    metrics.span_nanos(phase).is_some(),
+                    "source {source}: missing {phase} span"
+                );
+            }
+        }
+        assert!(session.run_with_instrumented(RunSpec::new(99, 7)).is_err());
+    }
+
+    #[test]
+    fn run_report_display_summarizes_the_run() {
+        let g = generators::grid(4, 5);
+        let session = Session::builder(Scheme::Lambda, g).build().unwrap();
+        let r = session.run();
+        let text = r.to_string();
+        assert!(text.contains("lambda"), "{text}");
+        assert!(text.contains("20 nodes"), "{text}");
+        assert!(
+            text.contains(&format!("the paper's {}-round bound", 2 * 20 - 3)),
+            "{text}"
+        );
+        assert!(text.contains("Delivery rate 100.0%"), "{text}");
+        assert!(text.contains("0 fault events injected"), "{text}");
+    }
 
     #[test]
     fn fault_free_reports_carry_trivial_robustness_columns() {

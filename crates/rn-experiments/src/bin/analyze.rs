@@ -440,6 +440,7 @@ fn main() {
         schemes.len(),
         args.seed
     );
+    let started = std::time::Instant::now();
     let mut points = Vec::new();
     for family in TopologyFamily::PRESETS {
         for &n in &args.sizes {
@@ -512,6 +513,17 @@ fn main() {
         }
         eprintln!("wrote {path}");
     }
+
+    // A timing summary on stderr — the JSON report and exit status carry
+    // only deterministic content, so CI can keep diffing them.
+    let elapsed = started.elapsed();
+    eprintln!(
+        "analyzed {} points in {:.2}s ({:.1} points/s, peak RSS {} kB)",
+        points.len(),
+        elapsed.as_secs_f64(),
+        points.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        rn_telemetry::peak_rss_kb()
+    );
 
     let failed = points.iter().filter(|p| !p.ok).count();
     if failed > 0 {

@@ -237,11 +237,23 @@ fn main() {
         args.config.schemes.len()
     );
 
+    let started = std::time::Instant::now();
     let report = match args.mode {
         Mode::Check => run_check(&args.config),
         Mode::InjectCorrupt => run_corrupt_injection(&args.config),
         Mode::InjectOverpromise => run_overpromise_injection(&args.config),
     };
+    // Timing goes to stderr only: stdout, the JSON report, and the exit
+    // status stay deterministic for CI.
+    let elapsed = started.elapsed();
+    eprintln!(
+        "checked {} points over {} graphs in {:.2}s ({:.0} points/s, peak RSS {} kB)",
+        report.points_checked,
+        report.graphs_checked,
+        elapsed.as_secs_f64(),
+        report.points_checked as f64 / elapsed.as_secs_f64().max(1e-9),
+        rn_telemetry::peak_rss_kb()
+    );
 
     println!(
         "{} graphs, {} points; wake-hint audit: {} states checked, {} hints replayed \

@@ -14,20 +14,25 @@
 //! sweep smoke --faults               # add the default fault presets as an axis
 //! sweep smoke --faults crash:20,jam:2  # or a custom preset list
 //! sweep smoke --engine event-driven  # run on an alternative delivery engine
+//! sweep smoke --metrics sweep.jsonl  # stream per-run telemetry to a JSONL sidecar
 //! ```
 //!
 //! Reports are deterministic: the same sweep name and code version produce
-//! byte-identical JSON/CSV, regardless of `--threads`.
+//! byte-identical JSON/CSV, regardless of `--threads` — and regardless of
+//! `--metrics`, which only observes the runs (wall-clock timings, phase
+//! spans, and progress go to the sidecar and stderr, never into a report).
 
 use rn_experiments::emit;
 use rn_experiments::faults::FaultSpec;
 use rn_experiments::scenario::{self, SweepSpec};
+use rn_experiments::telemetry::SweepTelemetry;
 use rn_radio::Engine;
 
 struct Args {
     name: Option<String>,
     json: Option<String>,
     csv: Option<String>,
+    metrics: Option<String>,
     quick: bool,
     threads: Option<usize>,
     verify_static: bool,
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         name: None,
         json: None,
         csv: None,
+        metrics: None,
         quick: false,
         threads: None,
         verify_static: false,
@@ -95,6 +101,9 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 args.csv = Some(it.next().ok_or("--csv requires a path")?);
             }
+            "--metrics" => {
+                args.metrics = Some(it.next().ok_or("--metrics requires a path")?);
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads requires a count")?;
                 args.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
@@ -124,13 +133,16 @@ fn print_help() {
         "sweep — run a named topology/scheme sweep\n\
          \n\
          USAGE:\n\
-         \tsweep <name> [--json PATH] [--csv PATH] [--quick] [--threads N] [--verify-static]\n\
-         \t             [--faults [LIST]] [--engine NAME]\n\
+         \tsweep <name> [--json PATH] [--csv PATH] [--metrics PATH] [--quick] [--threads N]\n\
+         \t             [--verify-static] [--faults [LIST]] [--engine NAME]\n\
          \tsweep --list\n\
          \n\
          OPTIONS:\n\
          \t--json PATH   write the full report (spec, records, histograms, summary) as JSON\n\
          \t--csv PATH    write the per-run records as CSV\n\
+         \t--metrics PATH  stream JSONL telemetry (per-run counters, phase spans, job progress,\n\
+         \t              ETA) to PATH while the sweep runs, with a live progress line on stderr;\n\
+         \t              reports stay byte-identical with or without this flag\n\
          \t--quick       shrink sizes and seeds for a fast smoke pass\n\
          \t--threads N   worker threads (default: one per core, capped; RN_THREADS overrides)\n\
          \t--verify-static  statically certify every point (rn-analyze) before trusting its run;\n\
@@ -196,7 +208,17 @@ fn main() {
         spec.faults.len(),
         spec.run_count()
     );
-    let report = match spec.run() {
+    let telemetry = match args.metrics.as_deref() {
+        Some(path) => match SweepTelemetry::to_file(std::path::Path::new(path)) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("error: creating {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    let report = match spec.run_with_telemetry(telemetry.as_ref()) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
@@ -204,6 +226,9 @@ fn main() {
         }
     };
     println!("{}", report.summary_table());
+    if let Some(path) = &args.metrics {
+        eprintln!("wrote {path}");
+    }
     if spec.verify_static {
         let certified = report
             .records

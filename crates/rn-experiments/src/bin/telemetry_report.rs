@@ -1,0 +1,425 @@
+//! `telemetry-report` — render a sweep's JSONL telemetry sidecar as
+//! human-readable tables, optionally export the aggregated counters in
+//! Prometheus exposition format, and guard the bench baseline against
+//! throughput regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! telemetry-report sweep.jsonl              # per-phase / per-engine breakdown
+//! telemetry-report sweep.jsonl --prometheus # also print Prometheus metrics
+//! telemetry-report --bench-guard BENCH_simulator_quick.json fresh.json
+//! telemetry-report --bench-guard old.json new.json --threshold 30
+//! ```
+//!
+//! The sidecar parser is hand-rolled (the build pins serde to an inert
+//! shim) and tolerant: unknown events and malformed lines are counted and
+//! skipped, so a sidecar truncated by a crash still reports everything it
+//! captured.
+//!
+//! `--bench-guard` compares two `BENCH_simulator*.json` files workload by
+//! workload: for each workload present in both files at the same `n`, the
+//! three per-engine `*_rounds_per_sec` rates must not regress by more than
+//! the threshold (default 25%). Exit `1` on regression, `2` on unusable
+//! inputs, `0` otherwise.
+
+use rn_experiments::Table;
+use rn_telemetry::{render_prometheus, RunCounters};
+
+/// The value substring starting right after `"key":` (plus optional
+/// whitespace), or `None` if the key does not occur in the text.
+fn find_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = text.find(&tag)? + tag.len();
+    Some(text[at..].trim_start())
+}
+
+fn extract_u64(text: &str, key: &str) -> Option<u64> {
+    let digits: String = find_value(text, key)?
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn extract_f64(text: &str, key: &str) -> Option<f64> {
+    let num: String = find_value(text, key)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn extract_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    find_value(text, key)?.strip_prefix('"')?.split('"').next()
+}
+
+/// The body of the flat object under `key` (no nested braces inside — true
+/// for the sidecar's `counters` and `spans` payloads).
+fn extract_obj<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    find_value(text, key)?.strip_prefix('{')?.split('}').next()
+}
+
+/// Everything the report renders, accumulated in one pass over the sidecar.
+#[derive(Default)]
+struct Accumulated {
+    sweeps: Vec<String>,
+    points: u64,
+    jobs_finished: u64,
+    skipped_lines: u64,
+    /// Total wall nanos per (engine, phase), in first-seen order.
+    phase_nanos: Vec<(String, String, u64)>,
+    /// Deterministic counters aggregated over every instrumented point:
+    /// totals are summed, high-water marks keep the maximum.
+    counters: RunCounters,
+    saw_counters: bool,
+    peak_rss_kb: u64,
+    total_elapsed_ms: u64,
+}
+
+impl Accumulated {
+    fn add_phase(&mut self, engine: &str, phase: &str, nanos: u64) {
+        if let Some(row) = self
+            .phase_nanos
+            .iter_mut()
+            .find(|(e, p, _)| e == engine && p == phase)
+        {
+            row.2 += nanos;
+        } else {
+            self.phase_nanos
+                .push((engine.to_string(), phase.to_string(), nanos));
+        }
+    }
+
+    fn add_counters(&mut self, obj: &str) {
+        let take = |key: &str, maximum: bool, slot: &mut u64| {
+            if let Some(v) = extract_u64(obj, key) {
+                if maximum {
+                    *slot = (*slot).max(v);
+                } else {
+                    *slot += v;
+                }
+            }
+        };
+        take("rounds", false, &mut self.counters.rounds);
+        take("transmitters", false, &mut self.counters.transmitters);
+        take("transmissions", false, &mut self.counters.transmissions);
+        take("deliveries", false, &mut self.counters.deliveries);
+        take("collisions", false, &mut self.counters.collisions);
+        take("rx_faults", false, &mut self.counters.rx_faults);
+        take("silent_rounds", false, &mut self.counters.silent_rounds);
+        take(
+            "max_transmitters_per_round",
+            true,
+            &mut self.counters.max_transmitters_per_round,
+        );
+        take("total_bits", false, &mut self.counters.total_bits);
+        take(
+            "max_message_bits",
+            true,
+            &mut self.counters.max_message_bits,
+        );
+        take("frontier_peak", true, &mut self.counters.frontier_peak);
+        take("elided_rounds", false, &mut self.counters.elided_rounds);
+        take("elided_spans", false, &mut self.counters.elided_spans);
+        take("scratch_reused", false, &mut self.counters.scratch_reused);
+        take("scratch_fresh", false, &mut self.counters.scratch_fresh);
+        self.saw_counters = true;
+    }
+}
+
+fn accumulate(text: &str) -> Accumulated {
+    let mut acc = Accumulated::default();
+    let mut engine = "unknown".to_string();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(event) = extract_str(line, "event") else {
+            acc.skipped_lines += 1;
+            continue;
+        };
+        match event {
+            "sweep_start" => {
+                if let Some(name) = extract_str(line, "sweep") {
+                    acc.sweeps.push(name.to_string());
+                }
+                if let Some(e) = extract_str(line, "engine") {
+                    engine = e.to_string();
+                }
+            }
+            "point" => {
+                acc.points += 1;
+                if let Some(obj) = extract_obj(line, "counters") {
+                    acc.add_counters(obj);
+                }
+                if let Some(spans) = extract_obj(line, "spans") {
+                    for entry in spans.split(',') {
+                        let name = entry
+                            .trim()
+                            .strip_prefix('"')
+                            .and_then(|rest| rest.split('"').next());
+                        let nanos = entry.rsplit(':').next().and_then(|v| v.trim().parse().ok());
+                        if let (Some(name), Some(nanos)) = (name, nanos) {
+                            acc.add_phase(&engine, name, nanos);
+                        }
+                    }
+                }
+                if let Some(rss) = extract_u64(line, "peak_rss_kb") {
+                    acc.peak_rss_kb = acc.peak_rss_kb.max(rss);
+                }
+            }
+            "job_finish" => {
+                acc.jobs_finished += 1;
+                if let Some(ms) = extract_u64(line, "elapsed_ms") {
+                    acc.total_elapsed_ms = acc.total_elapsed_ms.max(ms);
+                }
+            }
+            "sweep_finish" => {
+                if let Some(ms) = extract_u64(line, "elapsed_ms") {
+                    acc.total_elapsed_ms = acc.total_elapsed_ms.max(ms);
+                }
+            }
+            // job_start and future event kinds carry nothing to aggregate.
+            _ => {}
+        }
+    }
+    acc
+}
+
+fn render_report(acc: &Accumulated, prometheus: bool) {
+    println!(
+        "telemetry: {} sweep(s) [{}], {} points over {} finished jobs, {:.2}s wall, peak RSS {} kB",
+        acc.sweeps.len(),
+        acc.sweeps.join(", "),
+        acc.points,
+        acc.jobs_finished,
+        acc.total_elapsed_ms as f64 / 1000.0,
+        acc.peak_rss_kb
+    );
+    if acc.skipped_lines > 0 {
+        println!("note: skipped {} unparseable line(s)", acc.skipped_lines);
+    }
+
+    let total_nanos: u64 = acc.phase_nanos.iter().map(|(_, _, n)| n).sum();
+    let mut phases = Table::new(
+        "phase breakdown (wall time across all instrumented runs)",
+        &["engine", "phase", "total ms", "share"],
+    );
+    for (engine, phase, nanos) in &acc.phase_nanos {
+        phases.push_row(vec![
+            engine.clone(),
+            phase.clone(),
+            format!("{:.3}", *nanos as f64 / 1e6),
+            format!("{:.1}%", *nanos as f64 * 100.0 / total_nanos.max(1) as f64),
+        ]);
+    }
+    println!("{}", phases.render());
+
+    if acc.saw_counters {
+        let c = &acc.counters;
+        let mut t = Table::new(
+            "aggregated run counters (deterministic)",
+            &["metric", "value"],
+        );
+        for (name, value) in [
+            ("rounds", c.rounds),
+            ("transmissions", c.transmissions),
+            ("deliveries", c.deliveries),
+            ("collisions", c.collisions),
+            ("rx_faults", c.rx_faults),
+            ("silent_rounds", c.silent_rounds),
+            ("total_bits", c.total_bits),
+            ("max_transmitters_per_round", c.max_transmitters_per_round),
+            ("frontier_peak", c.frontier_peak),
+            ("elided_rounds", c.elided_rounds),
+            ("elided_spans", c.elided_spans),
+            ("scratch_reused", c.scratch_reused),
+            ("scratch_fresh", c.scratch_fresh),
+        ] {
+            t.push_row(vec![name.to_string(), value.to_string()]);
+        }
+        println!("{}", t.render());
+        if prometheus {
+            let labels: Vec<(&str, &str)> = acc
+                .sweeps
+                .first()
+                .map(|s| vec![("sweep", s.as_str())])
+                .unwrap_or_default();
+            print!("{}", render_prometheus(c, &labels));
+        }
+    } else {
+        println!("no counters in the sidecar (runs were not instrumented)");
+    }
+}
+
+/// One workload row of a `BENCH_simulator*.json` file.
+struct BenchWorkload {
+    name: String,
+    n: u64,
+    rates: Vec<(&'static str, f64)>,
+}
+
+const RATE_KEYS: [&str; 3] = [
+    "transmitter_centric_rounds_per_sec",
+    "listener_centric_rounds_per_sec",
+    "event_driven_rounds_per_sec",
+];
+
+fn parse_bench(path: &str) -> Result<Vec<BenchWorkload>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (at, _) in text.match_indices("{\"workload\"") {
+        let obj = text[at..]
+            .split('}')
+            .next()
+            .ok_or_else(|| format!("{path}: unterminated workload object"))?;
+        let name = extract_str(obj, "workload")
+            .ok_or_else(|| format!("{path}: workload without a name"))?;
+        let n = extract_u64(obj, "n").ok_or_else(|| format!("{path}: {name} has no n"))?;
+        let mut rates = Vec::new();
+        for key in RATE_KEYS {
+            rates.push((
+                key,
+                extract_f64(obj, key).ok_or_else(|| format!("{path}: {name} has no {key}"))?,
+            ));
+        }
+        out.push(BenchWorkload {
+            name: name.to_string(),
+            n,
+            rates,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no workload objects found"));
+    }
+    Ok(out)
+}
+
+fn run_bench_guard(committed: &str, fresh: &str, threshold: f64) -> i32 {
+    let (baseline, current) = match (parse_bench(committed), parse_bench(fresh)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut table = Table::new(
+        format!("bench guard: {committed} vs {fresh} (threshold {threshold:.0}%)"),
+        &["workload", "engine", "baseline r/s", "fresh r/s", "delta"],
+    );
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|w| w.name == base.name) else {
+            eprintln!(
+                "note: workload {:?} missing from {fresh}, skipped",
+                base.name
+            );
+            continue;
+        };
+        if cur.n != base.n {
+            eprintln!(
+                "note: workload {:?} ran at n = {} vs baseline n = {}, skipped",
+                base.name, cur.n, base.n
+            );
+            continue;
+        }
+        for ((key, was), (_, now)) in base.rates.iter().zip(&cur.rates) {
+            compared += 1;
+            let delta = (now / was - 1.0) * 100.0;
+            let engine = key.trim_end_matches("_rounds_per_sec");
+            let regressed = delta < -threshold;
+            if regressed {
+                regressions += 1;
+            }
+            table.push_row(vec![
+                base.name.clone(),
+                engine.to_string(),
+                format!("{was:.0}"),
+                format!("{now:.0}"),
+                format!(
+                    "{delta:+.1}%{}",
+                    if regressed { "  REGRESSION" } else { "" }
+                ),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if compared == 0 {
+        eprintln!("error: no comparable workloads between the two files");
+        return 2;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench guard FAILED: {regressions}/{compared} engine rates regressed more than \
+             {threshold:.0}%"
+        );
+        return 1;
+    }
+    println!(
+        "bench guard passed: no engine rate regressed more than {threshold:.0}% over \
+         {compared} comparisons"
+    );
+    0
+}
+
+fn print_help() {
+    println!(
+        "telemetry-report — render sweep telemetry sidecars and guard bench baselines\n\
+         \n\
+         USAGE:\n\
+         \ttelemetry-report <sidecar.jsonl> [--prometheus]\n\
+         \ttelemetry-report --bench-guard <committed.json> <fresh.json> [--threshold PCT]\n\
+         \n\
+         OPTIONS:\n\
+         \t--prometheus      also print the aggregated counters in Prometheus\n\
+         \t                  exposition format\n\
+         \t--bench-guard A B compare two BENCH_simulator*.json files workload by\n\
+         \t                  workload; exit 1 if any engine's rounds/sec regressed\n\
+         \t                  beyond the threshold\n\
+         \t--threshold PCT   allowed regression percentage (default 25)"
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print_help();
+        std::process::exit(2);
+    }
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if let Some(at) = argv.iter().position(|a| a == "--bench-guard") {
+        let (Some(committed), Some(fresh)) = (argv.get(at + 1), argv.get(at + 2)) else {
+            eprintln!("error: --bench-guard requires two BENCH json paths (try --help)");
+            std::process::exit(2);
+        };
+        let threshold = match argv.iter().position(|a| a == "--threshold") {
+            Some(t) => match argv.get(t + 1).and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => v,
+                _ => {
+                    eprintln!("error: --threshold requires a non-negative percentage");
+                    std::process::exit(2);
+                }
+            },
+            None => 25.0,
+        };
+        std::process::exit(run_bench_guard(committed, fresh, threshold));
+    }
+    let prometheus = argv.iter().any(|a| a == "--prometheus");
+    let paths: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else {
+        eprintln!("error: exactly one sidecar path expected (try --help)");
+        std::process::exit(2);
+    };
+    match std::fs::read_to_string(path) {
+        Ok(text) => render_report(&accumulate(&text), prometheus),
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

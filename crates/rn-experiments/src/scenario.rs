@@ -24,12 +24,14 @@
 
 use crate::faults::FaultSpec;
 use crate::stats::Summary;
+use crate::telemetry::SweepTelemetry;
 use crate::Table;
 use rn_broadcast::session::{RunReport, RunSpec, Scheme, Session, TracePolicy};
 use rn_graph::generators::TopologyFamily;
 use rn_graph::GraphError;
 use rn_labeling::LabelingError;
 use rn_radio::Engine;
+use rn_telemetry::RunMetrics;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -237,6 +239,27 @@ impl SweepSpec {
     /// that is a spec bug (e.g. a scheme restricted to cycles inside a
     /// general sweep), not a measurement.
     pub fn run(&self) -> Result<SweepReport, SweepError> {
+        self.run_with_telemetry(None)
+    }
+
+    /// Runs the sweep with an optional streaming telemetry observer.
+    ///
+    /// With `Some(telemetry)`, every job emits `job_start`/`job_finish`
+    /// events, every executed run is instrumented
+    /// ([`Session::run_with_instrumented`]) and emits a `point` event
+    /// carrying its deterministic counters and phase spans, and the sweep is
+    /// bracketed by `sweep_start`/`sweep_finish`. The records — and
+    /// therefore the JSON/CSV reports — are **byte-identical** to a plain
+    /// [`run`](Self::run): telemetry observes executions, it never alters
+    /// them (counters corroborate the trace-derived columns; timings live
+    /// only in the sidecar stream).
+    ///
+    /// # Errors
+    /// Same contract as [`run`](Self::run).
+    pub fn run_with_telemetry(
+        &self,
+        telemetry: Option<&SweepTelemetry>,
+    ) -> Result<SweepReport, SweepError> {
         let mut jobs = Vec::with_capacity(self.instance_count());
         for &family in &self.families {
             for &n in &self.sizes {
@@ -264,8 +287,14 @@ impl SweepSpec {
             self.faults.clone()
         };
         let engine = self.engine;
+        if let Some(t) = telemetry {
+            t.sweep_start(&self.name, jobs.len(), self.run_count(), engine);
+        }
         let results = rn_radio::batch::run_parallel(jobs, threads, |(family, n, seed)| {
-            run_point(
+            if let Some(t) = telemetry {
+                t.job_start(family.name(), n, seed);
+            }
+            let point = run_point(
                 family,
                 n,
                 seed,
@@ -275,7 +304,12 @@ impl SweepSpec {
                 verify,
                 engine,
                 &fault_specs,
-            )
+                telemetry,
+            );
+            if let Some(t) = telemetry {
+                t.job_finish(family.name(), n, seed);
+            }
+            point
         });
         let mut records = Vec::with_capacity(self.run_count());
         let mut histograms: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
@@ -288,6 +322,9 @@ impl SweepSpec {
                 }
             }
             records.extend(point.records);
+        }
+        if let Some(t) = telemetry {
+            t.sweep_finish(records.len());
         }
         Ok(SweepReport {
             name: self.name.clone(),
@@ -487,6 +524,35 @@ struct PointResult {
     label_lengths: Vec<(&'static str, Vec<usize>)>,
 }
 
+/// Runs every spec through the session, instrumenting each run when the
+/// sweep streams telemetry.
+///
+/// Both arms execute the specs sequentially in spec order — `run_batch`
+/// with `threads = 1` runs inline, and the instrumented loop drives
+/// [`Session::run_with_instrumented`] spec by spec — so the reports (and
+/// therefore the sweep records) are identical whether or not telemetry is
+/// attached; instrumentation only adds the per-run [`RunMetrics`] column.
+fn execute_specs(
+    session: &Session,
+    specs: &[RunSpec],
+    instrument: bool,
+) -> Result<(Vec<RunReport>, Vec<Option<RunMetrics>>), LabelingError> {
+    if instrument {
+        let mut reports = Vec::with_capacity(specs.len());
+        let mut metrics = Vec::with_capacity(specs.len());
+        for &spec in specs {
+            let (report, m) = session.run_with_instrumented(spec)?;
+            reports.push(report);
+            metrics.push(Some(m));
+        }
+        Ok((reports, metrics))
+    } else {
+        let reports = session.run_batch(specs, 1)?;
+        let metrics = reports.iter().map(|_| None).collect();
+        Ok((reports, metrics))
+    }
+}
+
 /// Generates one instance and executes every scheme on it, once per fault
 /// preset.
 #[allow(clippy::too_many_arguments)]
@@ -500,6 +566,7 @@ fn run_point(
     verify_static: bool,
     engine: Engine,
     fault_specs: &[FaultSpec],
+    telemetry: Option<&SweepTelemetry>,
 ) -> Result<PointResult, SweepError> {
     let graph = family
         .generate(n, seed)
@@ -572,14 +639,15 @@ fn run_point(
                     // The point itself is one parallel job, so the inner
                     // batch runs inline (threads = 1); parallelism lives at
                     // the instance level.
-                    let reports = session.run_batch(&specs, 1).map_err(label_err)?;
+                    let (reports, run_metrics) =
+                        execute_specs(&session, &specs, telemetry.is_some()).map_err(label_err)?;
                     // The 1-bit delay-relay schemes are outside the
                     // analyzer's scope (rn_analyze reports them
                     // Unsupported), so the preflight skips them rather than
                     // failing the sweep.
                     let in_scope =
                         !matches!(scheme, Scheme::OneBitCycle | Scheme::OneBitGrid { .. });
-                    for report in &reports {
+                    for (report, metrics) in reports.iter().zip(&run_metrics) {
                         let mut record =
                             SweepRecord::from_report(family, n, seed, &graph, report, fspec);
                         if verify_static && in_scope {
@@ -595,6 +663,9 @@ fn run_point(
                                         .join("; "),
                                 })?;
                             record.predicted_completion_round = cert.completion_round;
+                        }
+                        if let Some(t) = telemetry {
+                            t.point(&record, metrics.as_ref());
                         }
                         records.push(record);
                     }
@@ -634,13 +705,19 @@ fn run_point(
                                 .collect(),
                         ));
                     }
-                    let reports = session
-                        .run_batch(&[RunSpec::new(run_source, 7)], 1)
-                        .map_err(label_err)?;
-                    for report in &reports {
-                        records.push(SweepRecord::from_report(
-                            family, n, seed, &graph, report, fspec,
-                        ));
+                    let (reports, run_metrics) = execute_specs(
+                        &session,
+                        &[RunSpec::new(run_source, 7)],
+                        telemetry.is_some(),
+                    )
+                    .map_err(label_err)?;
+                    for (report, metrics) in reports.iter().zip(&run_metrics) {
+                        let record =
+                            SweepRecord::from_report(family, n, seed, &graph, report, fspec);
+                        if let Some(t) = telemetry {
+                            t.point(&record, metrics.as_ref());
+                        }
+                        records.push(record);
                     }
                 }
             }
@@ -1283,6 +1360,82 @@ mod tests {
             assert!(quick.seeds.len() <= 2, "{name}");
         }
         assert!(named("nope").is_none());
+    }
+
+    #[test]
+    fn telemetry_observes_runs_without_changing_the_records() {
+        // Fault-free and faulted runs both go through the instrumented
+        // path when a telemetry stream is attached; the records must stay
+        // byte-identical to an unobserved sweep, and the sidecar must
+        // carry one `point` per record whose round count matches it.
+        let spec = || tiny_spec().faults(&[FaultSpec::None, FaultSpec::Crash { percent: 25 }]);
+        let plain = spec().run().unwrap();
+        let (telemetry, buf) = SweepTelemetry::to_buffer();
+        let observed = spec().run_with_telemetry(Some(&telemetry)).unwrap();
+        assert_eq!(plain.records, observed.records);
+        assert_eq!(
+            plain.label_length_histograms,
+            observed.label_length_histograms
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let extract = |line: &str, key: &str| -> u64 {
+            let tagged = format!("\"{key}\":");
+            let at = line
+                .find(&tagged)
+                .unwrap_or_else(|| panic!("{key}: {line}"));
+            line[at + tagged.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        let points: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"point\""))
+            .collect();
+        assert_eq!(points.len(), observed.records.len());
+        for (line, record) in points.iter().zip(&observed.records) {
+            assert_eq!(extract(line, "rounds"), record.rounds_executed, "{line}");
+            assert_eq!(extract(line, "seed"), record.seed, "{line}");
+            assert!(line.contains("\"counters\":{"), "{line}");
+            assert!(line.contains("round_loop"), "{line}");
+        }
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"event\":\"job_start\""))
+                .count(),
+            spec().instance_count()
+        );
+        assert!(text
+            .lines()
+            .any(|l| l.contains("\"event\":\"sweep_finish\"")));
+    }
+
+    #[test]
+    fn telemetry_points_stream_in_record_order_even_in_parallel() {
+        let spec = || tiny_spec().threads(4);
+        let (telemetry, buf) = SweepTelemetry::to_buffer();
+        let observed = spec().run_with_telemetry(Some(&telemetry)).unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        // Workers interleave events, so point order is not guaranteed —
+        // but every record must appear exactly once, as a whole line.
+        let points: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"point\""))
+            .collect();
+        assert_eq!(points.len(), observed.records.len());
+        for record in &observed.records {
+            let needle = format!(
+                "\"family\":\"{}\",\"scheme\":\"{}\",\"n\":{},\"seed\":{}",
+                record.family, record.scheme, record.n, record.seed
+            );
+            assert_eq!(
+                points.iter().filter(|l| l.contains(&needle)).count(),
+                1,
+                "{needle}"
+            );
+        }
     }
 
     #[test]

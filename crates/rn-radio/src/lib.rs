@@ -50,3 +50,8 @@ pub use scratch::RoundScratch;
 pub use simulator::{Engine, RunOutcome, Simulator, StopCondition};
 pub use stats::ExecutionStats;
 pub use trace::{RoundRecord, ShapeEvent, ShapeRound, Trace, TraceShape};
+
+// The telemetry vocabulary the simulator speaks (`Simulator::with_metrics`
+// takes a boxed sink; `metrics_counters` returns the aggregate), re-exported
+// so downstream crates need not depend on `rn-telemetry` directly.
+pub use rn_telemetry::{CounterSink, MetricsSink, NoopSink, RoundMetrics, RunCounters};

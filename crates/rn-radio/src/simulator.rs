@@ -96,6 +96,7 @@ use crate::node::{Action, RadioNode};
 use crate::scratch::RoundScratch;
 use crate::trace::{NodeEvent, RoundRecord, Trace};
 use rn_graph::{Graph, NodeId};
+use rn_telemetry::{MetricsSink, RoundMetrics, RunCounters};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -197,10 +198,12 @@ fn wake_after(round: u64, hint: u64) -> u64 {
 /// Delivers one successful reception through the receive-side fault filter —
 /// the single copy of the Drop/Corrupt/clean logic all three engines share.
 ///
-/// Returns `(decoded, event)`: whether the node was actually handed a
-/// message (`receive(Some(_))` — the event-driven engine wakes dormant
-/// listeners exactly on this), and the trace event describing the outcome
-/// (`None` when `record` is off; the message is cloned only for the trace).
+/// Returns `(decoded, rx_faulted, event)`: whether the node was actually
+/// handed a message (`receive(Some(_))` — the event-driven engine wakes
+/// dormant listeners exactly on this), whether a receive-side fault was
+/// consumed (drop or corruption, decodable or not — the engines' `rx_faults`
+/// counter), and the trace event describing the outcome (`None` when
+/// `record` is off; the message is cloned only for the trace).
 fn deliver_with_rx_faults<N: RadioNode>(
     node: &mut N,
     v: NodeId,
@@ -208,12 +211,13 @@ fn deliver_with_rx_faults<N: RadioNode>(
     msg: &N::Msg,
     rx_window: &[(u64, NodeId, RxFault)],
     record: bool,
-) -> (bool, Option<NodeEvent<N::Msg>>) {
+) -> (bool, bool, Option<NodeEvent<N::Msg>>) {
     match CompiledFaults::rx_fault(rx_window, v) {
         Some(RxFault::Drop) => {
             node.receive(None);
             (
                 false,
+                true,
                 record.then(|| NodeEvent::Faulted(FaultKind::Dropped)),
             )
         }
@@ -224,12 +228,13 @@ fn deliver_with_rx_faults<N: RadioNode>(
                     from: sender,
                     message: garbled,
                 });
-                (true, event)
+                (true, true, event)
             }
             None => {
                 node.receive(None);
                 (
                     false,
+                    true,
                     record.then(|| NodeEvent::Faulted(FaultKind::Corrupted)),
                 )
             }
@@ -240,9 +245,23 @@ fn deliver_with_rx_faults<N: RadioNode>(
                 from: sender,
                 message: msg.clone(),
             });
-            (true, event)
+            (true, false, event)
         }
     }
+}
+
+/// Sums the per-round protocol message sizes for the metrics block: total
+/// bits on the channel and the largest single message. Only called when a
+/// sink is installed — `bit_size` may be nontrivial per message.
+fn message_bits<M: RadioMessage>(messages: &[M]) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for m in messages {
+        let bits = m.bit_size() as u64;
+        total += bits;
+        max = max.max(bits);
+    }
+    (total, max)
 }
 
 /// When the simulation should stop.
@@ -317,6 +336,11 @@ pub struct Simulator<N: RadioNode> {
     /// Wake-queue state of [`Engine::EventDriven`], seeded lazily on the
     /// first event-driven round; `None` under the per-round engines.
     event: Option<EventState>,
+    /// Installed metrics sink, `None` in the common uninstrumented case:
+    /// every per-round reporting block sits behind this one `Option` test,
+    /// so with no sink the engines take exactly their pre-telemetry paths —
+    /// no allocations, no message-size summation, no virtual calls.
+    metrics: Option<Box<dyn MetricsSink + Send>>,
 }
 
 impl<N: RadioNode> Simulator<N> {
@@ -349,6 +373,7 @@ impl<N: RadioNode> Simulator<N> {
             tx_messages: Vec::new(),
             faults: None,
             event: None,
+            metrics: None,
         }
     }
 
@@ -400,6 +425,30 @@ impl<N: RadioNode> Simulator<N> {
     /// leaving this one with an empty scratch that would regrow on demand.
     pub fn take_scratch(&mut self) -> RoundScratch {
         std::mem::take(&mut self.scratch)
+    }
+
+    /// Installs a [`MetricsSink`]: every engine reports its deterministic
+    /// per-round counters ([`RoundMetrics`]) into it, once per executed
+    /// round, plus elided-span notifications from
+    /// [`run_until`](Self::run_until). Telemetry never changes behaviour —
+    /// traces, observations and outcomes are byte-identical with or without
+    /// a sink — and with no sink installed the engines skip every reporting
+    /// block behind a single `Option` check.
+    pub fn with_metrics(mut self, sink: Box<dyn MetricsSink + Send>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// Removes and returns the installed metrics sink, if any.
+    pub fn take_metrics(&mut self) -> Option<Box<dyn MetricsSink + Send>> {
+        self.metrics.take()
+    }
+
+    /// Snapshot of the installed sink's aggregate counters, when the sink
+    /// keeps them (see [`MetricsSink::counters`]; [`rn_telemetry::CounterSink`]
+    /// does, the no-op sink does not).
+    pub fn metrics_counters(&self) -> Option<RunCounters> {
+        self.metrics.as_ref().and_then(|sink| sink.counters())
     }
 
     /// The graph being simulated.
@@ -507,6 +556,9 @@ impl<N: RadioNode> Simulator<N> {
         let tx_stamp = &scratch.tx_stamp[..n];
         let stamp = &scratch.stamp[..n];
         let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
+        // Deterministic round counters for an installed metrics sink; plain
+        // register increments, negligible without one.
+        let (mut deliveries, mut collisions, mut rx_faults) = (0u64, 0u64, 0u64);
         for (v, node) in self.nodes.iter_mut().enumerate() {
             if let Some(f) = faults {
                 if let Some(kind) = f.inert_kind(v, round) {
@@ -532,6 +584,7 @@ impl<N: RadioNode> Simulator<N> {
                         // The only transmitting neighbour is a jammer: the
                         // channel is busy but carries nothing decodable.
                         node.receive(None);
+                        collisions += 1;
                         if self.record_trace {
                             events.push(NodeEvent::Collision {
                                 transmitting_neighbors: 1,
@@ -539,8 +592,10 @@ impl<N: RadioNode> Simulator<N> {
                         }
                     } else {
                         let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                        let (_, event) =
+                        let (decoded, rx_faulted, event) =
                             deliver_with_rx_faults(node, v, w, msg, rx_window, self.record_trace);
+                        deliveries += u64::from(decoded);
+                        rx_faults += u64::from(rx_faulted);
                         if let Some(e) = event {
                             events.push(e);
                         }
@@ -549,6 +604,7 @@ impl<N: RadioNode> Simulator<N> {
                     // Collision: indistinguishable from silence for the
                     // node; the count is already in the scratch.
                     node.receive(None);
+                    collisions += 1;
                     if self.record_trace {
                         events.push(NodeEvent::Collision {
                             transmitting_neighbors: scratch.hit_count[v] as usize,
@@ -569,7 +625,22 @@ impl<N: RadioNode> Simulator<N> {
                 events,
             });
         }
-        scratch.transmitters.len()
+        let transmitter_count = self.scratch.transmitters.len();
+        if let Some(sink) = self.metrics.as_deref_mut() {
+            let (bits, max_message_bits) = message_bits(&self.tx_messages);
+            sink.on_round(&RoundMetrics {
+                round,
+                transmitters: transmitter_count as u64,
+                protocol_transmissions: self.tx_messages.len() as u64,
+                deliveries,
+                collisions,
+                rx_faults,
+                bits,
+                max_message_bits,
+                frontier: n as u64,
+            });
+        }
+        transmitter_count
     }
 
     /// Executes a single round with the retained listener-centric reference
@@ -621,6 +692,7 @@ impl<N: RadioNode> Simulator<N> {
         let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
         let mut events: Vec<NodeEvent<N::Msg>> =
             Vec::with_capacity(if self.record_trace { n } else { 0 });
+        let (mut deliveries, mut collisions, mut rx_faults) = (0u64, 0u64, 0u64);
         for v in 0..n {
             if let Some(kind) = inert[v] {
                 if self.record_trace {
@@ -654,6 +726,7 @@ impl<N: RadioNode> Simulator<N> {
                             // The only transmitting neighbour is a jammer:
                             // busy channel, nothing decodable.
                             self.nodes[v].receive(None);
+                            collisions += 1;
                             if self.record_trace {
                                 events.push(NodeEvent::Collision {
                                     transmitting_neighbors: 1,
@@ -662,7 +735,7 @@ impl<N: RadioNode> Simulator<N> {
                         }
                         (Some(w), None) => {
                             let msg = actions[w].message().expect("w transmits");
-                            let (_, event) = deliver_with_rx_faults(
+                            let (decoded, rx_faulted, event) = deliver_with_rx_faults(
                                 &mut self.nodes[v],
                                 v,
                                 w,
@@ -670,6 +743,8 @@ impl<N: RadioNode> Simulator<N> {
                                 rx_window,
                                 self.record_trace,
                             );
+                            deliveries += u64::from(decoded);
+                            rx_faults += u64::from(rx_faulted);
                             if let Some(e) = event {
                                 events.push(e);
                             }
@@ -678,6 +753,7 @@ impl<N: RadioNode> Simulator<N> {
                             // Collision: indistinguishable from silence for
                             // the node.
                             self.nodes[v].receive(None);
+                            collisions += 1;
                             if self.record_trace {
                                 let count = self
                                     .graph
@@ -705,6 +781,31 @@ impl<N: RadioNode> Simulator<N> {
             self.trace.rounds.push(RoundRecord {
                 round: self.round,
                 events,
+            });
+        }
+        if let Some(sink) = self.metrics.as_deref_mut() {
+            // This engine keeps messages in the action vector; jammers and
+            // inert nodes stand in as Listen, so filtering on the messages
+            // yields exactly the protocol transmissions.
+            let mut protocol_transmissions = 0u64;
+            let mut bits = 0u64;
+            let mut max_message_bits = 0u64;
+            for m in actions.iter().filter_map(Action::message) {
+                protocol_transmissions += 1;
+                let b = m.bit_size() as u64;
+                bits += b;
+                max_message_bits = max_message_bits.max(b);
+            }
+            sink.on_round(&RoundMetrics {
+                round,
+                transmitters: transmitter_count as u64,
+                protocol_transmissions,
+                deliveries,
+                collisions,
+                rx_faults,
+                bits,
+                max_message_bits,
+                frontier: n as u64,
             });
         }
         transmitter_count
@@ -810,6 +911,10 @@ impl<N: RadioNode> Simulator<N> {
         // ascending node order, exactly like the per-round engines' decide
         // sweeps produce them.
         st.due.sort_unstable();
+        // Frontier size for the metrics sink: the nodes this engine actually
+        // drives this round (engine-specific by design — the per-round
+        // engines report n here).
+        let frontier = st.due.len() as u64;
 
         // Decide: only the due nodes act. A crashed node parks forever, an
         // asleep node sleeps until its wake round, a jammer occupies the
@@ -874,6 +979,7 @@ impl<N: RadioNode> Simulator<N> {
 
         // Observe.
         let rx_window = faults.map_or(&[][..], |f| f.rx_window(round));
+        let (mut deliveries, mut collisions, mut rx_faults) = (0u64, 0u64, 0u64);
         if record_trace {
             // One linear sweep, byte-identical events to the per-round
             // engines. A dormant listener's `receive(None)` is elided — a
@@ -905,6 +1011,7 @@ impl<N: RadioNode> Simulator<N> {
                                 self.nodes[v].receive(None);
                                 st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
                             }
+                            collisions += 1;
                             events.push(NodeEvent::Collision {
                                 transmitting_neighbors: 1,
                             });
@@ -921,7 +1028,7 @@ impl<N: RadioNode> Simulator<N> {
                                  inside its elided span"
                             );
                             let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                            let (decoded, event) = deliver_with_rx_faults(
+                            let (decoded, rx_faulted, event) = deliver_with_rx_faults(
                                 &mut self.nodes[v],
                                 v,
                                 w,
@@ -929,6 +1036,8 @@ impl<N: RadioNode> Simulator<N> {
                                 rx_window,
                                 true,
                             );
+                            deliveries += u64::from(decoded);
+                            rx_faults += u64::from(rx_faulted);
                             events.push(event.expect("recording"));
                             if decoded || is_due {
                                 st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
@@ -939,6 +1048,7 @@ impl<N: RadioNode> Simulator<N> {
                             self.nodes[v].receive(None);
                             st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
                         }
+                        collisions += 1;
                         events.push(NodeEvent::Collision {
                             transmitting_neighbors: scratch.hit_count[v] as usize,
                         });
@@ -974,8 +1084,15 @@ impl<N: RadioNode> Simulator<N> {
                 {
                     let w = scratch.last_sender[v];
                     let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                    deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);
+                    let (decoded, rx_faulted, _) =
+                        deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);
+                    deliveries += u64::from(decoded);
+                    rx_faults += u64::from(rx_faulted);
                 } else {
+                    // A marked listener that decoded nothing observed a
+                    // collision (several transmitters, or a sole jammer) —
+                    // the same condition the recorded path traces.
+                    collisions += u64::from(scratch.stamp[v] == generation);
                     self.nodes[v].receive(None);
                 }
                 st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
@@ -987,11 +1104,16 @@ impl<N: RadioNode> Simulator<N> {
                         continue;
                     }
                 }
-                if scratch.tx_stamp[v] == generation || scratch.hit_count[v] != 1 {
+                if scratch.tx_stamp[v] == generation {
+                    continue;
+                }
+                if scratch.hit_count[v] != 1 {
+                    collisions += 1;
                     continue; // collisions deliver None: a no-op while dormant
                 }
                 let w = scratch.last_sender[v];
                 if scratch.tx_index[w] == JAMMER {
+                    collisions += 1;
                     continue;
                 }
                 // Tripwire (debug builds): touched nodes are dormant by
@@ -1003,14 +1125,31 @@ impl<N: RadioNode> Simulator<N> {
                      inside its elided span"
                 );
                 let msg = &self.tx_messages[scratch.tx_index[w] as usize];
-                let (decoded, _) =
+                let (decoded, rx_faulted, _) =
                     deliver_with_rx_faults(&mut self.nodes[v], v, w, msg, rx_window, false);
+                deliveries += u64::from(decoded);
+                rx_faults += u64::from(rx_faulted);
                 if decoded {
                     st.schedule(v, round, wake_after(round, self.nodes[v].wake_hint()));
                 }
             }
         }
-        scratch.transmitters.len()
+        let transmitter_count = self.scratch.transmitters.len();
+        if let Some(sink) = self.metrics.as_deref_mut() {
+            let (bits, max_message_bits) = message_bits(&self.tx_messages);
+            sink.on_round(&RoundMetrics {
+                round,
+                transmitters: transmitter_count as u64,
+                protocol_transmissions: self.tx_messages.len() as u64,
+                deliveries,
+                collisions,
+                rx_faults,
+                bits,
+                max_message_bits,
+                frontier,
+            });
+        }
+        transmitter_count
     }
 
     /// With tracing off under [`Engine::EventDriven`], the number of
@@ -1108,6 +1247,11 @@ impl<N: RadioNode> Simulator<N> {
                 }
                 self.round += span;
                 quiet_streak += span;
+                if span > 0 {
+                    if let Some(sink) = self.metrics.as_deref_mut() {
+                        sink.on_elided_span(self.round - span + 1, span);
+                    }
+                }
                 if let Some(needed) = quiet_needed {
                     if quiet_streak >= needed {
                         return RunOutcome {

@@ -65,6 +65,27 @@ impl ExecutionStats {
         stats
     }
 
+    /// Computes statistics from the deterministic run counters aggregated by
+    /// a [`rn_telemetry::CounterSink`] installed on the simulator.
+    ///
+    /// This is the counter-backed twin of [`ExecutionStats::from_trace`]: when
+    /// a sink ran, the per-round counters carry exactly the quantities the
+    /// trace walk would derive (protocol transmissions only — jammers and
+    /// fault markers excluded), so the two constructors agree field for field
+    /// even on runs executed with tracing disabled.
+    pub fn from_counters(counters: &rn_telemetry::RunCounters) -> Self {
+        ExecutionStats {
+            rounds: counters.rounds,
+            transmissions: counters.transmissions as usize,
+            receptions: counters.deliveries as usize,
+            collisions: counters.collisions as usize,
+            silent_rounds: counters.silent_rounds,
+            max_transmitters_per_round: counters.max_transmitters_per_round as usize,
+            total_bits: counters.total_bits as usize,
+            max_message_bits: counters.max_message_bits as usize,
+        }
+    }
+
     /// Average transmissions per round (0.0 for an empty trace).
     pub fn avg_transmissions_per_round(&self) -> f64 {
         if self.rounds == 0 {
@@ -124,6 +145,31 @@ mod tests {
         assert_eq!(s.total_bits, 4 + 8 + 1);
         assert_eq!(s.max_message_bits, 8);
         assert!((s.avg_transmissions_per_round() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_from_counters_mirrors_every_field() {
+        let counters = rn_telemetry::RunCounters {
+            rounds: 3,
+            transmitters: 4,
+            transmissions: 3,
+            deliveries: 1,
+            collisions: 1,
+            rx_faults: 0,
+            silent_rounds: 1,
+            max_transmitters_per_round: 2,
+            total_bits: 13,
+            max_message_bits: 8,
+            frontier_peak: 3,
+            elided_rounds: 0,
+            elided_spans: 0,
+            scratch_reused: 0,
+            scratch_fresh: 1,
+        };
+        assert_eq!(
+            ExecutionStats::from_counters(&counters),
+            ExecutionStats::from_trace(&trace())
+        );
     }
 
     #[test]

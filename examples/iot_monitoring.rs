@@ -63,6 +63,7 @@ fn main() {
     // the cached labeling — no per-update scheme reconstruction.
     let updates: Vec<u64> = (1..=5).map(|i| 0x1000 + i).collect();
     let mut total_rounds = 0u64;
+    let mut last_report = None;
     for (i, &update) in updates.iter().enumerate() {
         let result = session.run_with_message(update).expect("broadcast runs");
         let completion = result.completion_round.expect("B_ack informs every device");
@@ -77,7 +78,10 @@ fn main() {
             result.stats.transmissions,
             result.stats.max_message_bits,
         );
+        last_report = Some(result);
     }
+    // The per-run paragraph an operator would log, via the report's Display.
+    println!("\nlast update in short: {}", last_report.expect("ran"));
     println!(
         "\npushed {} updates in {} radio rounds total; per-update worst-case bound is 2n-3 + n-1 = {}",
         updates.len(),

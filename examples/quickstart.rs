@@ -38,12 +38,10 @@ fn main() {
     );
 
     // 2. The nodes — which know nothing about the topology — run algorithm B.
+    //    The report's Display impl is the one-paragraph human summary.
     let result = session.run();
-    println!(
-        "broadcast completed in round {} (Theorem 2.9 bound: 2n-3 = {})",
-        result.completion_round.expect("algorithm B completes"),
-        2 * n - 3
-    );
+    println!("{result}");
+    assert_eq!(result.theorem_bound(), Some(2 * n as u64 - 3));
     println!(
         "total transmissions: {}, collisions: {}, max message size: {} bits",
         result.stats.transmissions, result.stats.collisions, result.stats.max_message_bits

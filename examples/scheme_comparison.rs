@@ -64,10 +64,14 @@ fn main() {
         ack.completion_round.expect("completes"),
     );
 
-    let n = network.node_count();
     println!(
         "\nTheorem 2.9 bound for this network: 2n-3 = {} rounds; every algorithm above that \
          completed within its own guarantee did so deterministically, with no collision detection.",
-        2 * n - 3
+        lambda
+            .theorem_bound()
+            .expect("lambda has a closed-form bound")
     );
+
+    // The same verdict in one paragraph, via the report's Display impl.
+    println!("\nin short: {lambda}");
 }

@@ -70,7 +70,7 @@ fn main() {
     let reports = session
         .run_batch(&specs, batch::default_threads())
         .expect("origins are in range");
-    for report in reports {
+    for report in &reports {
         println!(
             "  origin {:>2}: every switch informed by round {}, knows completion by round {}",
             report.source,
@@ -80,4 +80,6 @@ fn main() {
                 .expect("B_arb reaches common knowledge"),
         );
     }
+    // The first origin again in paragraph form, via the report's Display.
+    println!("\nin short: {}", reports[0]);
 }

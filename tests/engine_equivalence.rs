@@ -493,6 +493,142 @@ fn chaos_without_trace_agrees_across_engines() {
 }
 
 #[test]
+fn instrumented_sessions_report_identically_on_every_engine() {
+    // Telemetry must be a pure observer: `run_instrumented` installs a
+    // metrics sink (the only run mode that pays for per-round metric
+    // assembly) and must still return the exact `RunReport` the plain `run`
+    // produces, on every engine — while its aggregated counters reproduce
+    // the trace-derived statistics field for field.
+    use radio_labeling::radio::ExecutionStats;
+
+    let g = Arc::new(generators::gnp_connected(26, 0.16, 9).unwrap());
+    for scheme in Scheme::GENERAL {
+        for engine in ENGINES {
+            let session = Session::builder(scheme, Arc::clone(&g))
+                .source(4)
+                .message(17)
+                .engine(engine)
+                .build()
+                .unwrap();
+            let plain = session.run();
+            let (instrumented, metrics) = session.run_instrumented();
+            assert_eq!(
+                instrumented,
+                plain,
+                "{} [{engine:?}]: sink changed the report",
+                scheme.name()
+            );
+            let counters = metrics.counters.expect("instrumented run counts");
+            assert_eq!(
+                ExecutionStats::from_counters(&counters),
+                plain.stats,
+                "{} [{engine:?}]: counters diverge from trace stats",
+                scheme.name()
+            );
+            assert_eq!(
+                metrics.counters_match_trace,
+                Some(true),
+                "{} [{engine:?}]: cross-check not recorded",
+                scheme.name()
+            );
+            assert!(
+                metrics.span_nanos("round_loop").is_some(),
+                "{} [{engine:?}]: round_loop span missing",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn instrumented_traceless_sessions_recover_full_stats_on_every_engine() {
+    // With tracing off a plain run reports only the round count, but an
+    // instrumented one substitutes its counters for the trace walk — so the
+    // report must match the plain traceless run in every other field, and
+    // its statistics must equal what a *traced* run derives, on every
+    // engine (including the event-driven engine's elided spans).
+    let g = Arc::new(generators::gnp_connected(26, 0.16, 9).unwrap());
+    for scheme in Scheme::GENERAL {
+        for engine in ENGINES {
+            let build = |trace: TracePolicy| {
+                Session::builder(scheme, Arc::clone(&g))
+                    .source(4)
+                    .message(17)
+                    .trace(trace)
+                    .engine(engine)
+                    .build()
+                    .unwrap()
+            };
+            let traced = build(TracePolicy::Recorded).run();
+            let session = build(TracePolicy::Disabled);
+            let mut plain = session.run();
+            let (instrumented, metrics) = session.run_instrumented();
+            assert_eq!(
+                instrumented.stats,
+                traced.stats,
+                "{} [{engine:?}]: counter-backed stats diverge from trace",
+                scheme.name()
+            );
+            assert_eq!(
+                metrics.counters_match_trace,
+                None,
+                "{} [{engine:?}]: no trace, so no cross-check",
+                scheme.name()
+            );
+            plain.stats = instrumented.stats.clone();
+            assert_eq!(
+                instrumented,
+                plain,
+                "{} [{engine:?}]: sink changed a traceless report beyond stats",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sink_installed_raw_traces_identical_on_every_engine() {
+    // Raw-simulator half of the observer guarantee: a `CounterSink` bolted
+    // onto the simulator must leave the trace, the outcome and every node's
+    // observation log byte-identical to the uninstrumented run — and its
+    // counters must agree with the trace walk — on every engine, under the
+    // collision-heavy chaos protocol.
+    use radio_labeling::radio::{CounterSink, ExecutionStats};
+
+    for (label, graph, _) in workloads() {
+        let graph = Arc::new(graph);
+        let n = graph.node_count();
+        for engine in ENGINES {
+            let mut bare =
+                Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3)).with_engine(engine);
+            let b = bare.run_until(StopCondition::AfterRounds(60), |_| false);
+            let mut sim = Simulator::new(Arc::clone(&graph), ChaosNode::network(n, 3))
+                .with_engine(engine)
+                .with_metrics(Box::new(CounterSink::default()));
+            let a = sim.run_until(StopCondition::AfterRounds(60), |_| false);
+            assert_eq!(a, b, "{label} [{engine:?}]: outcomes differ");
+            assert_eq!(
+                sim.trace().rounds,
+                bare.trace().rounds,
+                "{label} [{engine:?}]: sink changed the trace"
+            );
+            for (v, (x, y)) in sim.nodes().iter().zip(bare.nodes()).enumerate() {
+                assert_eq!(
+                    x.observations, y.observations,
+                    "{label} [{engine:?}]: node {v} observations differ"
+                );
+            }
+            let counters = sim.metrics_counters().expect("sink installed");
+            assert_eq!(
+                ExecutionStats::from_counters(&counters),
+                ExecutionStats::from_trace(sim.trace()),
+                "{label} [{engine:?}]: counters diverge from the trace walk"
+            );
+        }
+    }
+}
+
+#[test]
 fn engines_list_is_exhaustive() {
     // A compile-time reminder: adding an `Engine` variant must extend this
     // suite. The match has no wildcard arm, so a new variant fails to build

@@ -1,0 +1,50 @@
+//! Differential check of the deterministic run counters: on every
+//! [`TopologyFamily`] preset and every general scheme, the counters a
+//! [`CounterSink`](radio_labeling::radio::CounterSink) aggregates during an
+//! instrumented run must reproduce the trace-derived [`ExecutionStats`]
+//! field for field. The counters are assembled incrementally inside the
+//! engines' hot paths; the trace walk recomputes the same quantities from
+//! the recorded events — agreement on the full topology × scheme matrix
+//! pins the two derivations to each other.
+
+use radio_labeling::broadcast::session::{Scheme, Session};
+use radio_labeling::graph::generators::TopologyFamily;
+use radio_labeling::radio::ExecutionStats;
+use std::sync::Arc;
+
+const N: usize = 16;
+const SEED: u64 = 1;
+
+#[test]
+fn counters_equal_trace_derived_stats_on_every_preset_and_general_scheme() {
+    for family in TopologyFamily::PRESETS {
+        let graph = Arc::new(
+            family
+                .generate(N, SEED)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name())),
+        );
+        for scheme in Scheme::GENERAL {
+            let session = Session::builder(scheme, Arc::clone(&graph))
+                .build()
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", family.name(), scheme.name()));
+            let (report, metrics) = session.run_instrumented();
+            let counters = metrics
+                .counters
+                .unwrap_or_else(|| panic!("{}/{}: no counters", family.name(), scheme.name()));
+            assert_eq!(
+                ExecutionStats::from_counters(&counters),
+                report.stats,
+                "{}/{}: counter-derived stats diverge from the trace walk",
+                family.name(),
+                scheme.name()
+            );
+            assert_eq!(
+                metrics.counters_match_trace,
+                Some(true),
+                "{}/{}",
+                family.name(),
+                scheme.name()
+            );
+        }
+    }
+}
